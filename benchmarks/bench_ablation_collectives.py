@@ -1,0 +1,99 @@
+"""Ablation — fold/expand collective algorithm choice (DESIGN.md section 5).
+
+Compares the four fold implementations (direct all-to-all, plain ring,
+ring reduce-scatter with set-union, two-phase grouped rings) and the three
+expand implementations on the same search, reporting simulated time,
+message count, and wire volume.  Expected: the union variants move fewer
+vertices than the plain ring; the two-phase variants use far fewer
+messages than the single ring; all produce identical levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.api import build_engine
+from repro.bfs.level_sync import run_bfs
+from repro.bfs.options import BfsOptions
+from repro.graph.generators import poisson_random_graph
+from repro.harness.report import format_table
+from repro.types import GraphSpec, GridShape
+
+GRID = GridShape(8, 8)
+SPEC = GraphSpec(n=16_000, k=12, seed=6)
+
+FOLDS = ["direct", "ring", "union-ring", "two-phase", "bruck"]
+EXPANDS = ["direct", "ring", "two-phase", "recursive-doubling"]
+
+
+def test_fold_ablation(once):
+    def run_all():
+        graph = poisson_random_graph(SPEC)
+        out = {}
+        for fold in FOLDS:
+            opts = BfsOptions(fold_collective=fold)
+            result = run_bfs(build_engine(graph, GRID, opts=opts), 0)
+            out[fold] = result
+        return out
+
+    results = once(run_all)
+    rows = [
+        [
+            fold,
+            f"{r.elapsed:.6f}",
+            f"{r.comm_time:.6f}",
+            r.stats.total_messages,
+            r.stats.total_processed,
+        ]
+        for fold, r in results.items()
+    ]
+    emit(
+        "Ablation  fold collective (n=16000, k=12, 8x8 mesh)",
+        format_table(["fold", "time(s)", "comm(s)", "messages", "wire vertices"], rows),
+    )
+    levels0 = results[FOLDS[0]].levels
+    for fold in FOLDS[1:]:
+        assert np.array_equal(results[fold].levels, levels0)
+    # Union reduction lowers wire volume vs the plain ring.
+    assert results["union-ring"].stats.total_processed < results["ring"].stats.total_processed
+    # Grouped rings use fewer messages than the full-length ring, and the
+    # logarithmic Bruck schedule fewer still.
+    assert results["two-phase"].stats.total_messages < results["ring"].stats.total_messages
+    assert results["bruck"].stats.total_messages < results["ring"].stats.total_messages
+
+
+def test_expand_ablation(once):
+    def run_all():
+        graph = poisson_random_graph(SPEC)
+        out = {}
+        for expand in EXPANDS:
+            opts = BfsOptions(expand_collective=expand)
+            result = run_bfs(build_engine(graph, GRID, opts=opts), 0)
+            out[expand] = result
+        return out
+
+    results = once(run_all)
+    rows = [
+        [
+            expand,
+            f"{r.elapsed:.6f}",
+            f"{r.comm_time:.6f}",
+            r.stats.total_messages,
+            r.stats.total_processed,
+        ]
+        for expand, r in results.items()
+    ]
+    emit(
+        "Ablation  expand collective (n=16000, k=12, 8x8 mesh)",
+        format_table(["expand", "time(s)", "comm(s)", "messages", "wire vertices"], rows),
+    )
+    levels0 = results[EXPANDS[0]].levels
+    for expand in EXPANDS[1:]:
+        assert np.array_equal(results[expand].levels, levels0)
+    # The filtered direct expand ships fewer vertices than the forwarding
+    # rings, which cannot filter per destination (Section 2.2).
+    assert (
+        results["direct"].stats.total_processed
+        <= results["ring"].stats.total_processed
+    )

@@ -1,0 +1,73 @@
+"""Ablation — task mapping onto the torus (Figure 1 / Section 3.2.1).
+
+Compares the paper's planar mapping of the logical mesh onto the 3D torus
+against a naive row-major placement: expand/fold ring lengths in physical
+hops, and the end-to-end simulated search time.  Expected: the planar
+mapping's communicator groups are physically tighter, and the search is no
+slower.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.api import build_engine
+from repro.bfs.level_sync import run_bfs
+from repro.graph.generators import poisson_random_graph
+from repro.harness.figures import PAPER_OPTS
+from repro.harness.report import format_table
+from repro.machine.bluegene import bluegene_l_torus_for
+from repro.machine.mapping import planar_mapping, row_major_mapping
+from repro.types import GraphSpec, GridShape
+
+GRID = GridShape(8, 8)  # maps onto the 4x4x4 torus
+SPEC = GraphSpec(n=16_000, k=10, seed=8)
+
+
+def test_mapping_ring_lengths(once):
+    def measure():
+        torus = bluegene_l_torus_for(GRID.size)
+        planar = planar_mapping(GRID, torus)
+        naive = row_major_mapping(GRID, torus)
+        return {
+            "planar": (planar.column_ring_hops(), planar.row_ring_hops()),
+            "row-major": (naive.column_ring_hops(), naive.row_ring_hops()),
+        }
+
+    hops = once(measure)
+    rows = [
+        [name, f"{col:.1f}", f"{row:.1f}"] for name, (col, row) in hops.items()
+    ]
+    emit(
+        "Ablation  ring lengths in physical hops (8x8 mesh on 4x4x4 torus)",
+        format_table(["mapping", "expand ring (col)", "fold ring (row)"], rows),
+    )
+    planar_total = sum(hops["planar"])
+    naive_total = sum(hops["row-major"])
+    assert planar_total <= naive_total
+
+
+def test_mapping_end_to_end(once):
+    def run_both():
+        graph = poisson_random_graph(SPEC)
+        out = {}
+        for mapping in ("planar", "row-major"):
+            result = run_bfs(
+                build_engine(graph, GRID, opts=PAPER_OPTS, mapping=mapping), 0
+            )
+            out[mapping] = result
+        return out
+
+    results = once(run_both)
+    rows = [
+        [name, f"{r.elapsed:.6f}", f"{r.comm_time:.6f}"]
+        for name, r in results.items()
+    ]
+    emit(
+        "Ablation  task mapping, end-to-end (n=16000, k=10, 8x8 mesh)",
+        format_table(["mapping", "time(s)", "comm(s)"], rows),
+    )
+    assert np.array_equal(results["planar"].levels, results["row-major"].levels)
+    # Hop terms are small next to bandwidth, so demand only "not worse".
+    assert results["planar"].comm_time <= 1.05 * results["row-major"].comm_time

@@ -1,0 +1,82 @@
+"""Section 3.1 — analytic message-length bounds, evaluated at paper scale.
+
+No scaling-down is needed: these are the paper's own closed-form
+expectations, computed at the real design points (n up to 3.2e9,
+P = 32768), plus a consistency check of the model against the simulator at
+laptop scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.model import MessageLengthModel
+from repro.harness.report import format_table
+
+
+def test_bounds_at_paper_scale(once):
+    def build():
+        rows = []
+        for vpr, k in [(100_000, 10.0), (20_000, 50.0), (10_000, 100.0), (5_000, 200.0)]:
+            p = 32_768
+            model = MessageLengthModel(n=vpr * p, k=k, rows=128, cols=256)
+            rows.append(
+                [
+                    f"|V|={vpr},k={int(k)}",
+                    f"{model.fold_1d:.0f}",
+                    f"{model.expand_2d:.0f}",
+                    f"{model.fold_2d:.0f}",
+                    f"{model.expand_2d_dense:.0f}",
+                    f"{model.per_processor_bound:.0f}",
+                ]
+            )
+        return rows
+
+    rows = once(build)
+    emit(
+        "Section 3.1  expected per-processor message lengths at P=32768 (128x256)",
+        format_table(
+            ["design point", "1D fold", "2D expand", "2D fold", "2D dense expand", "n/P"],
+            rows,
+        ),
+    )
+    for row in rows:
+        expand, dense = float(row[2]), float(row[4])
+        # The sparse expand always beats the dense all-gather.
+        assert expand <= dense
+
+    # O(n/P) scalability: growing P with n/P fixed must not grow the bound.
+    lengths = []
+    for p, rc in [(1024, (32, 32)), (4096, (64, 64)), (32768, (128, 256))]:
+        model = MessageLengthModel(n=100_000 * p, k=10.0, rows=rc[0], cols=rc[1])
+        lengths.append(model.expand_2d + model.fold_2d)
+    assert max(lengths) < 2.5 * min(lengths)
+
+
+def test_model_predicts_simulated_worst_case(once):
+    """Cross-check: simulator's total 1D fold traffic obeys the gamma model."""
+    from repro.analysis.model import expected_fold_length_1d
+    from repro.api import build_engine
+    from repro.graph.generators import poisson_random_graph
+    from repro.types import GraphSpec, GridShape
+
+    n, k, p = 6000, 8.0, 8
+
+    def measure():
+        graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=4))
+        engine = build_engine(graph, GridShape(p, 1), layout="1d")
+        engine.start(0)
+        while engine.step():
+            pass
+        return float(engine.comm.stats.volume_per_level("fold").sum())
+
+    measured = once(measure)
+    predicted = expected_fold_length_1d(n, k, p) * p
+    emit(
+        "Section 3.1  model vs simulation (total 1D fold volume)",
+        f"measured={measured:.0f}  model-bound={predicted:.0f}  "
+        f"ratio={measured / predicted:.2f}",
+    )
+    assert measured <= 1.25 * predicted
+    assert measured >= 0.2 * predicted

@@ -1,0 +1,103 @@
+"""Figure 4.a — weak-scaling mean search time on the simulated BlueGene/L.
+
+Paper: P up to 32,768, |V|/rank in {100000, 20000, 10000, 5000} with k in
+{10, 50, 100, 200}; execution time grows ~ log P; communication time is
+small next to computation.  Here: P in {1, 4, 16, 64, 144}, |V|/rank
+scaled by ~1/100, same k ladder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.scaling import log_fit
+from repro.harness.figures import fig4a_weak_scaling
+from repro.harness.report import format_table
+
+P_VALUES = [1, 4, 16, 64, 144]
+DESIGN_POINTS = [(1000, 10.0), (200, 50.0), (100, 100.0), (50, 200.0)]
+
+
+def _run_curve(vertices_per_rank: int, k: float):
+    return fig4a_weak_scaling(P_VALUES, vertices_per_rank, k, searches=2)
+
+
+def test_fig4a_primary_curve(once):
+    """|V|/rank=1000, k=10 — the curve the paper annotates with comm time."""
+    points = once(_run_curve, *DESIGN_POINTS[0])
+    rows = [
+        [p.p, p.n, f"{p.mean_time:.6f}", f"{p.comm_time:.6f}", f"{p.compute_time:.6f}"]
+        for p in points
+    ]
+    emit(
+        "Figure 4.a  |V|=1000/rank, k=10 (paper: |V|=100000, k=10)",
+        format_table(["P", "n", "time(s)", "comm(s)", "compute(s)"], rows),
+    )
+    times = np.array([p.mean_time for p in points])
+    # Shape 1: time grows with P (weak scaling pays the deeper graph).
+    assert times[-1] > times[0]
+    # Shape 2: growth is log-like, not linear: going 1 -> 144 ranks must
+    # cost far less than 144x.
+    assert times[-1] < 30 * times[0]
+    # Shape 3: log2 fit has positive slope and decent quality.
+    a, _b, r2 = log_fit(np.array(P_VALUES[1:]), times[1:])
+    assert a > 0
+    assert r2 > 0.7
+    # Shape 4: communication is the minor component (paper: "very small").
+    multi = [p for p in points if p.p > 1]
+    assert all(p.comm_time < p.compute_time for p in multi)
+
+
+def test_fig4a_degree_ladder(once):
+    """Higher average degree => shorter searches (fewer levels)."""
+
+    def run_ladder():
+        return {k: fig4a_weak_scaling([16], v, k, searches=2)[0] for v, k in DESIGN_POINTS}
+
+    ladder = once(run_ladder)
+    rows = [
+        [f"|V|={v}", k, f"{ladder[k].mean_time:.6f}", f"{ladder[k].comm_time:.6f}"]
+        for v, k in DESIGN_POINTS
+    ]
+    emit(
+        "Figure 4.a  degree ladder at P=16 (same total work n*k per rank)",
+        format_table(["|V|/rank", "k", "time(s)", "comm(s)"], rows),
+    )
+    # All four design points have n*k/P constant; the k=200 graph has a far
+    # smaller diameter, so its search must not be slower than the k=10 one
+    # by more than the level-count ratio — in practice it is faster.
+    assert ladder[200.0].mean_time < ladder[10.0].mean_time
+
+
+def test_fig4a_extended_point_distributed_gen(once):
+    """One more weak-scaling decade (P=256) built with the distributed
+    generator — the construction path the paper's full-scale runs need.
+    The point must continue the log-P trend of the primary curve."""
+    from repro.api import build_communicator
+    from repro.bfs.bfs_2d import Bfs2DEngine
+    from repro.bfs.level_sync import run_bfs
+    from repro.graph.distributed_gen import DistributedGraphBuilder
+    from repro.harness.figures import PAPER_OPTS
+    from repro.types import GraphSpec, GridShape
+
+    def run_point():
+        grid = GridShape(16, 16)
+        builder = DistributedGraphBuilder(
+            GraphSpec(n=1000 * grid.size, k=10.0, seed=0), grid
+        )
+        partition = builder.build_partition()
+        engine = Bfs2DEngine(partition, build_communicator(grid), PAPER_OPTS)
+        return run_bfs(engine, 0)
+
+    result = once(run_point)
+    emit(
+        "Figure 4.a  extended point P=256 (|V|=1000/rank, distributed generation)",
+        f"time={result.elapsed:.6f}s comm={result.comm_time:.6f}s "
+        f"levels={result.num_levels}",
+    )
+    # Continuation of the log-P curve measured by the primary benchmark:
+    # the P=144 point lands near 0.017 s; one more ~2x in P adds roughly
+    # one log2 step, so expect < 1.6x, far below the 1.78x of linear-in-P.
+    assert 0.012 < result.elapsed < 0.028
+    assert result.comm_time < result.compute_time

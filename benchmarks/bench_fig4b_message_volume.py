@@ -1,0 +1,33 @@
+"""Figure 4.b — total message volume vs search-path length.
+
+Paper: a 12M-vertex / 120M-edge graph; volume rises quickly with the path
+length until it reaches the graph diameter, then flattens.  Here: the same
+experiment on a 120k-vertex / ~600k-edge graph (k=10) on a 4x4 mesh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.harness.figures import fig4b_message_volume
+from repro.harness.report import format_series
+
+
+def test_fig4b_volume_vs_path_length(once):
+    series = once(fig4b_message_volume, 120_000, 10.0, 16)
+    distances = [d for d, _v in series]
+    volumes = np.array([v for _d, v in series], dtype=float)
+    emit(
+        "Figure 4.b  total message volume vs search-path length "
+        "(n=120000, k=10, 4x4 mesh; paper: n=12M)",
+        format_series("volume(vertices)", distances, volumes.astype(int).tolist()),
+    )
+    # Shape 1: volume grows monotonically in the early levels...
+    early = volumes[: max(2, len(volumes) // 2)]
+    assert np.all(np.diff(early) > 0)
+    # Shape 2: ...and explosively — the last early level dominates the first.
+    assert early[-1] > 10 * early[0]
+    # Shape 3: it flattens near the diameter: the final volume is within a
+    # small factor of the volume one level earlier (no more doubling).
+    assert volumes[-1] < 1.5 * volumes[-2]

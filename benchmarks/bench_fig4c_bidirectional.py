@@ -1,0 +1,37 @@
+"""Figure 4.c — bi-directional vs uni-directional BFS, weak scaling (k=10).
+
+Paper: bi-directional search time is at worst ~33% of uni-directional and
+scales with the same log P factor, because it walks a shorter distance and
+moves orders of magnitude fewer vertices.  Here: P in {4, 16, 64},
+|V|/rank = 500, k = 10, random s-t pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.harness.figures import fig4c_bidirectional
+from repro.harness.report import format_table
+
+P_VALUES = [4, 16, 64]
+
+
+def test_fig4c_bidirectional_vs_unidirectional(once):
+    rows = once(fig4c_bidirectional, P_VALUES, 500, 10.0, searches=4)
+    table = [
+        [p, f"{uni:.6f}", f"{bi:.6f}", f"{bi / uni:.2f}"] for p, uni, bi in rows
+    ]
+    emit(
+        "Figure 4.c  uni vs bi-directional (|V|=500/rank, k=10)",
+        format_table(["P", "uni(s)", "bi(s)", "bi/uni"], table),
+    )
+    ratios = np.array([bi / uni for _p, uni, bi in rows])
+    # Shape 1: bi-directional wins at every P.
+    assert (ratios < 1.0).all()
+    # Shape 2: the win is substantial (paper: down to ~1/3); demand at
+    # least a 25% saving somewhere on the sweep.
+    assert ratios.min() < 0.75
+    # Shape 3: both curves grow with P (weak scaling) — check the uni one.
+    unis = [uni for _p, uni, _bi in rows]
+    assert unis[-1] > unis[0]

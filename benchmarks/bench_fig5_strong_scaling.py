@@ -1,0 +1,42 @@
+"""Figure 5 — strong-scaling speedup.
+
+Paper: with the graph fixed, speedup grows ~ sqrt(P) for small P, then
+tapers off as the local problem shrinks and communication dominates.
+Here: n=48000, k=10, P in {1, 4, 16, 36, 64, 144}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.scaling import speedup_curve, sqrt_fit
+from repro.harness.figures import fig5_strong_scaling
+from repro.harness.report import format_table
+
+P_VALUES = [1, 4, 16, 36, 64, 144]
+
+
+def test_fig5_strong_scaling_speedup(once):
+    rows = once(fig5_strong_scaling, 48_000, 10.0, P_VALUES, searches=2)
+    times = np.array([t for _p, t in rows])
+    speedups = speedup_curve(times)
+    table = [
+        [p, f"{t:.6f}", f"{s:.2f}", f"{np.sqrt(p):.2f}"]
+        for (p, t), s in zip(rows, speedups)
+    ]
+    emit(
+        "Figure 5  strong scaling (n=48000, k=10)",
+        format_table(["P", "time(s)", "speedup", "sqrt(P)"], table),
+    )
+    # Shape 1: parallelism helps: monotone speedup over the small-P regime.
+    assert speedups[1] > speedups[0]
+    assert speedups[2] > speedups[1]
+    # Shape 2: sqrt(P)-like growth for small P — the fit over P <= 64
+    # should track sqrt closely.
+    small = slice(0, 5)
+    a, r2 = sqrt_fit(np.array(P_VALUES)[small], speedups[small])
+    assert a > 0.3
+    assert r2 > 0.6
+    # Shape 3: taper — far from linear speedup at the largest P.
+    assert speedups[-1] < 0.5 * P_VALUES[-1]

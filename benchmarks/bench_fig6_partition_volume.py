@@ -1,0 +1,87 @@
+"""Figure 6 — per-level message volume, 1D vs 2D, and the crossover degree.
+
+Paper: n=40M on a 20x20 mesh with an unreachable target (worst case).
+(a) k=10: 1D generates *less* volume than 2D as the search deepens;
+    k=50: 2D generates less than 1D.
+(b) at the analytically derived crossover degree (k=34 for P=400, n=40M)
+    the two layouts produce nearly identical volume.
+Here: n=40000 on a 10x10 mesh (P=100), same protocol, crossover solved
+for our (n, P) with the same equation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.analysis.crossover import crossover_degree
+from repro.harness.figures import fig6_partition_volume, fig6b_crossover
+from repro.harness.report import format_series
+
+N, P = 40_000, 100
+
+
+def _total(series: dict[str, np.ndarray]) -> tuple[int, int]:
+    return int(series["1d"].sum()), int(series["2d"].sum())
+
+
+def test_fig6a_low_degree_favours_1d(once):
+    series = once(fig6_partition_volume, N, 10.0, P)
+    one_d, two_d = series["1d"], series["2d"]
+    emit(
+        "Figure 6.a  per-level volume, k=10 (n=40000, 10x10 mesh)",
+        "\n".join(
+            [
+                format_series("1-D (k=10)", range(len(one_d)), one_d.tolist()),
+                format_series("2-D (k=10)", range(len(two_d)), two_d.tolist()),
+            ]
+        ),
+    )
+    t1, t2 = int(one_d.sum()), int(two_d.sum())
+    # Low degree: the 1D layout moves less data in total.
+    assert t1 < t2
+
+
+def test_fig6a_high_degree_favours_2d(once):
+    series = once(fig6_partition_volume, N, 50.0, P)
+    one_d, two_d = series["1d"], series["2d"]
+    emit(
+        "Figure 6.a  per-level volume, k=50 (n=40000, 10x10 mesh)",
+        "\n".join(
+            [
+                format_series("1-D (k=50)", range(len(one_d)), one_d.tolist()),
+                format_series("2-D (k=50)", range(len(two_d)), two_d.tolist()),
+            ]
+        ),
+    )
+    assert int(two_d.sum()) < int(one_d.sum())
+
+
+def test_fig6b_crossover_degree(once):
+    out = once(fig6b_crossover, N, P)
+    k_star = out["k"]
+    one_d, two_d = out["volumes"]["1d"], out["volumes"]["2d"]
+    t1, t2 = int(one_d.sum()), int(two_d.sum())
+    emit(
+        f"Figure 6.b  crossover k={k_star:.1f} for n={N}, P={P} "
+        "(paper: k=34 for n=40M, P=400)",
+        "\n".join(
+            [
+                format_series("1-D", range(len(one_d)), one_d.tolist()),
+                format_series("2-D", range(len(two_d)), two_d.tolist()),
+                f"totals: 1-D {t1}, 2-D {t2}, ratio {t1 / t2:.2f}",
+            ]
+        ),
+    )
+    # The analytic crossover lies between the two Figure 6.a degrees...
+    assert 10.0 < k_star < 50.0
+    # ...and at it the layouts are nearly identical (within 30%).
+    assert 0.7 < t1 / t2 < 1.3
+
+
+def test_fig6_paper_scale_crossover(once):
+    """At the paper's own (n, P) = (4e7, 400) the equation solves near the
+    reported k=34 (exact Brent root ~31.3; see EXPERIMENTS.md)."""
+    k = once(crossover_degree, 4e7, 400)
+    emit("Figure 6.b  crossover at paper scale", f"k = {k:.3f} (paper reports 34)")
+    assert 28.0 <= k <= 37.0

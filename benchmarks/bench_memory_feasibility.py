@@ -1,0 +1,66 @@
+"""Memory-feasibility bench — the paper's headline at full scale.
+
+The abstract's claim — a 3.2-billion-vertex, ~30-billion-edge graph
+searched on 32,768 BlueGene/L nodes with 512 MB each — is above all a
+memory-scalability claim (Section 2.4).  This bench prices every per-rank
+structure with the Section 2.4/3.1 expectations at the paper's real design
+points and asserts the run fits, plus the largest-|V|/rank frontier the
+model allows.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.analysis.memory import (
+    BLUEGENE_L_NODE_MEMORY,
+    MemoryModel,
+    fits_in_memory,
+    max_vertices_per_rank,
+)
+from repro.harness.report import format_table
+from repro.types import GridShape
+
+GRID = GridShape(128, 256)  # the paper's P = 32768 mesh
+DESIGN_POINTS = [(100_000, 10.0), (20_000, 50.0), (10_000, 100.0), (5_000, 200.0)]
+
+
+def test_paper_scale_feasibility(once):
+    def build():
+        rows = []
+        for vpr, k in DESIGN_POINTS:
+            model = MemoryModel(n=vpr * GRID.size, k=k, grid=GRID)
+            rows.append(
+                [
+                    f"|V|={vpr},k={int(k)}",
+                    f"{model.total_bytes / 2**20:.1f}",
+                    f"{model.edge_bytes / 2**20:.1f}",
+                    f"{model.index_bytes / 2**20:.1f}",
+                    f"{model.buffer_bytes / 2**20:.1f}",
+                    "yes" if fits_in_memory(model) else "NO",
+                ]
+            )
+        return rows
+
+    rows = once(build)
+    emit(
+        "Memory feasibility at P=32768, 512 MB/node (paper's machine)",
+        format_table(
+            ["design point", "total MB", "edges MB", "indices MB", "buffers MB", "fits"],
+            rows,
+        ),
+    )
+    # Every design point the paper actually ran must fit.
+    assert all(row[-1] == "yes" for row in rows)
+    # The k=10 headline point leaves a comfortable margin (< 25% of node).
+    headline = MemoryModel(n=100_000 * GRID.size, k=10.0, grid=GRID)
+    assert headline.total_bytes < 0.25 * BLUEGENE_L_NODE_MEMORY
+
+
+def test_capacity_frontier(once):
+    cap = once(max_vertices_per_rank, 10.0, GRID)
+    emit(
+        "Largest |V|/rank the 512 MB node admits at k=10",
+        f"max |V|/rank = {cap} (paper ran 100000)",
+    )
+    assert cap >= 100_000
+    assert cap <= 10_000_000  # the model must also say 'no' somewhere sane

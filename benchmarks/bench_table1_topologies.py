@@ -1,0 +1,67 @@
+"""Table 1 — performance across processor topologies (1D vs 2D).
+
+Paper (P=32768): 128x256 / 256x128 / 32768x1 / 1x32768 for
+(|V|=100000, k=10) and (|V|=10000, k=100).  1D communication time is much
+higher; the degenerate meshes shift all traffic into one phase (32768x1 is
+expand-only, 1x32768 fold-only); 2D should win clearly on the high-degree
+graph.  Here: P=128 with grids 8x16 / 16x8 / 128x1 / 1x128 and design
+points (|V|=500, k=10) and (|V|=50, k=100).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.harness.figures import table1_topologies
+from repro.harness.report import format_table
+from repro.types import GridShape
+
+GRIDS = [GridShape(8, 16), GridShape(16, 8), GridShape(128, 1), GridShape(1, 128)]
+
+
+def _render(rows):
+    return format_table(
+        ["R x C", "exec(s)", "comm(s)", "expand len", "fold len"],
+        [
+            [
+                f"{r.grid.rows}x{r.grid.cols}",
+                f"{r.exec_time:.6f}",
+                f"{r.comm_time:.6f}",
+                f"{r.expand_length:.1f}",
+                f"{r.fold_length:.1f}",
+            ]
+            for r in rows
+        ],
+    )
+
+
+def _check_block(rows):
+    by_grid = {(r.grid.rows, r.grid.cols): r for r in rows}
+    two_d = [by_grid[(8, 16)], by_grid[(16, 8)]]
+    one_d = [by_grid[(128, 1)], by_grid[(1, 128)]]
+    # Shape 1: 1D communication time clearly exceeds 2D (the table's
+    # headline: more processors in each collective).
+    assert min(r.comm_time for r in one_d) > max(r.comm_time for r in two_d)
+    # Shape 2: the degenerate meshes concentrate traffic in one phase.
+    assert by_grid[(128, 1)].fold_length == 0.0
+    assert by_grid[(128, 1)].expand_length > 0.0
+    assert by_grid[(1, 128)].expand_length == 0.0
+    assert by_grid[(1, 128)].fold_length > 0.0
+    # Shape 3: 2D meshes carry traffic in both phases.
+    for r in two_d:
+        assert r.expand_length > 0 and r.fold_length > 0
+    return two_d, one_d
+
+
+def test_table1_low_degree(once):
+    rows = once(table1_topologies, 500, 10.0, GRIDS, searches=2)
+    emit("Table 1  |V|=500/rank, k=10 (paper: |V|=100000, k=10)", _render(rows))
+    _check_block(rows)
+
+
+def test_table1_high_degree(once):
+    rows = once(table1_topologies, 50, 100.0, GRIDS, searches=2)
+    emit("Table 1  |V|=50/rank, k=100 (paper: |V|=10000, k=100)", _render(rows))
+    two_d, one_d = _check_block(rows)
+    # Shape 4 (paper): for the high-degree graph the 2D partitioning should
+    # outperform 1D on total execution time as well.
+    assert min(r.exec_time for r in two_d) < min(r.exec_time for r in one_d)

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure/table as text + CSV artifacts.
+
+Runs all the harness figure builders at quick design points and writes the
+series to ``results/`` (text in the paper's row format plus machine-
+readable CSV).  The benchmark suite (`pytest benchmarks/ --benchmark-only`)
+is the asserted version of the same content at larger design points; this
+script is the "give me the numbers as files" entry point.
+
+Run:  python examples/reproduce_all.py  [output_dir]
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+from repro.analysis.crossover import crossover_degree
+from repro.analysis.memory import MemoryModel, fits_in_memory
+from repro.harness import figures as F
+from repro.harness.report import format_series, format_table
+from repro.types import GridShape
+
+
+def write(out_dir: Path, name: str, text: str, rows: list[dict] | None = None) -> None:
+    (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    if rows:
+        with (out_dir / f"{name}.csv").open("w", newline="", encoding="utf-8") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+    print(f"wrote {name}")
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    # Figure 4.a — weak scaling
+    points = F.fig4a_weak_scaling([1, 4, 16, 64], 500, 10.0, searches=2)
+    rows = [
+        {"P": p.p, "n": p.n, "time_s": p.mean_time, "comm_s": p.comm_time,
+         "compute_s": p.compute_time}
+        for p in points
+    ]
+    write(
+        out_dir, "fig4a_weak_scaling",
+        format_table(["P", "n", "time(s)", "comm(s)"],
+                     [[r["P"], r["n"], f"{r['time_s']:.6f}", f"{r['comm_s']:.6f}"]
+                      for r in rows]),
+        rows,
+    )
+
+    # Figure 4.b — volume vs path length
+    series = F.fig4b_message_volume(30_000, 10.0, 16)
+    rows = [{"path_length": d, "volume": v} for d, v in series]
+    write(out_dir, "fig4b_message_volume",
+          format_series("volume", [d for d, _ in series], [v for _, v in series]), rows)
+
+    # Figure 4.c — bi-directional
+    bi = F.fig4c_bidirectional([4, 16], 400, 10.0, searches=3)
+    rows = [{"P": p, "uni_s": u, "bi_s": b} for p, u, b in bi]
+    write(out_dir, "fig4c_bidirectional",
+          format_table(["P", "uni(s)", "bi(s)"],
+                       [[p, f"{u:.6f}", f"{b:.6f}"] for p, u, b in bi]), rows)
+
+    # Figure 5 — strong scaling
+    strong = F.fig5_strong_scaling(24_000, 10.0, [1, 4, 16, 64], searches=2)
+    base = strong[0][1]
+    rows = [{"P": p, "time_s": t, "speedup": base / t} for p, t in strong]
+    write(out_dir, "fig5_strong_scaling",
+          format_table(["P", "time(s)", "speedup"],
+                       [[r["P"], f"{r['time_s']:.6f}", f"{r['speedup']:.2f}"]
+                        for r in rows]), rows)
+
+    # Table 1 — topologies
+    grids = [GridShape(4, 8), GridShape(8, 4), GridShape(32, 1), GridShape(1, 32)]
+    table = F.table1_topologies(300, 10.0, grids, searches=2)
+    rows = [
+        {"grid": f"{r.grid.rows}x{r.grid.cols}", "exec_s": r.exec_time,
+         "comm_s": r.comm_time, "expand_len": r.expand_length,
+         "fold_len": r.fold_length}
+        for r in table
+    ]
+    write(out_dir, "table1_topologies",
+          format_table(["RxC", "exec(s)", "comm(s)", "expand", "fold"],
+                       [[r["grid"], f"{r['exec_s']:.6f}", f"{r['comm_s']:.6f}",
+                         f"{r['expand_len']:.1f}", f"{r['fold_len']:.1f}"]
+                        for r in rows]), rows)
+
+    # Figure 6 — partition volumes + crossover
+    vols = F.fig6_partition_volume(20_000, 10.0, 16)
+    k_star = crossover_degree(20_000, 16)
+    text = "\n".join(
+        [format_series(label, range(len(v)), v.tolist()) for label, v in vols.items()]
+        + [f"analytic crossover: k* = {k_star:.2f}"]
+    )
+    rows = [
+        {"level": i, "volume_1d": int(vols["1d"][i]) if i < len(vols["1d"]) else 0,
+         "volume_2d": int(vols["2d"][i]) if i < len(vols["2d"]) else 0}
+        for i in range(max(len(vols["1d"]), len(vols["2d"])))
+    ]
+    write(out_dir, "fig6_partition_volume", text, rows)
+
+    # Figure 7 — redundancy
+    red = F.fig7_redundancy([4, 16, 64], 400, 10.0)
+    rows = [{"P": p, "redundancy_pct": r} for p, r in red]
+    write(out_dir, "fig7_redundancy",
+          format_table(["P", "redundancy %"], [[p, f"{r:.1f}"] for p, r in red]), rows)
+
+    # Memory feasibility at paper scale
+    model = MemoryModel(n=100_000 * 32_768, k=10.0, grid=GridShape(128, 256))
+    write(
+        out_dir, "memory_feasibility",
+        f"paper headline (3.2B vertices, 32768 nodes): "
+        f"{model.total_bytes / 2**20:.1f} MB/rank of 512 MB -> "
+        f"fits = {fits_in_memory(model)}",
+        [{"total_mb": model.total_bytes / 2**20, **{k: v / 2**20 for k, v in model.breakdown().items()}}],
+    )
+    print(f"\nall artifacts in {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Analytic model: gamma function, message-length bounds, 1D/2D crossover."""
+
+from repro.analysis.gamma import gamma
+from repro.analysis.model import (
+    expected_fold_length_1d,
+    expected_expand_length_2d,
+    expected_fold_length_2d,
+    worst_case_expand_length_2d,
+    MessageLengthModel,
+)
+from repro.analysis.crossover import crossover_degree, partition_message_gap
+from repro.analysis.bounds import (
+    bisection_bandwidth,
+    level_time_lower_bound,
+    level_traffic_bytes,
+)
+from repro.analysis.frontier_model import (
+    predict_frontier_fractions,
+    predict_frontier_sizes,
+    predict_giant_component_fraction,
+    predict_num_levels,
+)
+from repro.analysis.memory import (
+    BLUEGENE_L_NODE_MEMORY,
+    MemoryModel,
+    fits_in_memory,
+    max_vertices_per_rank,
+)
+from repro.analysis.scaling import (
+    speedup_curve,
+    log_fit,
+    sqrt_fit,
+    expected_diameter,
+)
+
+__all__ = [
+    "gamma",
+    "expected_fold_length_1d",
+    "expected_expand_length_2d",
+    "expected_fold_length_2d",
+    "worst_case_expand_length_2d",
+    "MessageLengthModel",
+    "crossover_degree",
+    "partition_message_gap",
+    "bisection_bandwidth",
+    "level_time_lower_bound",
+    "level_traffic_bytes",
+    "predict_frontier_fractions",
+    "predict_frontier_sizes",
+    "predict_giant_component_fraction",
+    "predict_num_levels",
+    "BLUEGENE_L_NODE_MEMORY",
+    "MemoryModel",
+    "fits_in_memory",
+    "max_vertices_per_rank",
+    "speedup_curve",
+    "log_fit",
+    "sqrt_fit",
+    "expected_diameter",
+]

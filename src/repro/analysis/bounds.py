@@ -1,0 +1,47 @@
+"""Communication lower bounds from bisection bandwidth.
+
+Section 4.1 quotes BlueGene/L's bisection bandwidth (360 GB/s per
+direction for the full 64x32x32 torus).  Any algorithm that must move
+``B`` bytes across the machine's bisection needs at least ``B /
+bisection_bandwidth`` seconds — a "speed of light" no simulation can beat.
+These helpers compute that bound for a BFS level and let the tests assert
+the simulator never reports an impossible time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.model import expected_expand_length_2d, expected_fold_length_2d
+from repro.machine.bluegene import MachineModel
+from repro.machine.torus import Torus3D
+from repro.types import GridShape
+from repro.utils.validation import check_positive
+
+
+def bisection_bandwidth(torus: Torus3D, model: MachineModel) -> float:
+    """Bytes/second across the torus' best bisection (one direction)."""
+    return torus.bisection_links * model.bandwidth
+
+
+def level_traffic_bytes(n: float, k: float, grid: GridShape, model: MachineModel) -> float:
+    """Expected wire bytes of one worst-case 2D level (expand + fold, all ranks)."""
+    check_positive("n", n)
+    p = grid.size
+    per_rank = expected_expand_length_2d(n, k, p, grid.rows) + expected_fold_length_2d(
+        n, k, p, grid.cols
+    )
+    return per_rank * p * model.bytes_per_vertex
+
+
+def level_time_lower_bound(
+    n: float, k: float, grid: GridShape, torus: Torus3D, model: MachineModel
+) -> float:
+    """Seconds one worst-case level needs at minimum.
+
+    Two terms, take the max: (a) roughly half the traffic crosses the
+    bisection; (b) no rank can inject its own traffic faster than one
+    link allows.
+    """
+    total = level_traffic_bytes(n, k, grid, model)
+    bisection_term = (total / 2) / bisection_bandwidth(torus, model)
+    per_rank_term = (total / grid.size) / model.bandwidth
+    return max(bisection_term, per_rank_term)

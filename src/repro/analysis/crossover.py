@@ -1,0 +1,55 @@
+"""The 1D/2D performance crossover (Figure 6.b).
+
+Assuming a square mesh (``R = C = sqrt(P)``), the paper equates the
+per-level message lengths of the two layouts,
+
+    n * gamma(n/P) * (P-1)/P  =  2 * (n/P) * gamma(n/sqrt(P)) * (sqrt(P)-1),
+
+and solves for the average degree ``k`` at which both perform identically.
+For the paper's ``P = 400``, ``n = 4e7`` the solution is ``k = 34`` —
+:func:`crossover_degree` reproduces that number exactly (tested).
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.optimize import brentq
+
+from repro.analysis.model import expected_expand_length_2d, expected_fold_length_1d, \
+    expected_fold_length_2d
+from repro.utils.validation import check_positive
+
+
+def partition_message_gap(k: float, n: float, p: float) -> float:
+    """1D minus 2D expected per-level message length at degree ``k``.
+
+    Positive values mean 1D sends more (2D wins); the crossover is the
+    root.  Uses ``R = C = sqrt(P)`` like the paper's equation.
+    """
+    root_p = math.sqrt(p)
+    lhs = expected_fold_length_1d(n, k, p)
+    rhs = expected_expand_length_2d(n, k, p, root_p) + expected_fold_length_2d(n, k, p, root_p)
+    return lhs - rhs
+
+
+def crossover_degree(n: float, p: float, k_max: float = 1e4) -> float:
+    """Average degree at which 1D and 2D message volumes are equal.
+
+    Solved with Brent's method on :func:`partition_message_gap` over
+    ``(k_min, k_max)``.  Raises ``ValueError`` when no crossover exists in
+    the bracket (e.g. pathological ``P``).
+    """
+    check_positive("n", n)
+    check_positive("P", p)
+    if p < 4:
+        raise ValueError("a 2D mesh needs at least 4 processors")
+    k_min = 1e-6
+    lo = partition_message_gap(k_min, n, p)
+    hi = partition_message_gap(k_max, n, p)
+    if lo * hi > 0:
+        raise ValueError(
+            f"no 1D/2D crossover in k=({k_min}, {k_max}) for n={n}, P={p} "
+            f"(gap endpoints {lo:.3g}, {hi:.3g})"
+        )
+    return float(brentq(partition_message_gap, k_min, k_max, args=(n, p)))

@@ -1,0 +1,37 @@
+"""The paper's gamma function (Section 3.1).
+
+For a Poisson random graph with ``n`` vertices and average degree ``k``,
+take any ``m`` rows of the adjacency matrix (an ``m x n`` submatrix
+``A'``).  Then
+
+    gamma(m) = 1 - ((n - 1) / n) ** (m * k)
+
+is the probability that a given column of ``A'`` is non-zero.  ``m * k``
+is the expected number of non-zeros in ``A'``; gamma approaches
+``m * k / n`` for large ``n`` and 1 for small ``n`` — both limits are
+property-tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def gamma(m: float | np.ndarray, n: float, k: float) -> float | np.ndarray:
+    """Probability that a given column of an ``m``-row submatrix is non-zero.
+
+    Vectorised over ``m``.  Computed in log-space for numerical stability at
+    the paper's scales (``n`` in the billions, ``m * k`` huge):
+    ``1 - exp(m * k * log1p(-1/n))``.
+    """
+    check_positive("n", n)
+    if k < 0:
+        raise ValueError(f"average degree must be non-negative, got {k}")
+    m_arr = np.asarray(m, dtype=np.float64)
+    if (m_arr < 0).any():
+        raise ValueError("row count m must be non-negative")
+    exponent = m_arr * k * np.log1p(-1.0 / n)
+    result = -np.expm1(exponent)
+    return float(result) if np.isscalar(m) or m_arr.ndim == 0 else result

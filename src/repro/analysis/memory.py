@@ -1,0 +1,193 @@
+"""Per-rank memory model (Section 2.4) and the paper's headline feasibility.
+
+The paper's central claim is *memory* scalability: every per-rank
+structure is O(n/P) in expectation, which is what let 100,000 vertices per
+rank (3.2 billion total, 32 billion edges) fit in BlueGene/L's 512 MB
+nodes.  This module prices each structure:
+
+* stored edge entries            —  n*k/P            (2D: partial lists)
+* non-empty column index         —  (n/C) * gamma(n/R)   (Section 2.4.1)
+* unique row-vertex index        —  (n/R) * gamma(n/C)   (Section 2.4.1)
+* owned-vertex state (levels)    —  n/P
+* sent-neighbours cache          —  one flag per unique row vertex
+* fixed-length message buffers   —  capacity * (group size staging)
+
+and answers "does design point (|V|/rank, k) fit machine M?" — including
+the paper's own 32,768-node run, which the feasibility benchmark checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.gamma import gamma
+from repro.types import GridShape
+from repro.utils.validation import check_positive
+
+#: BlueGene/L compute-node memory (bytes): 512 MB per node.
+BLUEGENE_L_NODE_MEMORY = 512 * 1024 * 1024
+
+#: fraction of node memory usable by the application (CNK kernel, code,
+#: stacks, and slack take the rest)
+DEFAULT_USABLE_FRACTION = 0.75
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryModel:
+    """Expected per-rank memory of the 2D layout for one design point.
+
+    ``bytes_per_vertex`` is the on-node id width (the paper's scale fits
+    3.2e9 vertices, requiring > 32-bit global ids; local indices stay
+    32-bit — we default to 8-byte global ids and 8-byte table entries,
+    which is conservative).
+    """
+
+    n: int
+    k: float
+    grid: GridShape
+    bytes_per_vertex: int = 8
+    bytes_per_level: int = 8
+    buffer_capacity: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("n", self.n)
+        check_positive("bytes_per_vertex", self.bytes_per_vertex)
+        if self.k < 0:
+            raise ValueError(f"average degree must be non-negative, got {self.k}")
+
+    # ------------------------------------------------------------------ #
+    # expected structure sizes (element counts)
+    # ------------------------------------------------------------------ #
+    @property
+    def p(self) -> int:
+        """Total ranks ``P``."""
+        return self.grid.size
+
+    @property
+    def expected_edge_entries(self) -> float:
+        """Stored adjacency entries per rank: nk/P (each directed entry once)."""
+        return self.n * self.k / self.p
+
+    @property
+    def expected_nonempty_columns(self) -> float:
+        """Non-empty partial edge lists per rank: (n/C) * gamma(n/R)."""
+        return (self.n / self.grid.cols) * gamma(self.n / self.grid.rows, self.n, self.k)
+
+    @property
+    def expected_unique_rows(self) -> float:
+        """Unique vertices appearing in stored lists: (n/R) * gamma(n/C)."""
+        return (self.n / self.grid.rows) * gamma(self.n / self.grid.cols, self.n, self.k)
+
+    @property
+    def owned_vertices(self) -> float:
+        """Vertices owned per rank: n/P."""
+        return self.n / self.p
+
+    # ------------------------------------------------------------------ #
+    # byte totals
+    # ------------------------------------------------------------------ #
+    @property
+    def edge_bytes(self) -> float:
+        """Adjacency storage: row ids + per-column offsets."""
+        return (
+            self.expected_edge_entries * self.bytes_per_vertex
+            + (self.expected_nonempty_columns + 1) * self.bytes_per_vertex
+        )
+
+    @property
+    def index_bytes(self) -> float:
+        """The three Section 2.4.2 global->local maps."""
+        entries = (
+            self.owned_vertices
+            + self.expected_nonempty_columns
+            + self.expected_unique_rows
+        )
+        return entries * self.bytes_per_vertex
+
+    @property
+    def state_bytes(self) -> float:
+        """Per-owned-vertex search state (levels, frontier flags)."""
+        return self.owned_vertices * (self.bytes_per_level + self.bytes_per_vertex)
+
+    @property
+    def sent_cache_bytes(self) -> float:
+        """One flag per unique row vertex (Section 2.4.3)."""
+        return self.expected_unique_rows * 1.0
+
+    @property
+    def buffer_bytes(self) -> float:
+        """Fixed-length staging buffers: one send + one receive (Section 3.1).
+
+        With ``buffer_capacity == 0`` the worst-case expected message
+        length (the Section 3.1 gamma bound) is used as the implied cap.
+        """
+        if self.buffer_capacity > 0:
+            cap = float(self.buffer_capacity)
+        else:
+            expand = self.owned_vertices * gamma(self.n / self.grid.rows, self.n, self.k) * (
+                self.grid.rows - 1
+            )
+            fold = self.owned_vertices * gamma(self.n / self.grid.cols, self.n, self.k) * (
+                self.grid.cols - 1
+            )
+            cap = max(expand, fold, 1.0)
+        return 2 * cap * self.bytes_per_vertex
+
+    @property
+    def total_bytes(self) -> float:
+        """Expected per-rank total across all structures."""
+        return (
+            self.edge_bytes
+            + self.index_bytes
+            + self.state_bytes
+            + self.sent_cache_bytes
+            + self.buffer_bytes
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        """Bytes per structure (for reports and tests)."""
+        return {
+            "edges": self.edge_bytes,
+            "indices": self.index_bytes,
+            "state": self.state_bytes,
+            "sent_cache": self.sent_cache_bytes,
+            "buffers": self.buffer_bytes,
+        }
+
+
+def fits_in_memory(
+    model: MemoryModel,
+    node_memory: int = BLUEGENE_L_NODE_MEMORY,
+    usable_fraction: float = DEFAULT_USABLE_FRACTION,
+) -> bool:
+    """Does the design point fit one rank per node on the given machine?"""
+    if not (0 < usable_fraction <= 1):
+        raise ValueError(f"usable_fraction must be in (0, 1], got {usable_fraction}")
+    return model.total_bytes <= node_memory * usable_fraction
+
+
+def max_vertices_per_rank(
+    k: float,
+    grid: GridShape,
+    node_memory: int = BLUEGENE_L_NODE_MEMORY,
+    usable_fraction: float = DEFAULT_USABLE_FRACTION,
+    **model_kwargs,
+) -> int:
+    """Largest |V|/rank that fits, by bisection on the memory model."""
+    lo, hi = 1, 1
+    while fits_in_memory(
+        MemoryModel(n=hi * grid.size, k=k, grid=grid, **model_kwargs),
+        node_memory,
+        usable_fraction,
+    ):
+        lo, hi = hi, hi * 2
+        if hi > 1 << 40:  # pragma: no cover - absurd machine
+            return hi
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        model = MemoryModel(n=mid * grid.size, k=k, grid=grid, **model_kwargs)
+        if fits_in_memory(model, node_memory, usable_fraction):
+            lo = mid
+        else:
+            hi = mid
+    return lo

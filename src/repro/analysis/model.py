@@ -1,0 +1,93 @@
+"""Closed-form expected message lengths (Section 3.1).
+
+All expressions give the number of vertex indices a *single processor*
+sends in one level-expansion in the worst case where its whole owned block
+is on the frontier:
+
+* 1D fold:            ``n * gamma(n/P) * (P-1)/P``
+* 2D expand (sparse): ``(n/P) * gamma(n/R) * (R-1)``
+* 2D expand (dense):  ``(n/P) * (R-1)``  (all-gather; unscalable in R)
+* 2D fold:            ``(n/P) * gamma(n/C) * (C-1)``
+
+Every expected quantity is O(n/P), which is what justifies the paper's
+fixed-length message buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.gamma import gamma
+from repro.utils.validation import check_positive
+
+
+def expected_fold_length_1d(n: float, k: float, p: float) -> float:
+    """Expected per-processor fold message length under 1D partitioning."""
+    check_positive("P", p)
+    return n * gamma(n / p, n, k) * (p - 1) / p
+
+
+def expected_expand_length_2d(n: float, k: float, p: float, r: float) -> float:
+    """Expected per-processor expand length under 2D partitioning (sparse sends)."""
+    check_positive("P", p)
+    check_positive("R", r)
+    return (n / p) * gamma(n / r, n, k) * (r - 1)
+
+
+def worst_case_expand_length_2d(n: float, p: float, r: float) -> float:
+    """Dense all-gather expand length ``(n/P)(R-1)`` — grows with R, unscalable."""
+    check_positive("P", p)
+    check_positive("R", r)
+    return (n / p) * (r - 1)
+
+
+def expected_fold_length_2d(n: float, k: float, p: float, c: float) -> float:
+    """Expected per-processor fold length under 2D partitioning."""
+    check_positive("P", p)
+    check_positive("C", c)
+    return (n / p) * gamma(n / c, n, k) * (c - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class MessageLengthModel:
+    """Bundle of the Section 3.1 expectations for one ``(n, k, R, C)`` design point."""
+
+    n: int
+    k: float
+    rows: int
+    cols: int
+
+    @property
+    def p(self) -> int:
+        """Total processors ``P = R * C``."""
+        return self.rows * self.cols
+
+    @property
+    def fold_1d(self) -> float:
+        """1D fold expectation at the same ``P``."""
+        return expected_fold_length_1d(self.n, self.k, self.p)
+
+    @property
+    def expand_2d(self) -> float:
+        """2D expand expectation (sparse per-destination sends)."""
+        return expected_expand_length_2d(self.n, self.k, self.p, self.rows)
+
+    @property
+    def expand_2d_dense(self) -> float:
+        """2D expand under dense all-gather (the unscalable baseline)."""
+        return worst_case_expand_length_2d(self.n, self.p, self.rows)
+
+    @property
+    def fold_2d(self) -> float:
+        """2D fold expectation."""
+        return expected_fold_length_2d(self.n, self.k, self.p, self.cols)
+
+    @property
+    def total_2d(self) -> float:
+        """Expand + fold expectation for the 2D layout."""
+        return self.expand_2d + self.fold_2d
+
+    @property
+    def per_processor_bound(self) -> float:
+        """The O(n/P) yardstick: vertices owned per processor."""
+        return self.n / self.p

@@ -1,0 +1,70 @@
+"""Scaling-curve helpers: speedups, log/sqrt regression fits, diameter law.
+
+Used by the weak-scaling (Figure 4.a: time ~ log P) and strong-scaling
+(Figure 5: speedup ~ sqrt(P)) benchmarks to *quantify* the paper's claimed
+scaling shapes rather than eyeball them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def speedup_curve(times: np.ndarray, baseline: float | None = None) -> np.ndarray:
+    """Speedup of each entry relative to ``baseline`` (default: first entry)."""
+    times = np.asarray(times, dtype=np.float64)
+    if times.size == 0:
+        return times
+    if (times <= 0).any():
+        raise ValueError("times must be positive")
+    base = float(times[0]) if baseline is None else float(baseline)
+    return base / times
+
+
+def log_fit(p_values: np.ndarray, times: np.ndarray) -> tuple[float, float, float]:
+    """Least-squares fit ``time = a * log2(P) + b``.
+
+    Returns ``(a, b, r2)``.  The paper's regression analysis confirms the
+    weak-scaling execution time grows in proportion to log P.
+    """
+    p_values = np.asarray(p_values, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if p_values.shape != times.shape or p_values.size < 2:
+        raise ValueError("need matching arrays of at least two points")
+    x = np.log2(p_values)
+    a, b = np.polyfit(x, times, 1)
+    return float(a), float(b), _r_squared(times, a * x + b)
+
+
+def sqrt_fit(p_values: np.ndarray, speedups: np.ndarray) -> tuple[float, float]:
+    """Least-squares fit ``speedup = a * sqrt(P)`` (through the origin).
+
+    Returns ``(a, r2)``.  Figure 5's speedup grows in proportion to
+    sqrt(P) for small P.
+    """
+    p_values = np.asarray(p_values, dtype=np.float64)
+    speedups = np.asarray(speedups, dtype=np.float64)
+    if p_values.shape != speedups.shape or p_values.size < 2:
+        raise ValueError("need matching arrays of at least two points")
+    x = np.sqrt(p_values)
+    a = float((x * speedups).sum() / (x * x).sum())
+    return a, _r_squared(speedups, a * x)
+
+
+def expected_diameter(n: float, k: float) -> float:
+    """Asymptotic random-graph diameter ``log n / log k`` [Bollobas 1981].
+
+    The paper's weak-scaling time is dominated by the number of BFS levels,
+    which tracks this quantity: O(log n), shrinking as the degree grows.
+    """
+    if n < 2:
+        return 0.0
+    if k <= 1:
+        return float("inf")
+    return float(np.log(n) / np.log(k))
+
+
+def _r_squared(actual: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(((actual - predicted) ** 2).sum())
+    total = float(((actual - actual.mean()) ** 2).sum())
+    return 1.0 - residual / total if total > 0 else 1.0

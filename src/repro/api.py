@@ -1,0 +1,138 @@
+"""High-level convenience API.
+
+These helpers wire together the full stack — graph, partition, machine
+model, task mapping, communicator, engine — so that a user can run the
+paper's algorithm in three lines (see ``examples/quickstart.py``).  Every
+piece remains individually constructible for finer control.
+"""
+
+from __future__ import annotations
+
+from repro.bfs.bfs_1d import Bfs1DEngine
+from repro.bfs.bfs_2d import Bfs2DEngine
+from repro.bfs.bidirectional import run_bidirectional_bfs
+from repro.bfs.level_sync import LevelSyncEngine, run_bfs
+from repro.bfs.options import BfsOptions
+from repro.bfs.result import BfsResult, BidirectionalResult
+from repro.errors import ConfigurationError
+from repro.graph.csr import CsrGraph
+from repro.machine.bluegene import BLUEGENE_L, MachineModel, bluegene_l_torus_for
+from repro.machine.cluster import MCR_CLUSTER, flat_network_for
+from repro.machine.mapping import TaskMapping, planar_mapping, row_major_mapping
+from repro.partition.one_d import OneDPartition
+from repro.partition.two_d import TwoDPartition
+from repro.runtime.comm import Communicator
+from repro.types import GridShape
+
+
+def build_communicator(
+    grid: GridShape,
+    *,
+    machine: str | MachineModel = "bluegene",
+    mapping: str | TaskMapping = "planar",
+    buffer_capacity: int | None = None,
+) -> Communicator:
+    """Create a virtual communicator for ``grid`` on the requested machine.
+
+    ``machine`` is ``"bluegene"``, ``"mcr"``, or a custom
+    :class:`MachineModel`; ``mapping`` is ``"planar"`` (the paper's
+    Figure 1 scheme), ``"row-major"`` (naive baseline), or a prebuilt
+    :class:`TaskMapping`.  The MCR machine always uses its flat network.
+    """
+    if isinstance(machine, MachineModel):
+        model = machine
+    elif machine == "bluegene":
+        model = BLUEGENE_L
+    elif machine == "mcr":
+        model = MCR_CLUSTER
+    else:
+        raise ConfigurationError(f"unknown machine {machine!r}; use 'bluegene' or 'mcr'")
+
+    if isinstance(mapping, TaskMapping):
+        task_mapping = mapping
+    elif model.name == "MCR":
+        task_mapping = flat_network_for(grid)
+    elif mapping == "planar":
+        task_mapping = planar_mapping(grid, bluegene_l_torus_for(grid.size))
+    elif mapping == "row-major":
+        task_mapping = row_major_mapping(grid, bluegene_l_torus_for(grid.size))
+    else:
+        raise ConfigurationError(
+            f"unknown mapping {mapping!r}; use 'planar', 'row-major', or a TaskMapping"
+        )
+    return Communicator(task_mapping, model, buffer_capacity=buffer_capacity)
+
+
+def build_engine(
+    graph: CsrGraph,
+    grid: GridShape | tuple[int, int],
+    *,
+    opts: BfsOptions | None = None,
+    machine: str | MachineModel = "bluegene",
+    mapping: str | TaskMapping = "planar",
+    layout: str = "2d",
+    comm: Communicator | None = None,
+) -> LevelSyncEngine:
+    """Partition ``graph`` over ``grid`` and build a ready-to-run engine.
+
+    ``layout="2d"`` uses Algorithm 2 on a :class:`TwoDPartition`;
+    ``layout="1d"`` uses Algorithm 1 on a :class:`OneDPartition` (the grid
+    must then be ``P x 1`` or ``1 x P``).
+    """
+    if not isinstance(grid, GridShape):
+        grid = GridShape(*grid)
+    opts = opts or BfsOptions()
+    if comm is None:
+        comm = build_communicator(
+            grid, machine=machine, mapping=mapping, buffer_capacity=opts.buffer_capacity
+        )
+    if layout == "2d":
+        return Bfs2DEngine(TwoDPartition(graph, grid), comm, opts)
+    if layout == "1d":
+        if not grid.is_1d:
+            raise ConfigurationError(f"layout='1d' needs a 1-D grid, got {grid}")
+        partition = OneDPartition(graph, grid.size, as_row=grid.cols == 1)
+        return Bfs1DEngine(partition, comm, opts)
+    raise ConfigurationError(f"unknown layout {layout!r}; use '1d' or '2d'")
+
+
+def distributed_bfs(
+    graph: CsrGraph,
+    grid: GridShape | tuple[int, int],
+    source: int,
+    *,
+    target: int | None = None,
+    opts: BfsOptions | None = None,
+    machine: str | MachineModel = "bluegene",
+    mapping: str | TaskMapping = "planar",
+    layout: str = "2d",
+    max_levels: int | None = None,
+) -> BfsResult:
+    """One-call distributed BFS: partition, simulate, return the result."""
+    engine = build_engine(
+        graph, grid, opts=opts, machine=machine, mapping=mapping, layout=layout
+    )
+    return run_bfs(engine, source, target=target, max_levels=max_levels)
+
+
+def bidirectional_bfs(
+    graph: CsrGraph,
+    grid: GridShape | tuple[int, int],
+    source: int,
+    target: int,
+    *,
+    opts: BfsOptions | None = None,
+    machine: str | MachineModel = "bluegene",
+    mapping: str | TaskMapping = "planar",
+    layout: str = "2d",
+) -> BidirectionalResult:
+    """One-call bi-directional s-t search (Section 2.3)."""
+    if not isinstance(grid, GridShape):
+        grid = GridShape(*grid)
+    opts = opts or BfsOptions()
+    comm = build_communicator(
+        grid, machine=machine, mapping=mapping, buffer_capacity=opts.buffer_capacity
+    )
+    forward = build_engine(graph, grid, opts=opts, layout=layout, comm=comm)
+    backward = build_engine(graph, grid, opts=opts, layout=layout, comm=comm)
+    return run_bidirectional_bfs(forward, backward, source, target)

@@ -1,0 +1,14 @@
+"""Execution backends.
+
+The default backend throughout the library is the *simulated* virtual-rank
+runtime (:mod:`repro.runtime`), which models BlueGene/L timing exactly and
+deterministically.  This package adds a **real-parallel SPMD backend**:
+each rank of the 2D algorithm runs as its own OS process, exchanging NumPy
+vertex buffers through pipes via a level-synchronous message hub — the
+same program structure an mpi4py port would have, runnable on any
+multicore machine.
+"""
+
+from repro.backends.spmd import spmd_bfs
+
+__all__ = ["spmd_bfs"]

@@ -1,0 +1,32 @@
+"""Distributed breadth-first search: the paper's core contribution.
+
+Public entry points:
+
+* :func:`repro.bfs.serial.serial_bfs` — single-process oracle.
+* :class:`repro.bfs.bfs_1d.Bfs1DEngine` — Algorithm 1 (1D vertex partitioning).
+* :class:`repro.bfs.bfs_2d.Bfs2DEngine` — Algorithm 2 (2D edge partitioning).
+* :func:`repro.bfs.level_sync.run_bfs` — run any engine to completion.
+* :func:`repro.bfs.bidirectional.run_bidirectional_bfs` — Section 2.3.
+"""
+
+from repro.bfs.options import BfsOptions
+from repro.bfs.result import BfsResult, BidirectionalResult
+from repro.bfs.serial import serial_bfs
+from repro.bfs.sent_cache import SentCache
+from repro.bfs.level_sync import LevelSyncEngine, run_bfs
+from repro.bfs.bfs_1d import Bfs1DEngine
+from repro.bfs.bfs_2d import Bfs2DEngine
+from repro.bfs.bidirectional import run_bidirectional_bfs
+
+__all__ = [
+    "BfsOptions",
+    "BfsResult",
+    "BidirectionalResult",
+    "serial_bfs",
+    "SentCache",
+    "LevelSyncEngine",
+    "run_bfs",
+    "Bfs1DEngine",
+    "Bfs2DEngine",
+    "run_bidirectional_bfs",
+]

@@ -1,0 +1,117 @@
+"""Algorithm 1: distributed breadth-first expansion with 1D partitioning.
+
+Every rank owns a contiguous vertex block with full edge lists.  Each
+level: merge the edge lists of the local frontier, send every discovered
+neighbour to its owner (the fold — the only communication step of the 1D
+algorithm), and label the freshly received vertices.  All ``P`` ranks take
+part in the fold collective, which is exactly the scalability weakness the
+2D layout attacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.level_sync import LevelSyncEngine
+from repro.bfs.options import BfsOptions
+from repro.bfs.sent_cache import SentCache
+from repro.collectives.base import get_fold
+from repro.errors import ConfigurationError
+from repro.partition.indexing import VertexIndexMap
+from repro.partition.one_d import OneDPartition
+from repro.runtime.comm import Communicator
+from repro.types import UNREACHED, VERTEX_DTYPE
+
+
+class Bfs1DEngine(LevelSyncEngine):
+    """Level-synchronous BFS over a :class:`OneDPartition`."""
+
+    def __init__(
+        self,
+        partition: OneDPartition,
+        comm: Communicator,
+        opts: BfsOptions | None = None,
+    ) -> None:
+        opts = opts or BfsOptions()
+        if comm.nranks != partition.nranks:
+            raise ConfigurationError(
+                f"communicator has {comm.nranks} ranks but partition has {partition.nranks}"
+            )
+        super().__init__(comm, partition.n, opts)
+        self.partition = partition
+        shape_kwargs = (
+            {"shape": opts.collective_shape} if opts.fold_collective == "two-phase" else {}
+        )
+        self._fold = get_fold(opts.fold_collective, **shape_kwargs)
+        self._group = list(range(partition.nranks))
+        # Sent-neighbours universe: unique vertices in each rank's edge lists.
+        self._sent_universe = [
+            VertexIndexMap(np.unique(partition.local(r).adjacency))
+            for r in range(partition.nranks)
+        ]
+        self._sent_caches: list[SentCache] = []
+
+    # ------------------------------------------------------------------ #
+    # layout hooks
+    # ------------------------------------------------------------------ #
+    def owner_rank(self, vertex: int) -> int:
+        return self.partition.dist.part_of_scalar(vertex)
+
+    def owned_slice(self, rank: int) -> tuple[int, int]:
+        return self.partition.dist.range_of(rank)
+
+    def _reset_layout_state(self) -> None:
+        self._sent_caches = [SentCache(u) for u in self._sent_universe]
+
+    # ------------------------------------------------------------------ #
+    # one level (Algorithm 1, steps 7-16)
+    # ------------------------------------------------------------------ #
+    def _expand_level(self) -> list[np.ndarray]:
+        nranks = self.comm.nranks
+        offsets = self.partition.dist.offsets
+
+        # Steps 7-10: local discovery + bucketing by owner.
+        outboxes: list[dict[int, np.ndarray]] = []
+        for rank in range(nranks):
+            loc = self.partition.local(rank)
+            raw = loc.neighbors_of_frontier(self.frontier[rank])
+            neighbors = np.unique(raw)
+            self.comm.charge_compute(
+                rank, edges_scanned=int(raw.size), hash_lookups=int(raw.size)
+            )
+            if self.opts.use_sent_cache:
+                self.comm.charge_compute(rank, hash_lookups=int(neighbors.size))
+                neighbors = self._sent_caches[rank].filter_unsent(neighbors)
+            # Owners are monotone in vertex id (block distribution), so one
+            # searchsorted splits the sorted neighbour array into buckets.
+            bounds = np.searchsorted(neighbors, offsets)
+            outboxes.append(
+                {
+                    q: neighbors[bounds[q] : bounds[q + 1]]
+                    for q in range(nranks)
+                    if bounds[q + 1] > bounds[q]
+                }
+            )
+
+        # Steps 8-13: the fold — neighbours travel to their owners.
+        received = self._fold.fold(self.comm, self._group, outboxes, phase="fold")
+
+        # Steps 14-16: label newly reached vertices.
+        new_frontiers: list[np.ndarray] = []
+        for rank in range(nranks):
+            arrays = received[rank]
+            if arrays:
+                incoming = np.concatenate(arrays)
+                self.comm.charge_compute(rank, hash_lookups=int(incoming.size))
+                candidates = np.unique(incoming)
+            else:
+                candidates = np.empty(0, dtype=VERTEX_DTYPE)
+            lo, _hi = self.owned_slice(rank)
+            local = candidates - lo
+            fresh_mask = self.owned_levels[rank][local] == UNREACHED if local.size else None
+            fresh = candidates[fresh_mask] if local.size else candidates
+            if fresh.size:
+                self.owned_levels[rank][fresh - lo] = self.level + 1
+                self.comm.charge_compute(rank, updates=int(fresh.size))
+            new_frontiers.append(fresh)
+        return new_frontiers

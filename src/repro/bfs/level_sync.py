@@ -1,0 +1,178 @@
+"""Shared scaffolding of the level-synchronized BFS loop.
+
+Both Algorithm 1 (1D) and Algorithm 2 (2D) proceed level by level: build
+the frontier, communicate, discover neighbours, communicate, label.  The
+:class:`LevelSyncEngine` base class owns the loop bookkeeping (level
+counter, per-level statistics, global termination reduction); subclasses
+implement one level expansion.  Keeping ``step()`` public is what lets the
+bi-directional driver (Section 2.3) interleave two searches.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.bfs.options import BfsOptions
+from repro.bfs.result import BfsResult
+from repro.errors import SearchError
+from repro.runtime.comm import Communicator
+from repro.types import LEVEL_DTYPE, UNREACHED, VERTEX_DTYPE
+from repro.utils.logging import get_logger
+
+logger = get_logger("bfs")
+
+
+class LevelSyncEngine(abc.ABC):
+    """A restartable level-synchronous distributed BFS over P virtual ranks."""
+
+    def __init__(self, comm: Communicator, n: int, opts: BfsOptions) -> None:
+        self.comm = comm
+        self.n = int(n)
+        self.opts = opts
+        self.level = 0
+        #: per-rank level arrays over each rank's owned vertices
+        self.owned_levels: list[np.ndarray] = []
+        #: per-rank current frontier (global vertex ids, sorted)
+        self.frontier: list[np.ndarray] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # abstract per-layout hooks
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def owner_rank(self, vertex: int) -> int:
+        """Owning rank of a single vertex."""
+
+    @abc.abstractmethod
+    def owned_slice(self, rank: int) -> tuple[int, int]:
+        """Global vertex range ``[lo, hi)`` owned by ``rank``."""
+
+    @abc.abstractmethod
+    def _expand_level(self) -> list[np.ndarray]:
+        """Run one level's communication + discovery.
+
+        Returns, per rank, the sorted duplicate-free array of *newly
+        labelled* owned vertices (the next frontier).  Implementations must
+        update ``owned_levels`` themselves and charge compute/comm costs.
+        """
+
+    @abc.abstractmethod
+    def _reset_layout_state(self) -> None:
+        """Clear layout-specific per-run state (e.g. sent caches)."""
+
+    # ------------------------------------------------------------------ #
+    # loop
+    # ------------------------------------------------------------------ #
+    def start(self, source: int) -> None:
+        """Initialise a new search from ``source`` (Algorithm 1/2, step 1)."""
+        if not (0 <= source < self.n):
+            raise SearchError(f"source {source} out of range [0, {self.n})")
+        nranks = self.comm.nranks
+        self.owned_levels = []
+        self.frontier = []
+        for rank in range(nranks):
+            lo, hi = self.owned_slice(rank)
+            self.owned_levels.append(np.full(hi - lo, UNREACHED, dtype=LEVEL_DTYPE))
+            self.frontier.append(np.empty(0, dtype=VERTEX_DTYPE))
+        owner = self.owner_rank(source)
+        lo, _ = self.owned_slice(owner)
+        self.owned_levels[owner][source - lo] = 0
+        self.frontier[owner] = np.array([source], dtype=VERTEX_DTYPE)
+        self.level = 0
+        self._reset_layout_state()
+        self._started = True
+
+    def step(self) -> int:
+        """Run one level expansion; returns the global new-frontier size.
+
+        A return of 0 means the search has terminated (steps 4-6 of the
+        algorithms: every rank's frontier is empty).
+        """
+        if not self._started:
+            raise SearchError("engine not started; call start(source) first")
+        stats = self.comm.stats
+        clock = self.comm.clock
+        comm_before = clock.max_comm_time
+        compute_before = clock.max_compute_time
+        stats.begin_level(self.level)
+        new_frontiers = self._expand_level()
+        self.frontier = new_frontiers
+        sizes = np.array([f.size for f in new_frontiers], dtype=np.float64)
+        total_new = int(self.comm.allreduce_sum(sizes))
+        level_stats = stats.end_level(
+            total_new,
+            comm_seconds=clock.max_comm_time - comm_before,
+            compute_seconds=clock.max_compute_time - compute_before,
+        )
+        logger.debug(
+            "level %d: frontier=%d delivered=%d messages=%d",
+            self.level,
+            total_new,
+            level_stats.total_received,
+            level_stats.messages,
+        )
+        self.level += 1
+        return total_new
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def assemble_levels(self) -> np.ndarray:
+        """Gather the distributed level arrays into one global array."""
+        levels = np.full(self.n, UNREACHED, dtype=LEVEL_DTYPE)
+        for rank in range(self.comm.nranks):
+            lo, hi = self.owned_slice(rank)
+            levels[lo:hi] = self.owned_levels[rank]
+        return levels
+
+    def level_of(self, vertex: int) -> int:
+        """Current label of ``vertex`` (``UNREACHED`` if not labelled yet)."""
+        owner = self.owner_rank(vertex)
+        lo, _ = self.owned_slice(owner)
+        return int(self.owned_levels[owner][vertex - lo])
+
+
+def run_bfs(
+    engine: LevelSyncEngine,
+    source: int,
+    target: int | None = None,
+    max_levels: int | None = None,
+) -> BfsResult:
+    """Run ``engine`` from ``source`` until exhaustion, target hit, or level cap.
+
+    With a ``target``, every level pays one extra flag-allreduce (the
+    found-check a real implementation performs); the search stops at the
+    end of the level that labels the target — the worst-case unreachable
+    target of Figure 6 is simply a target in another component.
+    """
+    if target is not None and not (0 <= target < engine.n):
+        raise SearchError(f"target {target} out of range [0, {engine.n})")
+    engine.start(source)
+    target_level: int | None = 0 if target == source else None
+    while True:
+        new_vertices = engine.step()
+        if target is not None and target_level is None:
+            flags = np.zeros(engine.comm.nranks)
+            flags[engine.owner_rank(target)] = float(engine.level_of(target) != UNREACHED)
+            if engine.comm.allreduce_flag(flags):
+                target_level = engine.level_of(target)
+        if new_vertices == 0:
+            break
+        if target_level is not None:
+            break
+        if max_levels is not None and engine.level >= max_levels:
+            break
+    clock = engine.comm.clock
+    return BfsResult(
+        source=source,
+        levels=engine.assemble_levels(),
+        num_levels=engine.level,
+        elapsed=clock.elapsed,
+        comm_time=clock.max_comm_time,
+        compute_time=clock.max_compute_time,
+        stats=engine.comm.stats,
+        target=target,
+        target_level=target_level,
+    )

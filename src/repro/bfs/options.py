@@ -1,0 +1,69 @@
+"""Configuration of a distributed BFS run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+_EXPAND_NAMES = frozenset({"direct", "ring", "two-phase", "recursive-doubling"})
+_FOLD_NAMES = frozenset({"direct", "ring", "union-ring", "two-phase", "bruck"})
+
+
+@dataclass(frozen=True, slots=True)
+class BfsOptions:
+    """Algorithmic switches of the distributed BFS.
+
+    The defaults correspond to the paper's recommended configuration:
+    sparse per-destination expand (Section 2.2), union-fold reduce-scatter
+    (Section 3.2.2), and the sent-neighbours cache (Section 2.4.3).
+
+    Parameters
+    ----------
+    expand_collective:
+        ``"direct"`` (single-round personalized), ``"ring"`` (single
+        all-gather ring), ``"two-phase"`` (Figure 3 grouped rings), or
+        ``"recursive-doubling"`` (log-round Bruck all-gather baseline).
+    fold_collective:
+        ``"direct"`` (all-to-all), ``"ring"`` (personalized ring without
+        reduction), ``"union-ring"`` (reduce-scatter with set-union),
+        ``"two-phase"`` (Figure 2 grouped union rings), or ``"bruck"``
+        (log-round all-to-all baseline).
+    use_sent_cache:
+        Keep per-rank track of neighbours already sent and never resend
+        them (Section 2.4.3).
+    use_expand_filter:
+        With the ``direct`` expand, only send a frontier vertex to column
+        peers that hold non-empty partial edge lists for it (Section 2.2).
+        Ignored by forwarding collectives (ring / two-phase).
+    buffer_capacity:
+        Fixed message-buffer length in vertices (Section 3.1); ``None``
+        means unbounded.  Oversized payloads are chunked, paying one
+        latency per chunk.
+    collective_shape:
+        Optional explicit ``(a, b)`` subgrid shape for the two-phase
+        collectives; default is the most-square factorisation.
+    """
+
+    expand_collective: str = "direct"
+    fold_collective: str = "union-ring"
+    use_sent_cache: bool = True
+    use_expand_filter: bool = True
+    buffer_capacity: int | None = None
+    collective_shape: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.expand_collective not in _EXPAND_NAMES:
+            raise ConfigurationError(
+                f"unknown expand collective {self.expand_collective!r}; "
+                f"choose from {sorted(_EXPAND_NAMES)}"
+            )
+        if self.fold_collective not in _FOLD_NAMES:
+            raise ConfigurationError(
+                f"unknown fold collective {self.fold_collective!r}; "
+                f"choose from {sorted(_FOLD_NAMES)}"
+            )
+        if self.buffer_capacity is not None and self.buffer_capacity < 1:
+            raise ConfigurationError(
+                f"buffer_capacity must be positive or None, got {self.buffer_capacity}"
+            )

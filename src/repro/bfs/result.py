@@ -1,0 +1,91 @@
+"""Result objects returned by the BFS drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.stats import CommStats
+from repro.types import UNREACHED
+
+
+@dataclass(slots=True)
+class BfsResult:
+    """Outcome of one distributed BFS run.
+
+    ``levels`` is the assembled global level array (``UNREACHED`` = -1 for
+    vertices the search never labelled); times are simulated seconds from
+    the machine cost model.
+    """
+
+    source: int
+    levels: np.ndarray
+    num_levels: int
+    elapsed: float
+    comm_time: float
+    compute_time: float
+    stats: CommStats
+    target: int | None = None
+    target_level: int | None = None
+
+    @property
+    def reached(self) -> np.ndarray:
+        """Boolean mask of vertices reached by the search."""
+        return self.levels != UNREACHED
+
+    @property
+    def num_reached(self) -> int:
+        """Number of vertices labelled by the search."""
+        return int(self.reached.sum())
+
+    @property
+    def found_target(self) -> bool:
+        """Whether a requested target vertex was reached."""
+        return self.target_level is not None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        tail = ""
+        if self.target is not None:
+            tail = (
+                f", target {self.target} at level {self.target_level}"
+                if self.found_target
+                else f", target {self.target} unreachable"
+            )
+        return (
+            f"BFS from {self.source}: {self.num_reached} vertices in "
+            f"{self.num_levels} levels, {self.elapsed:.6f}s simulated "
+            f"(comm {self.comm_time:.6f}s){tail}"
+        )
+
+
+@dataclass(slots=True)
+class BidirectionalResult:
+    """Outcome of a bi-directional s-t search (Section 2.3)."""
+
+    source: int
+    target: int
+    path_length: int | None
+    forward_levels: int
+    backward_levels: int
+    elapsed: float
+    comm_time: float
+    compute_time: float
+    stats: CommStats
+
+    @property
+    def found(self) -> bool:
+        """Whether a source-target path was found."""
+        return self.path_length is not None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        outcome = (
+            f"path of length {self.path_length}" if self.found else "no path (disconnected)"
+        )
+        return (
+            f"bi-directional BFS {self.source}->{self.target}: {outcome}, "
+            f"{self.forward_levels}+{self.backward_levels} levels, "
+            f"{self.elapsed:.6f}s simulated"
+        )

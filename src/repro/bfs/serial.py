@@ -1,0 +1,29 @@
+"""Serial reference BFS — the validation oracle for all distributed variants."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.graph.csr import CsrGraph
+from repro.graph.diameter import bfs_levels
+
+
+def serial_bfs(graph: CsrGraph, source: int) -> np.ndarray:
+    """Level array of a single-process BFS from ``source``.
+
+    Entry ``v`` is the graph distance from ``source`` to ``v``, or
+    ``UNREACHED`` (-1) when ``v`` is in a different component.
+    """
+    if not (0 <= source < graph.n):
+        raise SearchError(f"source {source} out of range [0, {graph.n})")
+    return bfs_levels(graph, source)
+
+
+def serial_distance(graph: CsrGraph, source: int, target: int) -> int | None:
+    """Graph distance from ``source`` to ``target``; ``None`` if disconnected."""
+    levels = serial_bfs(graph, source)
+    if not (0 <= target < graph.n):
+        raise SearchError(f"target {target} out of range [0, {graph.n})")
+    level = int(levels[target])
+    return None if level < 0 else level

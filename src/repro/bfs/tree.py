@@ -1,0 +1,169 @@
+"""BFS spanning trees and Graph500-style result validation.
+
+This paper is the direct ancestor of the Graph500 benchmark, whose
+specification validates a BFS run with structural checks rather than a
+reference implementation.  This module provides the same style of
+validation for any level array produced by the engines, plus parent-tree
+construction (every reached vertex points to a neighbour one level closer).
+
+All checks are vectorised; none of them consult a second BFS, so they are
+an *independent* line of defence next to the serial-oracle tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.graph.csr import CsrGraph
+from repro.types import LEVEL_DTYPE, UNREACHED, VERTEX_DTYPE
+
+#: parent value of the source vertex (it is its own root)
+ROOT = -2
+#: parent value of unreached vertices
+NO_PARENT = -1
+
+
+def build_parent_tree(graph: CsrGraph, levels: np.ndarray) -> np.ndarray:
+    """Derive a BFS parent array from a level array.
+
+    For every vertex ``v`` with ``levels[v] == l > 0``, picks the smallest
+    neighbour at level ``l - 1`` (deterministic).  The source keeps
+    ``ROOT``; unreached vertices keep ``NO_PARENT``.  Raises
+    :class:`SearchError` if some reached vertex has no one-closer
+    neighbour — i.e. if ``levels`` is not a valid BFS labelling.
+    """
+    levels = np.asarray(levels, dtype=LEVEL_DTYPE)
+    if levels.shape != (graph.n,):
+        raise SearchError(f"levels must have shape ({graph.n},), got {levels.shape}")
+    parents = np.full(graph.n, NO_PARENT, dtype=VERTEX_DTYPE)
+    parents[levels == 0] = ROOT
+
+    # One vectorised pass over all adjacency entries: an entry (u -> v)
+    # makes u a parent candidate for v when level(u) == level(v) - 1.
+    src = np.repeat(np.arange(graph.n, dtype=VERTEX_DTYPE), np.diff(graph.indptr))
+    dst = graph.indices
+    lv_src, lv_dst = levels[src], levels[dst]
+    good = (lv_src != UNREACHED) & (lv_dst > 0) & (lv_src == lv_dst - 1)
+    cand_child, cand_parent = dst[good], src[good]
+    # smallest parent id per child: sort by (child, parent), keep first
+    order = np.lexsort((cand_parent, cand_child))
+    cand_child, cand_parent = cand_child[order], cand_parent[order]
+    first = np.ones(cand_child.shape, dtype=bool)
+    first[1:] = cand_child[1:] != cand_child[:-1]
+    parents[cand_child[first]] = cand_parent[first]
+
+    orphan = (levels > 0) & (parents == NO_PARENT)
+    if orphan.any():
+        raise SearchError(
+            f"levels are not a BFS labelling: {int(orphan.sum())} reached "
+            f"vertices have no neighbour one level closer (first: "
+            f"{int(np.where(orphan)[0][0])})"
+        )
+    return parents
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """Outcome of :func:`validate_bfs_result`: pass/fail per check."""
+
+    checks: dict[str, bool] = field(default_factory=dict)
+    messages: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return all(self.checks.values())
+
+    def record(self, name: str, passed: bool, detail: str = "") -> None:
+        """Record one check's outcome (with an optional failure detail)."""
+        self.checks[name] = bool(passed)
+        if not passed:
+            self.messages.append(f"{name}: {detail}" if detail else name)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        status = "OK" if self.ok else "FAILED"
+        lines = [f"validation {status} ({sum(self.checks.values())}/{len(self.checks)})"]
+        lines.extend(self.messages)
+        return "\n".join(lines)
+
+
+def validate_bfs_result(
+    graph: CsrGraph,
+    source: int,
+    levels: np.ndarray,
+    parents: np.ndarray | None = None,
+) -> ValidationReport:
+    """Graph500-style structural validation of a BFS result.
+
+    Checks (all vectorised):
+
+    1. ``root-level``    — the source has level 0 and nothing else does
+       unless it is the source.
+    2. ``edge-span``     — no edge spans more than one level.
+    3. ``level-support`` — every vertex at level l > 0 has a neighbour at
+       level l - 1.
+    4. ``connectivity``  — reached/unreached vertices never share an edge.
+    5. ``parent-edges``  — (when ``parents`` given) each parent is a real
+       neighbour exactly one level closer; tree roots/unreached agree with
+       the level array.
+    """
+    report = ValidationReport()
+    levels = np.asarray(levels, dtype=LEVEL_DTYPE)
+    if levels.shape != (graph.n,):
+        raise SearchError(f"levels must have shape ({graph.n},), got {levels.shape}")
+    if not (0 <= source < graph.n):
+        raise SearchError(f"source {source} out of range [0, {graph.n})")
+
+    report.record(
+        "root-level",
+        levels[source] == 0 and int((levels == 0).sum()) == 1,
+        f"source level {levels[source]}, zero-count {(levels == 0).sum()}",
+    )
+
+    src = np.repeat(np.arange(graph.n, dtype=VERTEX_DTYPE), np.diff(graph.indptr))
+    dst = graph.indices
+    lu, lv = levels[src], levels[dst]
+    both = (lu != UNREACHED) & (lv != UNREACHED)
+    report.record(
+        "edge-span",
+        bool((np.abs(lu[both] - lv[both]) <= 1).all()) if both.any() else True,
+        "an edge spans more than one level",
+    )
+    mixed = (lu != UNREACHED) != (lv != UNREACHED)
+    report.record(
+        "connectivity",
+        not bool(mixed.any()),
+        f"{int(mixed.sum())} edges connect reached and unreached vertices",
+    )
+
+    needs_support = lv > 0
+    supported = np.zeros(graph.n, dtype=bool)
+    closer = needs_support & (lu == lv - 1)
+    supported[dst[closer]] = True
+    unsupported = (levels > 0) & ~supported
+    report.record(
+        "level-support",
+        not bool(unsupported.any()),
+        f"{int(unsupported.sum())} vertices lack a one-closer neighbour",
+    )
+
+    if parents is not None:
+        parents = np.asarray(parents, dtype=VERTEX_DTYPE)
+        ok = parents.shape == (graph.n,)
+        if ok:
+            reached = levels != UNREACHED
+            roots = parents == ROOT
+            agree = bool(
+                (roots == (levels == 0)).all()
+                and ((parents == NO_PARENT) == ~reached).all()
+            )
+            child = np.where(reached & ~roots)[0]
+            par = parents[child]
+            edge_ok = all(graph.has_edge(int(p), int(c)) for c, p in zip(child, par))
+            level_ok = bool((levels[par] == levels[child] - 1).all()) if child.size else True
+            ok = agree and edge_ok and level_ok
+        report.record("parent-edges", ok, "parent array inconsistent with levels")
+    return report

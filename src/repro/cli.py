@@ -1,0 +1,256 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-bfs generate   --out graph.npz --n 20000 --k 10 [--rmat --scale 14]
+    repro-bfs bfs        --graph graph.npz --grid 4x4 --source 0 [--target T]
+    repro-bfs bidir      --graph graph.npz --grid 4x4 --source S --target T
+    repro-bfs crossover  --n 4e7 --p 400
+    repro-bfs figure     --name fig4a|fig4b|fig4c|fig5|fig6|fig7
+
+`bfs` and `bidir` accept either a stored graph (``--graph``) or generation
+parameters (``--n/--k/--seed``) to build one on the fly; ``bfs
+--validate`` runs the Graph500-style structural checks on the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.crossover import crossover_degree
+from repro.api import bidirectional_bfs, distributed_bfs
+from repro.bfs.options import BfsOptions
+from repro.bfs.tree import build_parent_tree, validate_bfs_result
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import poisson_random_graph, rmat_edges
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.harness import figures as figs
+from repro.harness.report import format_series, format_table
+from repro.types import GraphSpec, GridShape
+from repro.utils.logging import configure_logging
+from repro.utils.rng import RngFactory
+
+
+def _parse_grid(text: str) -> GridShape:
+    try:
+        rows, cols = text.lower().split("x")
+        return GridShape(int(rows), int(cols))
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(f"grid must look like '4x4', got {text!r}") from exc
+
+
+def _add_graph_source_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", help="path to a stored graph (.npz or text)")
+    parser.add_argument("--n", type=int, default=10_000, help="vertices (generated graph)")
+    parser.add_argument("--k", type=float, default=10.0, help="average degree")
+    parser.add_argument("--seed", type=int, default=0, help="generation seed")
+
+
+def _load_graph(args) -> CsrGraph:
+    if args.graph:
+        return read_edge_list(args.graph)
+    return poisson_random_graph(GraphSpec(n=args.n, k=args.k, seed=args.seed))
+
+
+def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--grid", type=_parse_grid, default=GridShape(4, 4))
+    parser.add_argument("--layout", choices=["1d", "2d"], default="2d")
+    parser.add_argument(
+        "--expand", default="direct",
+        choices=["direct", "ring", "two-phase", "recursive-doubling"],
+    )
+    parser.add_argument(
+        "--fold", default="union-ring",
+        choices=["direct", "ring", "union-ring", "two-phase", "bruck"],
+    )
+    parser.add_argument("--machine", choices=["bluegene", "mcr"], default="bluegene")
+    parser.add_argument("--mapping", choices=["planar", "row-major"], default="planar")
+    parser.add_argument("--no-sent-cache", action="store_true")
+    parser.add_argument("--buffer-capacity", type=int, default=None)
+
+
+def _options_from(args) -> BfsOptions:
+    return BfsOptions(
+        expand_collective=args.expand,
+        fold_collective=args.fold,
+        use_sent_cache=not args.no_sent_cache,
+        buffer_capacity=args.buffer_capacity,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# subcommands
+# ---------------------------------------------------------------------- #
+def cmd_generate(args) -> int:
+    if args.rmat:
+        rng = RngFactory(args.seed).named("cli-rmat")
+        edges = rmat_edges(args.scale, args.edge_factor, rng)
+        graph = CsrGraph.from_edges(1 << args.scale, edges)
+    else:
+        graph = poisson_random_graph(GraphSpec(n=args.n, k=args.k, seed=args.seed))
+    write_edge_list(graph, args.out)
+    print(
+        f"wrote {args.out}: n={graph.n} m={graph.num_edges} "
+        f"mean-degree={graph.average_degree:.2f}"
+    )
+    return 0
+
+
+def cmd_bfs(args) -> int:
+    graph = _load_graph(args)
+    result = distributed_bfs(
+        graph,
+        args.grid,
+        args.source,
+        target=args.target,
+        opts=_options_from(args),
+        machine=args.machine,
+        mapping=args.mapping,
+        layout=args.layout,
+    )
+    print(result.summary())
+    print(
+        f"simulated: total {result.elapsed:.6f}s, comm {result.comm_time:.6f}s, "
+        f"compute {result.compute_time:.6f}s"
+    )
+    print(f"messages {result.stats.total_messages}, bytes {result.stats.total_bytes}")
+    print(format_series(
+        "volume/level", range(len(result.stats.levels)),
+        result.stats.volume_per_level().tolist(),
+    ))
+    if args.validate:
+        parents = build_parent_tree(graph, result.levels)
+        report = validate_bfs_result(graph, args.source, result.levels, parents)
+        print(str(report))
+        if not report.ok:
+            return 1
+    return 0
+
+
+def cmd_bidir(args) -> int:
+    graph = _load_graph(args)
+    result = bidirectional_bfs(
+        graph, args.grid, args.source, args.target,
+        opts=_options_from(args), machine=args.machine,
+        mapping=args.mapping, layout=args.layout,
+    )
+    print(result.summary())
+    return 0
+
+
+def cmd_crossover(args) -> int:
+    k = crossover_degree(args.n, args.p)
+    print(
+        f"1D/2D crossover for n={args.n:g}, P={args.p:g}: k = {k:.3f} "
+        f"(1D wins below, 2D wins above)"
+    )
+    return 0
+
+
+def cmd_scorecard(args) -> int:
+    from repro.harness.scorecard import format_scorecard, run_scorecard
+
+    checks = run_scorecard(seed=args.seed)
+    print(format_scorecard(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def cmd_figure(args) -> int:
+    name = args.name
+    if name == "fig4a":
+        points = figs.fig4a_weak_scaling([1, 4, 16, 64], 500, 10.0, searches=2)
+        rows = [[p.p, p.n, f"{p.mean_time:.6f}", f"{p.comm_time:.6f}"] for p in points]
+        print(format_table(["P", "n", "time(s)", "comm(s)"], rows))
+    elif name == "fig4b":
+        series = figs.fig4b_message_volume(30_000, 10.0, 16)
+        print(format_series("volume", [d for d, _ in series], [v for _, v in series]))
+    elif name == "fig4c":
+        rows = figs.fig4c_bidirectional([4, 16], 300, 10.0, searches=2)
+        print(format_table(["P", "uni(s)", "bi(s)"],
+                           [[p, f"{u:.6f}", f"{b:.6f}"] for p, u, b in rows]))
+    elif name == "fig5":
+        rows = figs.fig5_strong_scaling(16_000, 10.0, [1, 4, 16, 64], searches=2)
+        print(format_table(["P", "time(s)"], [[p, f"{t:.6f}"] for p, t in rows]))
+    elif name == "fig6":
+        series = figs.fig6_partition_volume(20_000, 10.0, 16)
+        for label, volume in series.items():
+            print(format_series(label, range(len(volume)), volume.tolist()))
+    elif name == "fig7":
+        rows = figs.fig7_redundancy([4, 16, 64], 300, 10.0)
+        print(format_table(["P", "redundancy %"], [[p, f"{r:.1f}"] for p, r in rows]))
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown figure {name}")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# parser
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bfs",
+        description="Distributed-parallel BFS (Yoo et al., SC 2005) on a simulated BlueGene/L",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="enable per-level debug logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate and store a graph")
+    gen.add_argument("--out", required=True)
+    gen.add_argument("--n", type=int, default=10_000)
+    gen.add_argument("--k", type=float, default=10.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--rmat", action="store_true", help="R-MAT instead of Poisson")
+    gen.add_argument("--scale", type=int, default=14, help="R-MAT: log2(vertices)")
+    gen.add_argument("--edge-factor", type=int, default=16, help="R-MAT: edges per vertex")
+    gen.set_defaults(func=cmd_generate)
+
+    bfs = sub.add_parser("bfs", help="run a distributed BFS")
+    _add_graph_source_args(bfs)
+    _add_bfs_option_args(bfs)
+    bfs.add_argument("--source", type=int, default=0)
+    bfs.add_argument("--target", type=int, default=None)
+    bfs.add_argument("--validate", action="store_true",
+                     help="run Graph500-style structural validation")
+    bfs.set_defaults(func=cmd_bfs)
+
+    bid = sub.add_parser("bidir", help="run a bi-directional s-t search")
+    _add_graph_source_args(bid)
+    _add_bfs_option_args(bid)
+    bid.add_argument("--source", type=int, required=True)
+    bid.add_argument("--target", type=int, required=True)
+    bid.set_defaults(func=cmd_bidir)
+
+    cross = sub.add_parser("crossover", help="solve the 1D/2D crossover degree")
+    cross.add_argument("--n", type=float, required=True)
+    cross.add_argument("--p", type=float, required=True)
+    cross.set_defaults(func=cmd_crossover)
+
+    score = sub.add_parser(
+        "scorecard", help="check every paper claim in one shot (PASS/FAIL table)"
+    )
+    score.add_argument("--seed", type=int, default=0)
+    score.set_defaults(func=cmd_scorecard)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure (scaled down)")
+    fig.add_argument(
+        "--name", required=True,
+        choices=["fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7"],
+    )
+    fig.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if getattr(args, "verbose", False):
+        configure_logging("DEBUG")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""Collective interfaces, the lockstep round driver, and the name registry.
+
+Every collective algorithm is written as a *schedule*: a generator that
+yields one outbox per communication round (``{src_rank: {dst_rank:
+payload}}``), receives that round's inbox for its group, and finally
+returns the per-member received arrays.  The base classes drive schedules
+in two modes:
+
+* **single group** (:meth:`FoldCollective.fold` /
+  :meth:`ExpandCollective.expand`) — one exchange per round;
+* **many groups in lockstep** (:meth:`fold_many` / :meth:`expand_many`) —
+  all groups' round-``r`` messages merge into *one* exchange, so disjoint
+  communicator groups (all processor-rows of the mesh, say) contend for
+  torus links simultaneously, exactly as they would on the real machine.
+  The BFS engines use this mode.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Generator
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.runtime.comm import Communicator
+from repro.runtime.stats import CommStats
+from repro.types import VERTEX_DTYPE
+
+#: one round's sends: {src_rank: {dst_rank: payload}}
+RoundOutbox = dict[int, dict[int, np.ndarray]]
+#: one round's deliveries for a group: {dst_rank: [(src_rank, payload), ...]}
+RoundInbox = dict[int, list[tuple[int, np.ndarray]]]
+#: a schedule yields outboxes, is sent inboxes, and returns received arrays
+Schedule = Generator[RoundOutbox, RoundInbox, list[list[np.ndarray]]]
+
+
+def _run_lockstep(
+    comm: Communicator,
+    phase: str,
+    schedules: list[Schedule],
+    groups: list[list[int]],
+) -> list[list[list[np.ndarray]]]:
+    """Drive ``schedules`` round-by-round, merging each round's exchanges."""
+    results: list[list[list[np.ndarray]] | None] = [None] * len(schedules)
+    pending: dict[int, Schedule] = {}
+    current: dict[int, RoundOutbox] = {}
+    members: list[set[int]] = [set(g) for g in groups]
+    for i, schedule in enumerate(schedules):
+        try:
+            current[i] = schedule.send(None)
+            pending[i] = schedule
+        except StopIteration as stop:
+            results[i] = stop.value
+
+    while pending:
+        merged: RoundOutbox = {}
+        for i in pending:
+            for src, dests in current[i].items():
+                merged.setdefault(src, {}).update(dests)
+        participants = sorted({rank for i in pending for rank in members[i]})
+        inbox = comm.exchange(merged, phase, participants=participants)
+        advanced: dict[int, RoundOutbox] = {}
+        finished: list[int] = []
+        for i, schedule in pending.items():
+            sub_inbox = {dst: msgs for dst, msgs in inbox.items() if dst in members[i]}
+            try:
+                advanced[i] = schedule.send(sub_inbox)
+            except StopIteration as stop:
+                results[i] = stop.value
+                finished.append(i)
+        for i in finished:
+            pending.pop(i)
+        current = advanced
+    return results  # type: ignore[return-value]
+
+
+class FoldCollective(abc.ABC):
+    """All-to-all / reduce-scatter-like collective for the fold step.
+
+    ``outboxes[g][d]`` is the array member index ``g`` wants delivered to
+    member index ``d`` (``d`` indexes *within the group*).  The result has
+    one list of received arrays per member index, including any
+    self-addressed payload (a local hand-off).
+    """
+
+    name: str = "fold-base"
+
+    @abc.abstractmethod
+    def _schedule(
+        self,
+        stats: CommStats,
+        group: list[int],
+        outboxes: list[dict[int, np.ndarray]],
+        phase: str,
+    ) -> Schedule:
+        """The algorithm as a round generator (see module docstring)."""
+
+    def fold(
+        self,
+        comm: Communicator,
+        group: list[int],
+        outboxes: list[dict[int, np.ndarray]],
+        phase: str = "fold",
+    ) -> list[list[np.ndarray]]:
+        """Run the collective on one ``group`` (global rank ids)."""
+        _validate_group(group, len(outboxes))
+        return _run_lockstep(
+            comm, phase, [self._schedule(comm.stats, group, outboxes, phase)], [group]
+        )[0]
+
+    def fold_many(
+        self,
+        comm: Communicator,
+        groups: list[list[int]],
+        outboxes_per_group: list[list[dict[int, np.ndarray]]],
+        phase: str = "fold",
+    ) -> list[list[list[np.ndarray]]]:
+        """Run the collective on several *disjoint* groups in lockstep."""
+        _validate_disjoint(groups, len(outboxes_per_group))
+        schedules = []
+        for group, outboxes in zip(groups, outboxes_per_group):
+            _validate_group(group, len(outboxes))
+            schedules.append(self._schedule(comm.stats, group, outboxes, phase))
+        return _run_lockstep(comm, phase, schedules, groups)
+
+
+class ExpandCollective(abc.ABC):
+    """All-gather-like collective for the expand step.
+
+    ``contributions[g]`` is the array group member index ``g`` contributes
+    (its frontier).  ``dest_filter``, when given, maps ``(src_index,
+    dst_index)`` to the filtered array that actually needs to reach ``dst``
+    — the sparse-frontier optimisation of Section 2.2.  Forwarding schemes
+    (rings, recursive doubling) cannot apply per-destination filtering and
+    ignore it.  A member's own contribution is *not* included in its
+    received list.
+    """
+
+    name: str = "expand-base"
+
+    @abc.abstractmethod
+    def _schedule(
+        self,
+        stats: CommStats,
+        group: list[int],
+        contributions: list[np.ndarray],
+        phase: str,
+        dest_filter,
+    ) -> Schedule:
+        """The algorithm as a round generator (see module docstring)."""
+
+    def expand(
+        self,
+        comm: Communicator,
+        group: list[int],
+        contributions: list[np.ndarray],
+        phase: str = "expand",
+        dest_filter=None,
+    ) -> list[list[np.ndarray]]:
+        """Run the collective on one ``group`` (global rank ids)."""
+        _validate_group(group, len(contributions))
+        return _run_lockstep(
+            comm,
+            phase,
+            [self._schedule(comm.stats, group, contributions, phase, dest_filter)],
+            [group],
+        )[0]
+
+    def expand_many(
+        self,
+        comm: Communicator,
+        groups: list[list[int]],
+        contributions_per_group: list[list[np.ndarray]],
+        phase: str = "expand",
+        dest_filters: list | None = None,
+    ) -> list[list[list[np.ndarray]]]:
+        """Run the collective on several *disjoint* groups in lockstep."""
+        _validate_disjoint(groups, len(contributions_per_group))
+        schedules = []
+        for idx, (group, contributions) in enumerate(
+            zip(groups, contributions_per_group)
+        ):
+            _validate_group(group, len(contributions))
+            dest_filter = dest_filters[idx] if dest_filters is not None else None
+            schedules.append(
+                self._schedule(comm.stats, group, contributions, phase, dest_filter)
+            )
+        return _run_lockstep(comm, phase, schedules, groups)
+
+
+def _validate_group(group: list[int], payload_len: int) -> None:
+    if len(group) != payload_len:
+        raise CommunicationError(
+            f"group has {len(group)} members but {payload_len} payload slots were given"
+        )
+    if len(set(group)) != len(group):
+        raise CommunicationError("collective group contains duplicate ranks")
+
+
+def _validate_disjoint(groups: list[list[int]], payload_groups: int) -> None:
+    if len(groups) != payload_groups:
+        raise CommunicationError(
+            f"{len(groups)} groups but {payload_groups} payload groups were given"
+        )
+    seen: set[int] = set()
+    for group in groups:
+        for rank in group:
+            if rank in seen:
+                raise CommunicationError(
+                    f"rank {rank} appears in more than one lockstep group"
+                )
+            seen.add(rank)
+
+
+def _empty() -> np.ndarray:
+    return np.empty(0, dtype=VERTEX_DTYPE)
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+_EXPANDS: dict[str, type] = {}
+_FOLDS: dict[str, type] = {}
+
+
+def register_expand(cls: type) -> type:
+    """Class decorator: register an :class:`ExpandCollective` by its ``name``."""
+    _EXPANDS[cls.name] = cls
+    return cls
+
+
+def register_fold(cls: type) -> type:
+    """Class decorator: register a :class:`FoldCollective` by its ``name``."""
+    _FOLDS[cls.name] = cls
+    return cls
+
+
+def get_expand(name: str, **kwargs) -> ExpandCollective:
+    """Instantiate the expand collective registered under ``name``."""
+    try:
+        return _EXPANDS[name](**kwargs)
+    except KeyError:
+        raise CommunicationError(
+            f"unknown expand collective {name!r}; available: {sorted(_EXPANDS)}"
+        ) from None
+
+
+def get_fold(name: str, **kwargs) -> FoldCollective:
+    """Instantiate the fold collective registered under ``name``."""
+    try:
+        return _FOLDS[name](**kwargs)
+    except KeyError:
+        raise CommunicationError(
+            f"unknown fold collective {name!r}; available: {sorted(_FOLDS)}"
+        ) from None

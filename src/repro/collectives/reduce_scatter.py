@@ -1,0 +1,79 @@
+"""Ring reduce-scatter with set-union reduction — the paper's *union-fold*.
+
+Each destination's chunk travels the full ring exactly once, starting at
+the destination's successor; every rank it visits unions its own
+contribution in, eliminating duplicate vertex ids while the message is in
+flight (Section 2.2 "reduce-scatter ... the reduction operation is a
+set-union" and Section 3.2.2).  Each rank sends exactly one chunk per
+round, so the load is perfectly balanced: G-1 rounds of one message each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.base import FoldCollective, Schedule, _empty, register_fold
+from repro.collectives.union import union_merge
+from repro.runtime.stats import CommStats
+
+
+@register_fold
+class UnionRingFold(FoldCollective):
+    """Reduce-scatter over a ring with set-union as the reduction operation."""
+
+    name = "union-ring"
+
+    def _schedule(
+        self,
+        stats: CommStats,
+        group: list[int],
+        outboxes: list[dict[int, np.ndarray]],
+        phase: str,
+    ) -> Schedule:
+        size = len(group)
+        received: list[list[np.ndarray]] = [[] for _ in range(size)]
+        if size == 1:
+            own = outboxes[0].get(0, _empty())
+            if np.size(own):
+                merged, dups = union_merge(own)
+                stats.record_duplicates(dups)
+                received[0].append(merged)
+            return received
+
+        def contribution(g: int, d: int) -> np.ndarray:
+            return np.asarray(outboxes[g].get(d, _empty()))
+
+        # in_hand[g] = (dest_index, accumulated chunk) currently held by g.
+        # Chunk for destination d starts at rank (d+1) % size, already
+        # reduced with the starter's own contribution.
+        in_hand: list[tuple[int, np.ndarray]] = [(0, _empty())] * size
+        for d in range(size):
+            starter = (d + 1) % size
+            merged, dups = union_merge(contribution(starter, d))
+            stats.record_duplicates(dups)
+            in_hand[starter] = (d, merged)
+
+        for _round in range(size - 1):
+            outbox: dict[int, dict[int, np.ndarray]] = {}
+            for g in range(size):
+                _d, chunk = in_hand[g]
+                if np.size(chunk):
+                    outbox.setdefault(group[g], {})[group[(g + 1) % size]] = chunk
+            yield outbox
+            nxt_hand: list[tuple[int, np.ndarray]] = [(0, _empty())] * size
+            for g in range(size):
+                d, chunk = in_hand[(g - 1) % size]  # what g just received
+                if d == g:
+                    # Final arrival: fold in the destination's own contribution.
+                    stats.record_delivery(group[g], int(np.size(chunk)), phase)
+                    merged, dups = union_merge(chunk, contribution(g, g))
+                    stats.record_duplicates(dups)
+                    if merged.size:
+                        received[g].append(merged)
+                    nxt_hand[g] = (d, _empty())
+                else:
+                    merged, dups = union_merge(chunk, contribution(g, d))
+                    stats.record_duplicates(dups)
+                    nxt_hand[g] = (d, merged)
+            in_hand = nxt_hand
+        return received

@@ -1,0 +1,33 @@
+"""Vectorised set-union kernels used by the union-fold reduction.
+
+The paper's reduce-scatter reduction operation is set-union: while messages
+travel the ring, duplicate vertex ids are merged away, shrinking message
+volume and downstream hash-processing work (Section 3.2.2, Figure 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import VERTEX_DTYPE, as_vertex_array
+
+
+def union_merge(*arrays: np.ndarray) -> tuple[np.ndarray, int]:
+    """Union several vertex arrays into one sorted duplicate-free array.
+
+    Returns ``(merged, eliminated)`` where ``eliminated`` is the number of
+    entries removed by the union — the quantity Figure 7's redundancy ratio
+    is built from.  Inputs need not be sorted or duplicate-free.
+    """
+    parts = [as_vertex_array(a) for a in arrays if np.size(a)]
+    if not parts:
+        return np.empty(0, dtype=VERTEX_DTYPE), 0
+    stacked = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    merged = np.unique(stacked)
+    return merged, int(stacked.size - merged.size)
+
+
+def count_duplicates(arrays: list[np.ndarray]) -> int:
+    """Number of entries that a union over ``arrays`` would eliminate."""
+    _, eliminated = union_merge(*arrays)
+    return eliminated

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, machine, or partition configuration is invalid."""
+
+
+class PartitionError(ReproError):
+    """A graph partitioning operation failed or was queried inconsistently."""
+
+
+class CommunicationError(ReproError):
+    """A virtual-runtime communication step was used incorrectly."""
+
+
+class BufferOverflowError(CommunicationError):
+    """A fixed-length message buffer (Section 3.1) would be exceeded.
+
+    The paper caps message buffers at a fixed length derived from the
+    O(n/P) bound; the runtime raises this when a single un-chunked send
+    exceeds the configured cap.
+    """
+
+
+class TopologyError(ConfigurationError):
+    """A processor-mesh or torus topology is malformed or incompatible."""
+
+
+class SearchError(ReproError):
+    """A BFS invocation was malformed (e.g. source vertex out of range)."""

@@ -1,0 +1,44 @@
+"""Graph substrate: generators, CSR storage, diameter estimation, I/O."""
+
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import (
+    poisson_random_graph,
+    gnp_edges,
+    gnm_edges,
+    rmat_edges,
+    dedup_undirected_edges,
+    lattice_edges,
+    ring_edges,
+)
+from repro.graph.diameter import double_sweep_lower_bound, eccentricity, estimate_diameter
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.distributed_gen import DistributedGraphBuilder
+from repro.graph.components import (
+    connected_components,
+    component_sizes,
+    giant_component,
+    sample_connected_pair,
+    sample_unreachable_pair,
+)
+
+__all__ = [
+    "CsrGraph",
+    "poisson_random_graph",
+    "gnp_edges",
+    "gnm_edges",
+    "rmat_edges",
+    "dedup_undirected_edges",
+    "lattice_edges",
+    "ring_edges",
+    "double_sweep_lower_bound",
+    "eccentricity",
+    "estimate_diameter",
+    "read_edge_list",
+    "write_edge_list",
+    "DistributedGraphBuilder",
+    "connected_components",
+    "component_sizes",
+    "giant_component",
+    "sample_connected_pair",
+    "sample_unreachable_pair",
+]

@@ -1,0 +1,72 @@
+"""Connected components (BFS sweep) and component-aware helpers.
+
+Workload plumbing for the experiments: Poisson graphs below the
+connectivity threshold have stragglers, and several of the paper's
+measurements need sources in the giant component (or provably unreachable
+targets — Figure 6's worst case).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+from repro.graph.diameter import bfs_levels
+from repro.types import UNREACHED, VERTEX_DTYPE
+
+
+def connected_components(graph: CsrGraph) -> np.ndarray:
+    """Component id per vertex (ids are 0-based, ordered by first vertex)."""
+    labels = np.full(graph.n, -1, dtype=VERTEX_DTYPE)
+    next_id = 0
+    for start in range(graph.n):
+        if labels[start] != -1:
+            continue
+        reached = bfs_levels(graph, start) != UNREACHED
+        labels[reached] = next_id
+        next_id += 1
+    return labels
+
+
+def component_sizes(graph: CsrGraph) -> np.ndarray:
+    """Sizes of all components, largest first."""
+    labels = connected_components(graph)
+    _ids, counts = np.unique(labels, return_counts=True)
+    return np.sort(counts)[::-1]
+
+
+def giant_component(graph: CsrGraph) -> np.ndarray:
+    """Vertex ids of the largest connected component."""
+    labels = connected_components(graph)
+    ids, counts = np.unique(labels, return_counts=True)
+    return np.where(labels == ids[np.argmax(counts)])[0].astype(VERTEX_DTYPE)
+
+
+def sample_connected_pair(
+    graph: CsrGraph, rng: np.random.Generator
+) -> tuple[int, int]:
+    """A random (source, target) pair guaranteed to be connected.
+
+    Raises ``ValueError`` when the graph has no component of size >= 2.
+    """
+    giant = giant_component(graph)
+    if giant.size < 2:
+        raise ValueError("graph has no connected pair of vertices")
+    s, t = rng.choice(giant, size=2, replace=False)
+    return int(s), int(t)
+
+
+def sample_unreachable_pair(
+    graph: CsrGraph, rng: np.random.Generator
+) -> tuple[int, int]:
+    """A random (source, target) pair in *different* components.
+
+    This is Figure 6's worst-case setup.  Raises ``ValueError`` on a
+    connected graph.
+    """
+    labels = connected_components(graph)
+    if np.unique(labels).size < 2:
+        raise ValueError("graph is connected: no unreachable pair exists")
+    source = int(rng.integers(graph.n))
+    others = np.where(labels != labels[source])[0]
+    return source, int(others[rng.integers(others.size)])

@@ -1,0 +1,65 @@
+"""Diameter and eccentricity estimation.
+
+The paper's weak-scaling argument (Section 4.2) rests on random-graph
+diameters growing as O(log n) [Bollobás 1981]; these helpers let the tests
+and benchmarks verify that property on generated instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+from repro.types import LEVEL_DTYPE, UNREACHED, VERTEX_DTYPE
+
+
+def bfs_levels(graph: CsrGraph, source: int) -> np.ndarray:
+    """Serial level array from ``source``; ``UNREACHED`` where disconnected.
+
+    This is the library's validation oracle (see :mod:`repro.bfs.serial`
+    for the public wrapper); kept here to avoid a circular import.
+    """
+    if not (0 <= source < graph.n):
+        raise IndexError(f"source {source} out of range [0, {graph.n})")
+    levels = np.full(graph.n, UNREACHED, dtype=LEVEL_DTYPE)
+    levels[source] = 0
+    frontier = np.array([source], dtype=VERTEX_DTYPE)
+    depth = 0
+    while frontier.size:
+        neigh = graph.neighbors_of_set(frontier)
+        if neigh.size == 0:
+            break
+        neigh = np.unique(neigh)
+        fresh = neigh[levels[neigh] == UNREACHED]
+        depth += 1
+        levels[fresh] = depth
+        frontier = fresh
+    return levels
+
+
+def eccentricity(graph: CsrGraph, source: int) -> int:
+    """Largest finite BFS distance from ``source`` (0 for isolated vertices)."""
+    levels = bfs_levels(graph, source)
+    reached = levels[levels != UNREACHED]
+    return int(reached.max()) if reached.size else 0
+
+
+def double_sweep_lower_bound(graph: CsrGraph, start: int = 0) -> int:
+    """Double-sweep diameter lower bound: BFS, then BFS from the farthest vertex."""
+    if graph.n == 0:
+        return 0
+    levels = bfs_levels(graph, start)
+    finite = np.where(levels != UNREACHED)[0]
+    if finite.size == 0:
+        return 0
+    far = int(finite[np.argmax(levels[finite])])
+    return eccentricity(graph, far)
+
+
+def estimate_diameter(graph: CsrGraph, samples: int = 4, seed: int = 0) -> int:
+    """Max double-sweep bound over ``samples`` random start vertices."""
+    if graph.n == 0:
+        return 0
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, graph.n, size=max(1, samples))
+    return max(double_sweep_lower_bound(graph, int(s)) for s in starts)

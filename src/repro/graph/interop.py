@@ -1,0 +1,38 @@
+"""Interop with networkx (optional dependency).
+
+networkx is only needed for these two helpers (and the test suite); the
+core library never imports it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+
+
+def to_networkx(graph: CsrGraph):
+    """Convert to a ``networkx.Graph`` (vertices 0..n-1 preserved)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.edge_array().tolist())
+    return g
+
+
+def from_networkx(g) -> CsrGraph:
+    """Convert a ``networkx`` graph with integer node labels 0..n-1.
+
+    Raises ``ValueError`` for other labelings (relabel first with
+    ``networkx.convert_node_labels_to_integers``).
+    """
+    n = g.number_of_nodes()
+    nodes = set(g.nodes)
+    if nodes != set(range(n)):
+        raise ValueError(
+            "node labels must be exactly 0..n-1; use "
+            "networkx.convert_node_labels_to_integers first"
+        )
+    edges = np.array(list(g.edges), dtype=np.int64).reshape(-1, 2)
+    return CsrGraph.from_edges(n, edges)

@@ -1,0 +1,44 @@
+"""Edge-list persistence.
+
+Two formats: a compact ``.npz`` (NumPy, preferred) and a plain-text
+``u v``-per-line format for interoperability with external tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+from repro.types import VERTEX_DTYPE
+
+
+def write_edge_list(graph: CsrGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path``; format chosen by extension (.npz or text)."""
+    path = Path(path)
+    edges = graph.edge_array()
+    if path.suffix == ".npz":
+        np.savez_compressed(path, n=np.int64(graph.n), edges=edges)
+    else:
+        with path.open("w", encoding="utf-8") as fh:
+            fh.write(f"# n={graph.n} m={edges.shape[0]}\n")
+            np.savetxt(fh, edges, fmt="%d")
+
+
+def read_edge_list(path: str | Path) -> CsrGraph:
+    """Read a graph previously written by :func:`write_edge_list`."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        data = np.load(path)
+        return CsrGraph.from_edges(int(data["n"]), data["edges"])
+    with path.open("r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith("#"):
+            raise ValueError(f"{path}: missing '# n=... m=...' header line")
+        n = int(header.split("n=")[1].split()[0])
+        m = int(header.split("m=")[1].split()[0])
+        if m == 0:
+            return CsrGraph.empty(n)
+        edges = np.loadtxt(fh, dtype=VERTEX_DTYPE, ndmin=2)
+    return CsrGraph.from_edges(n, edges)

@@ -1,0 +1,22 @@
+"""Experiment harness: configs, sweeps, text reports, per-figure data builders."""
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.sweep import sweep
+from repro.harness.report import format_table, format_series
+from repro.harness.export import results_to_rows, write_csv, write_json
+from repro.harness.scorecard import Check, run_scorecard, format_scorecard
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "sweep",
+    "format_table",
+    "format_series",
+    "results_to_rows",
+    "write_csv",
+    "write_json",
+    "Check",
+    "run_scorecard",
+    "format_scorecard",
+]

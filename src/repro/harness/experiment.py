@@ -1,0 +1,95 @@
+"""One experiment = one graph + one layout + one machine + one search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api import build_engine
+from repro.bfs.level_sync import run_bfs
+from repro.bfs.options import BfsOptions
+from repro.bfs.result import BfsResult
+from repro.graph.generators import poisson_random_graph
+from repro.types import GraphSpec, GridShape
+from repro.utils.rng import RngFactory
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """A fully pinned experiment instance (deterministic given the seed)."""
+
+    name: str
+    graph: GraphSpec
+    grid: GridShape
+    layout: str = "2d"
+    opts: BfsOptions = field(default_factory=BfsOptions)
+    machine: str = "bluegene"
+    mapping: str = "planar"
+    source: int | None = None
+    target: int | None = None
+    #: pick this many random (source, target) pairs and average
+    num_searches: int = 1
+    max_levels: int | None = None
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Aggregated outcome over the experiment's searches."""
+
+    config: ExperimentConfig
+    runs: list[BfsResult]
+
+    @property
+    def mean_time(self) -> float:
+        """Mean simulated execution time over all searches (Figure 4.a metric)."""
+        return float(np.mean([r.elapsed for r in self.runs]))
+
+    @property
+    def mean_comm_time(self) -> float:
+        """Mean simulated communication time (Table 1 metric)."""
+        return float(np.mean([r.comm_time for r in self.runs]))
+
+    @property
+    def mean_compute_time(self) -> float:
+        """Mean simulated computation time."""
+        return float(np.mean([r.compute_time for r in self.runs]))
+
+    def mean_message_length(self, phase: str) -> float:
+        """Mean vertices received per rank per level in ``phase`` (Table 1 metric)."""
+        values = [
+            r.stats.mean_message_length_per_level(phase, r.stats.nranks) for r in self.runs
+        ]
+        return float(np.mean(values))
+
+    @property
+    def mean_redundancy(self) -> float:
+        """Mean union-fold redundancy ratio across searches (Figure 7 metric)."""
+        return float(np.mean([r.stats.redundancy_ratio for r in self.runs]))
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Generate the graph, run the configured searches, aggregate.
+
+    Each search gets a fresh engine (fresh communicator, clock, statistics)
+    so per-run metrics are independent; source/target pairs are drawn
+    deterministically from the experiment seed when not pinned.
+    """
+    graph = poisson_random_graph(config.graph)
+    rng = RngFactory(config.graph.seed).named(f"experiment:{config.name}")
+    runs: list[BfsResult] = []
+    for _ in range(max(1, config.num_searches)):
+        source = config.source if config.source is not None else int(rng.integers(graph.n))
+        target = config.target
+        if target is None and config.source is None:
+            target = int(rng.integers(graph.n))
+        engine = build_engine(
+            graph,
+            config.grid,
+            opts=config.opts,
+            machine=config.machine,
+            mapping=config.mapping,
+            layout=config.layout,
+        )
+        runs.append(run_bfs(engine, source, target=target, max_levels=config.max_levels))
+    return ExperimentResult(config=config, runs=runs)

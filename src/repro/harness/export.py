@@ -1,0 +1,57 @@
+"""Export experiment results to CSV / JSON for external analysis."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.harness.experiment import ExperimentResult
+
+
+def results_to_rows(results: list[ExperimentResult]) -> list[dict[str, object]]:
+    """Flatten a sweep's results into one dict per experiment."""
+    rows: list[dict[str, object]] = []
+    for result in results:
+        config = result.config
+        rows.append(
+            {
+                "name": config.name,
+                "n": config.graph.n,
+                "k": config.graph.k,
+                "seed": config.graph.seed,
+                "rows": config.grid.rows,
+                "cols": config.grid.cols,
+                "layout": config.layout,
+                "expand": config.opts.expand_collective,
+                "fold": config.opts.fold_collective,
+                "machine": config.machine,
+                "searches": len(result.runs),
+                "mean_time_s": result.mean_time,
+                "mean_comm_s": result.mean_comm_time,
+                "mean_compute_s": result.mean_compute_time,
+                "expand_msg_len": result.mean_message_length("expand"),
+                "fold_msg_len": result.mean_message_length("fold"),
+                "redundancy": result.mean_redundancy,
+            }
+        )
+    return rows
+
+
+def write_csv(results: list[ExperimentResult], path: str | Path) -> None:
+    """Write one CSV row per experiment."""
+    rows = results_to_rows(results)
+    if not rows:
+        raise ValueError("nothing to export: empty result list")
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_json(results: list[ExperimentResult], path: str | Path) -> None:
+    """Write the flattened results as a JSON array."""
+    Path(path).write_text(
+        json.dumps(results_to_rows(results), indent=2), encoding="utf-8"
+    )

@@ -1,0 +1,331 @@
+"""Data-series builders, one per figure/table of the paper's evaluation.
+
+Every builder regenerates the corresponding figure's series at the scaled-
+down design points recorded in DESIGN.md's experiment index (the paper ran
+on up to 32,768 BlueGene/L nodes; we run the same algorithms on virtual
+ranks and report simulated time).  The benchmarks call these builders,
+print the series, and assert the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api import build_communicator, build_engine
+from repro.analysis.crossover import crossover_degree
+from repro.bfs.bidirectional import run_bidirectional_bfs
+from repro.bfs.level_sync import run_bfs
+from repro.bfs.options import BfsOptions
+from repro.bfs.serial import serial_bfs
+from repro.collectives.two_phase import subgrid_shape
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import poisson_random_graph
+from repro.types import GraphSpec, GridShape, UNREACHED, VERTEX_DTYPE
+from repro.utils.rng import RngFactory
+
+#: the paper's BlueGene/L configuration: two-phase grouped-ring collectives
+#: (Figures 2-3) with the sent-neighbours cache; the fold's phase-1 rings
+#: apply the set-union reduction.
+PAPER_OPTS = BfsOptions(expand_collective="two-phase", fold_collective="two-phase")
+
+
+def square_grid(p: int) -> GridShape:
+    """Most-square ``R x C`` mesh for ``p`` ranks."""
+    a, b = subgrid_shape(p)
+    return GridShape(a, b)
+
+
+def _random_search_pair(n: int, rng) -> tuple[int, int]:
+    source = int(rng.integers(n))
+    target = int(rng.integers(n))
+    while target == source and n > 1:
+        target = int(rng.integers(n))
+    return source, target
+
+
+# ---------------------------------------------------------------------- #
+# Figure 4.a — weak scaling
+# ---------------------------------------------------------------------- #
+@dataclass(slots=True)
+class WeakScalingPoint:
+    """One (P, |V|/rank, k) weak-scaling measurement."""
+
+    p: int
+    n: int
+    k: float
+    mean_time: float
+    comm_time: float
+    compute_time: float
+
+
+def fig4a_weak_scaling(
+    p_values: list[int],
+    vertices_per_rank: int,
+    k: float,
+    *,
+    seed: int = 0,
+    searches: int = 3,
+    opts: BfsOptions = PAPER_OPTS,
+    full_traversal: bool = True,
+) -> list[WeakScalingPoint]:
+    """Mean search time as P grows with |V|/rank fixed (one Figure 4.a curve).
+
+    By default each search traverses the whole component (an s-t search
+    with an unreachable/absent target), which removes the heavy variance
+    of random target distances while keeping the paper's shape: the time
+    is dominated by the level count, i.e. the O(log n) diameter.  Pass
+    ``full_traversal=False`` for the paper's literal random s-t searches.
+    """
+    points: list[WeakScalingPoint] = []
+    for p in p_values:
+        n = vertices_per_rank * p
+        graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=seed))
+        rng = RngFactory(seed).named(f"fig4a:{p}:{k}")
+        times, comms, computes = [], [], []
+        for _ in range(searches):
+            source, target = _random_search_pair(n, rng)
+            if full_traversal:
+                target = None
+            engine = build_engine(graph, square_grid(p), opts=opts)
+            result = run_bfs(engine, source, target=target)
+            times.append(result.elapsed)
+            comms.append(result.comm_time)
+            computes.append(result.compute_time)
+        points.append(
+            WeakScalingPoint(
+                p=p,
+                n=n,
+                k=k,
+                mean_time=float(np.mean(times)),
+                comm_time=float(np.mean(comms)),
+                compute_time=float(np.mean(computes)),
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------- #
+# Figure 4.b — message volume vs search-path length
+# ---------------------------------------------------------------------- #
+def fig4b_message_volume(
+    n: int,
+    k: float,
+    p: int,
+    *,
+    seed: int = 0,
+    opts: BfsOptions = PAPER_OPTS,
+) -> list[tuple[int, int]]:
+    """Total message volume of an s-t search as a function of path length.
+
+    Picks one source, then one target at every available BFS distance, and
+    measures the total vertices received during each terminated search —
+    the Figure 4.b curve (volume rises until the path length nears the
+    graph diameter, then flattens).
+    """
+    graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=seed))
+    rng = RngFactory(seed).named("fig4b")
+    source = int(rng.integers(n))
+    levels = serial_bfs(graph, source)
+    reachable_levels = sorted(set(levels[levels > 0].tolist()))
+    series: list[tuple[int, int]] = []
+    for distance in reachable_levels:
+        candidates = np.where(levels == distance)[0]
+        target = int(candidates[rng.integers(candidates.size)])
+        engine = build_engine(graph, square_grid(p), opts=opts)
+        result = run_bfs(engine, source, target=target)
+        volume = int(result.stats.volume_per_level().sum())
+        series.append((distance, volume))
+    return series
+
+
+# ---------------------------------------------------------------------- #
+# Figure 4.c — bi-directional vs uni-directional weak scaling
+# ---------------------------------------------------------------------- #
+def fig4c_bidirectional(
+    p_values: list[int],
+    vertices_per_rank: int,
+    k: float,
+    *,
+    seed: int = 0,
+    searches: int = 3,
+    opts: BfsOptions = PAPER_OPTS,
+) -> list[tuple[int, float, float]]:
+    """(P, uni-directional time, bi-directional time) triples."""
+    rows: list[tuple[int, float, float]] = []
+    for p in p_values:
+        n = vertices_per_rank * p
+        graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=seed))
+        rng = RngFactory(seed).named(f"fig4c:{p}")
+        uni_times, bi_times = [], []
+        for _ in range(searches):
+            source, target = _random_search_pair(n, rng)
+            grid = square_grid(p)
+            engine = build_engine(graph, grid, opts=opts)
+            uni_times.append(run_bfs(engine, source, target=target).elapsed)
+            comm = build_communicator(grid, buffer_capacity=opts.buffer_capacity)
+            forward = build_engine(graph, grid, opts=opts, comm=comm)
+            backward = build_engine(graph, grid, opts=opts, comm=comm)
+            bi_times.append(
+                run_bidirectional_bfs(forward, backward, source, target).elapsed
+            )
+        rows.append((p, float(np.mean(uni_times)), float(np.mean(bi_times))))
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5 — strong scaling
+# ---------------------------------------------------------------------- #
+def fig5_strong_scaling(
+    n: int,
+    k: float,
+    p_values: list[int],
+    *,
+    seed: int = 0,
+    searches: int = 3,
+    opts: BfsOptions = PAPER_OPTS,
+) -> list[tuple[int, float]]:
+    """(P, mean time) with the graph fixed; speedups follow via scaling.speedup_curve."""
+    graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=seed))
+    rng = RngFactory(seed).named("fig5")
+    pairs = [_random_search_pair(n, rng) for _ in range(searches)]
+    rows: list[tuple[int, float]] = []
+    for p in p_values:
+        times = []
+        for source, target in pairs:
+            engine = build_engine(graph, square_grid(p), opts=opts)
+            times.append(run_bfs(engine, source, target=target).elapsed)
+        rows.append((p, float(np.mean(times))))
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Table 1 — 1D vs 2D processor topologies
+# ---------------------------------------------------------------------- #
+@dataclass(slots=True)
+class TopologyRow:
+    """One row of Table 1."""
+
+    vertices_per_rank: int
+    k: float
+    grid: GridShape
+    exec_time: float
+    comm_time: float
+    expand_length: float
+    fold_length: float
+
+
+def table1_topologies(
+    vertices_per_rank: int,
+    k: float,
+    grids: list[GridShape],
+    *,
+    seed: int = 0,
+    searches: int = 2,
+    opts: BfsOptions = PAPER_OPTS,
+) -> list[TopologyRow]:
+    """Execution/communication time and mean expand/fold message lengths per topology.
+
+    All grids share the same P, so the same graph is partitioned four ways
+    — exactly Table 1's setup (the 1D rows are the degenerate meshes
+    ``P x 1`` and ``1 x P``).
+    """
+    p = grids[0].size
+    if any(g.size != p for g in grids):
+        raise ValueError("all grids in a Table 1 block must have the same P")
+    n = vertices_per_rank * p
+    graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=seed))
+    rng = RngFactory(seed).named(f"table1:{k}")
+    pairs = [_random_search_pair(n, rng) for _ in range(searches)]
+    rows: list[TopologyRow] = []
+    for grid in grids:
+        times, comms, expands, folds = [], [], [], []
+        for source, target in pairs:
+            engine = build_engine(graph, grid, opts=opts)
+            result = run_bfs(engine, source, target=target)
+            times.append(result.elapsed)
+            comms.append(result.comm_time)
+            expands.append(result.stats.mean_message_length_per_level("expand", p))
+            folds.append(result.stats.mean_message_length_per_level("fold", p))
+        rows.append(
+            TopologyRow(
+                vertices_per_rank=vertices_per_rank,
+                k=k,
+                grid=grid,
+                exec_time=float(np.mean(times)),
+                comm_time=float(np.mean(comms)),
+                expand_length=float(np.mean(expands)),
+                fold_length=float(np.mean(folds)),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Figure 6 — per-level message volume, 1D vs 2D, and the crossover degree
+# ---------------------------------------------------------------------- #
+def _with_isolated_target(graph: CsrGraph) -> tuple[CsrGraph, int]:
+    """Append one isolated vertex to serve as the unreachable target."""
+    n = graph.n + 1
+    indptr = np.concatenate([graph.indptr, graph.indptr[-1:]])
+    extended = CsrGraph(n, indptr, graph.indices)
+    return extended, n - 1
+
+
+def fig6_partition_volume(
+    n: int,
+    k: float,
+    p: int,
+    *,
+    seed: int = 0,
+    opts: BfsOptions = PAPER_OPTS,
+) -> dict[str, np.ndarray]:
+    """Per-level received volume for 2D (square mesh) vs 1D, unreachable target.
+
+    The unreachable target forces the search to exhaust the component —
+    the paper's worst-case setup for Figure 6.
+    """
+    base = poisson_random_graph(GraphSpec(n=n, k=k, seed=seed))
+    graph, target = _with_isolated_target(base)
+    rng = RngFactory(seed).named(f"fig6:{k}")
+    source = int(rng.integers(n))
+    series: dict[str, np.ndarray] = {}
+    for label, grid in (("2d", square_grid(p)), ("1d", GridShape(1, p))):
+        engine = build_engine(graph, grid, opts=opts)
+        result = run_bfs(engine, source, target=target)
+        series[label] = result.stats.volume_per_level()
+    return series
+
+
+def fig6b_crossover(n: int, p: int, *, seed: int = 0) -> dict[str, object]:
+    """Solve the crossover degree for (n, P) and measure both layouts at it."""
+    k = crossover_degree(n, p)
+    series = fig6_partition_volume(n, k, p, seed=seed)
+    return {"k": k, "volumes": series}
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7 — union-fold redundancy ratio
+# ---------------------------------------------------------------------- #
+def fig7_redundancy(
+    p_values: list[int],
+    vertices_per_rank: int,
+    k: float,
+    *,
+    seed: int = 0,
+    opts: BfsOptions | None = None,
+) -> list[tuple[int, float]]:
+    """(P, redundancy ratio %) for the union-fold in a weak-scaling sweep."""
+    opts = opts or BfsOptions(fold_collective="union-ring")
+    rows: list[tuple[int, float]] = []
+    for p in p_values:
+        n = vertices_per_rank * p
+        graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=seed))
+        rng = RngFactory(seed).named(f"fig7:{p}:{k}")
+        source = int(rng.integers(n))
+        engine = build_engine(graph, square_grid(p), opts=opts)
+        result = run_bfs(engine, source)
+        rows.append((p, 100.0 * result.stats.redundancy_ratio))
+    return rows

@@ -1,0 +1,161 @@
+"""The reproduction scorecard: every paper claim checked in one shot.
+
+``run_scorecard()`` executes a quick version of each qualitative claim the
+benchmarks assert at larger design points, returning a PASS/FAIL table.
+It is the "is this reproduction healthy?" smoke check — a few seconds of
+host time, deterministic, no pytest required (exposed as
+``repro-bfs scorecard``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.crossover import crossover_degree, partition_message_gap
+from repro.analysis.memory import BLUEGENE_L_NODE_MEMORY, MemoryModel, fits_in_memory
+from repro.analysis.scaling import log_fit, speedup_curve, sqrt_fit
+from repro.bfs.options import BfsOptions
+from repro.harness.figures import (
+    PAPER_OPTS,
+    fig4a_weak_scaling,
+    fig4c_bidirectional,
+    fig5_strong_scaling,
+    fig6_partition_volume,
+    fig7_redundancy,
+)
+from repro.harness.report import format_table
+from repro.types import GridShape
+
+
+@dataclass(slots=True)
+class Check:
+    """One scorecard entry."""
+
+    claim: str
+    source: str
+    passed: bool
+    detail: str
+
+
+def run_scorecard(*, seed: int = 0) -> list[Check]:
+    """Run every claim check at quick design points; returns the entries."""
+    checks: list[Check] = []
+
+    # --- Figure 4.a: log-P weak scaling, comm << compute ---------------- #
+    points = fig4a_weak_scaling([1, 4, 16, 64], 500, 10.0, seed=seed, searches=2)
+    times = np.array([p.mean_time for p in points])
+    slope, _b, r2 = log_fit(np.array([1, 4, 16, 64]), times)
+    checks.append(
+        Check(
+            "weak-scaling time grows ~ log P",
+            "Fig 4.a",
+            slope > 0 and r2 > 0.7 and times[-1] < 20 * times[0],
+            f"log2 slope {slope * 1e3:.2f} ms, R^2 {r2:.2f}",
+        )
+    )
+    multi = [p for p in points if p.p > 1]
+    checks.append(
+        Check(
+            "communication small next to computation",
+            "Fig 4.a",
+            all(p.comm_time < p.compute_time for p in multi),
+            f"worst comm/compute {max(p.comm_time / p.compute_time for p in multi):.2f}",
+        )
+    )
+
+    # --- Figure 4.c: bi-directional wins --------------------------------- #
+    bi_rows = fig4c_bidirectional([4, 16], 400, 10.0, seed=seed, searches=3)
+    ratios = [b / u for _p, u, b in bi_rows]
+    checks.append(
+        Check(
+            "bi-directional beats uni-directional",
+            "Fig 4.c",
+            max(ratios) < 1.0,
+            f"bi/uni ratios {', '.join(f'{r:.2f}' for r in ratios)}",
+        )
+    )
+
+    # --- Figure 5: sqrt-P speedup ----------------------------------------- #
+    strong = fig5_strong_scaling(16_000, 10.0, [1, 4, 16, 64], seed=seed, searches=2)
+    speedups = speedup_curve(np.array([t for _p, t in strong]))
+    a, sqrt_r2 = sqrt_fit(np.array([1, 4, 16, 64]), speedups)
+    checks.append(
+        Check(
+            "strong-scaling speedup ~ sqrt(P), tapering",
+            "Fig 5",
+            a > 0.3 and sqrt_r2 > 0.6 and speedups[-1] < 0.6 * 64,
+            f"speedup(64) = {speedups[-1]:.1f}, sqrt-fit R^2 {sqrt_r2:.2f}",
+        )
+    )
+
+    # --- Figure 6: 1D/2D crossover ---------------------------------------- #
+    n6, p6 = 20_000, 16
+    low = fig6_partition_volume(n6, 5.0, p6, seed=seed)
+    high = fig6_partition_volume(n6, 50.0, p6, seed=seed)
+    k_star = crossover_degree(n6, p6)
+    checks.append(
+        Check(
+            "1D wins at low degree, 2D at high degree",
+            "Fig 6.a",
+            low["1d"].sum() < low["2d"].sum() and high["2d"].sum() < high["1d"].sum(),
+            f"k=5: 1D/2D {low['1d'].sum() / low['2d'].sum():.2f}; "
+            f"k=50: {high['1d'].sum() / high['2d'].sum():.2f}",
+        )
+    )
+    checks.append(
+        Check(
+            "analytic crossover brackets correctly",
+            "Fig 6.b",
+            partition_message_gap(k_star / 2, n6, p6) < 0
+            < partition_message_gap(k_star * 2, n6, p6),
+            f"k* = {k_star:.1f}",
+        )
+    )
+    k_paper = crossover_degree(4e7, 400)
+    checks.append(
+        Check(
+            "paper-scale crossover near the reported k = 34",
+            "Fig 6.b",
+            28 <= k_paper <= 37,
+            f"solved k = {k_paper:.2f} at n=4e7, P=400",
+        )
+    )
+
+    # --- Figure 7: union-fold redundancy --------------------------------- #
+    red_low = fig7_redundancy([9, 36], 400, 10.0, seed=seed,
+                              opts=BfsOptions(fold_collective="union-ring"))
+    red_high = fig7_redundancy([9, 36], 60, 60.0, seed=seed,
+                               opts=BfsOptions(fold_collective="union-ring"))
+    checks.append(
+        Check(
+            "union-fold removes more on denser graphs, declines with P",
+            "Fig 7",
+            red_high[0][1] > red_low[0][1] and red_high[1][1] < red_high[0][1],
+            f"k=60: {red_high[0][1]:.1f}% -> {red_high[1][1]:.1f}%; "
+            f"k=10: {red_low[0][1]:.1f}%",
+        )
+    )
+
+    # --- Section 2.4: memory headline ------------------------------------- #
+    model = MemoryModel(n=100_000 * 32_768, k=10.0, grid=GridShape(128, 256))
+    checks.append(
+        Check(
+            "3.2B vertices fit 32768 x 512 MB nodes",
+            "abstract / §2.4",
+            fits_in_memory(model, BLUEGENE_L_NODE_MEMORY),
+            f"{model.total_bytes / 2**20:.1f} MB/rank of 512 MB",
+        )
+    )
+    return checks
+
+
+def format_scorecard(checks: list[Check]) -> str:
+    """Render the PASS/FAIL table."""
+    rows = [
+        [c.source, c.claim, "PASS" if c.passed else "FAIL", c.detail] for c in checks
+    ]
+    table = format_table(["source", "claim", "verdict", "measured"], rows)
+    passed = sum(c.passed for c in checks)
+    return f"{table}\n\n{passed}/{len(checks)} claims reproduced"

@@ -1,0 +1,35 @@
+"""Parameter sweeps over experiment configurations."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import replace
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+
+def sweep(
+    base: ExperimentConfig,
+    variations: Iterable[dict],
+    *,
+    runner: Callable[[ExperimentConfig], ExperimentResult] = run_experiment,
+) -> list[ExperimentResult]:
+    """Run ``base`` once per variation dict (fields to replace on the config).
+
+    Nested replacement is supported for the graph spec via the special keys
+    ``n``, ``k`` and ``seed`` (convenience for weak-scaling sweeps where the
+    graph grows with P).
+    """
+    results: list[ExperimentResult] = []
+    for idx, overrides in enumerate(variations):
+        overrides = dict(overrides)
+        graph = base.graph
+        graph_overrides = {
+            key: overrides.pop(key) for key in ("n", "k", "seed") if key in overrides
+        }
+        if graph_overrides:
+            graph = replace(graph, **graph_overrides)
+        name = overrides.pop("name", f"{base.name}[{idx}]")
+        config = replace(base, name=name, graph=graph, **overrides)
+        results.append(runner(config))
+    return results

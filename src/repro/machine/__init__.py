@@ -1,0 +1,19 @@
+"""Machine models: 3D torus topology, task mapping, BlueGene/L cost model."""
+
+from repro.machine.torus import Torus3D
+from repro.machine.mapping import TaskMapping, row_major_mapping, planar_mapping
+from repro.machine.bluegene import MachineModel, BLUEGENE_L, bluegene_l_torus_for
+from repro.machine.cluster import MCR_CLUSTER, FlatNetwork, flat_network_for
+
+__all__ = [
+    "Torus3D",
+    "TaskMapping",
+    "row_major_mapping",
+    "planar_mapping",
+    "MachineModel",
+    "BLUEGENE_L",
+    "bluegene_l_torus_for",
+    "MCR_CLUSTER",
+    "FlatNetwork",
+    "flat_network_for",
+]

@@ -1,0 +1,62 @@
+"""MCR-style Linux-cluster model (the paper's comparison platform).
+
+MCR was a Quadrics QsNet (fat-tree) Linux cluster at LLNL.  A fat tree is
+modelled as a flat network: every pair of nodes is one "hop" apart, with
+the switch crossing folded into a slightly higher alpha.  Used only for the
+qualitative platform comparison the paper makes in Section 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.bluegene import MachineModel
+from repro.machine.mapping import TaskMapping
+from repro.machine.torus import Torus3D
+from repro.types import GridShape
+
+#: MCR (Quadrics QsNet Elan3) calibrated parameters: ~340 MB/s links,
+#: ~4.5 us MPI latency, 2.4 GHz Xeons (faster per-element compute than BG/L).
+MCR_CLUSTER = MachineModel(
+    name="MCR",
+    alpha=4.5e-6,
+    per_hop=5.0e-8,
+    bandwidth=340e6,
+    bytes_per_vertex=8,
+    edge_scan_cost=5.0e-9,
+    hash_lookup_cost=8.0e-8,
+    update_cost=1.5e-8,
+)
+
+
+class FlatNetwork(Torus3D):
+    """A single-switch (fat-tree-abstracted) network.
+
+    Every distinct pair of nodes is one hop apart, and each transfer uses
+    one virtual link per *endpoint pair*, so contention only appears when
+    several messages share an endpoint — a reasonable first-order fat-tree
+    abstraction.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes, 1, 1)
+
+    def hop_distance(self, a: int, b: int) -> int:
+        self._check_node(a)
+        self._check_node(b)
+        return 0 if a == b else 1
+
+    def hop_distance_many(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        return (a != b).astype(np.int64)
+
+    def route(self, a: int, b: int) -> list[tuple[int, int]]:
+        self._check_node(a)
+        self._check_node(b)
+        return [] if a == b else [(a, b)]
+
+
+def flat_network_for(grid: GridShape) -> TaskMapping:
+    """Identity mapping of the mesh onto a :class:`FlatNetwork`."""
+    return TaskMapping(grid, FlatNetwork(grid.size), np.arange(grid.size, dtype=np.int64))

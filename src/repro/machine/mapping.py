@@ -1,0 +1,127 @@
+"""Task mapping: placing the logical 2D processor mesh onto the physical torus.
+
+Section 3.2.1 / Figure 1 of the paper: the ``Lx x Ly`` logical processor
+array is divided into ``wc x wr`` planes, and each plane is mapped to one
+``z``-plane of the ``wc x wr x 4`` torus such that planes in the same
+logical column land on *adjacent* physical planes.  The effect is that the
+ranks of a processor-column (the expand communicator) sit on a short
+physical ring, and the ranks of a processor-row (the fold communicator)
+form a small grid spanning several planes.
+
+:func:`planar_mapping` generalises that construction to any torus whose
+node count matches the mesh; :func:`row_major_mapping` is the naive
+baseline used by the mapping ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.machine.torus import Torus3D
+from repro.types import GridShape
+
+
+class TaskMapping:
+    """An assignment of logical mesh ranks to physical torus nodes."""
+
+    __slots__ = ("grid", "torus", "rank_to_node")
+
+    def __init__(self, grid: GridShape, torus: Torus3D, rank_to_node: np.ndarray) -> None:
+        rank_to_node = np.asarray(rank_to_node, dtype=np.int64)
+        if rank_to_node.shape != (grid.size,):
+            raise TopologyError(
+                f"mapping must cover all {grid.size} ranks, got shape {rank_to_node.shape}"
+            )
+        if grid.size > torus.num_nodes:
+            raise TopologyError(
+                f"mesh of {grid.size} ranks does not fit torus of {torus.num_nodes} nodes"
+            )
+        if np.unique(rank_to_node).shape[0] != grid.size:
+            raise TopologyError("mapping assigns two ranks to the same node")
+        if rank_to_node.min() < 0 or rank_to_node.max() >= torus.num_nodes:
+            raise TopologyError("mapping contains out-of-range node ids")
+        self.grid = grid
+        self.torus = torus
+        self.rank_to_node = rank_to_node
+
+    def node_of(self, rank: int) -> int:
+        """Physical node hosting logical ``rank``."""
+        return int(self.rank_to_node[rank])
+
+    def hops(self, rank_a: int, rank_b: int) -> int:
+        """Physical hop distance between two logical ranks."""
+        return self.torus.hop_distance(self.node_of(rank_a), self.node_of(rank_b))
+
+    # ------------------------------------------------------------------ #
+    # quality metrics (used by the mapping ablation)
+    # ------------------------------------------------------------------ #
+    def mean_group_hops(self, group: list[int]) -> float:
+        """Mean pairwise hop distance within a communicator ``group``."""
+        if len(group) < 2:
+            return 0.0
+        nodes = self.rank_to_node[np.asarray(group)]
+        a = np.repeat(nodes, len(group))
+        b = np.tile(nodes, len(group))
+        dists = self.torus.hop_distance_many(a, b)
+        return float(dists.sum()) / (len(group) * (len(group) - 1))
+
+    def ring_hops(self, group: list[int]) -> int:
+        """Total hops of the ring ``group[0] -> group[1] -> ... -> group[0]``."""
+        if len(group) < 2:
+            return 0
+        total = 0
+        for idx, rank in enumerate(group):
+            total += self.hops(rank, group[(idx + 1) % len(group)])
+        return total
+
+    def column_ring_hops(self) -> float:
+        """Mean ring length (hops) over all processor-columns (expand rings)."""
+        cols = [self.grid.col_members(c) for c in range(self.grid.cols)]
+        return float(np.mean([self.ring_hops(g) for g in cols]))
+
+    def row_ring_hops(self) -> float:
+        """Mean ring length (hops) over all processor-rows (fold rings)."""
+        rows = [self.grid.row_members(r) for r in range(self.grid.rows)]
+        return float(np.mean([self.ring_hops(g) for g in rows]))
+
+
+def row_major_mapping(grid: GridShape, torus: Torus3D) -> TaskMapping:
+    """Naive mapping: logical rank ``r`` on physical node ``r``."""
+    return TaskMapping(grid, torus, np.arange(grid.size, dtype=np.int64))
+
+
+def planar_mapping(grid: GridShape, torus: Torus3D) -> TaskMapping:
+    """The paper's Figure 1 mapping, generalised.
+
+    The logical ``R x C`` mesh is cut into ``Z`` tiles of consecutive
+    logical columns (``Z`` = torus depth); tile ``t`` occupies physical
+    plane ``z = t``, filled in column-major snake order so consecutive
+    logical rows are physically adjacent.  Consecutive tiles hold
+    consecutive column ranges, so a processor-row spans adjacent planes
+    (short fold grid) and a processor-column stays inside one or two planes
+    (short expand ring) — the property Figure 1 is after.
+
+    Requires ``R * C == X * Y * Z`` and ``C % Z == 0``; fall back to
+    :func:`row_major_mapping` when the shapes are incompatible.
+    """
+    x_dim, y_dim, z_dim = torus.dims
+    R, C = grid.rows, grid.cols
+    if R * C != torus.num_nodes or C % z_dim != 0:
+        return row_major_mapping(grid, torus)
+    cols_per_plane = C // z_dim
+    if R * cols_per_plane != x_dim * y_dim:
+        return row_major_mapping(grid, torus)
+
+    rank_to_node = np.empty(grid.size, dtype=np.int64)
+    for rank in range(grid.size):
+        i, j = grid.coords_of(rank)
+        plane = j // cols_per_plane
+        local_col = j % cols_per_plane
+        # Fill each plane column-major with a snake over logical rows so
+        # that both directions stay physically near.
+        linear = local_col * R + (i if local_col % 2 == 0 else R - 1 - i)
+        px = linear % x_dim
+        py = linear // x_dim
+        rank_to_node[rank] = torus.node_of(px, py, plane)
+    return TaskMapping(grid, torus, rank_to_node)

@@ -1,0 +1,138 @@
+"""3D torus interconnect topology (BlueGene/L's main network).
+
+Nodes are identified by linear ids over an ``X x Y x Z`` grid with
+wrap-around links in every dimension; routing is dimension-ordered
+(e-cube), matching BlueGene/L's deterministic torus routing.  The topology
+layer knows nothing about time — costs live in
+:class:`repro.machine.bluegene.MachineModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+
+class Torus3D:
+    """An ``X x Y x Z`` torus with bidirectional nearest-neighbour links."""
+
+    __slots__ = ("dims",)
+
+    def __init__(self, x: int, y: int, z: int = 1) -> None:
+        if min(x, y, z) < 1:
+            raise TopologyError(f"torus dimensions must be positive, got ({x},{y},{z})")
+        self.dims = (int(x), int(y), int(z))
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count ``X * Y * Z``."""
+        x, y, z = self.dims
+        return x * y * z
+
+    # ------------------------------------------------------------------ #
+    # coordinates
+    # ------------------------------------------------------------------ #
+    def coords_of(self, node: int) -> tuple[int, int, int]:
+        """Coordinates ``(x, y, z)`` of a linear node id (x fastest)."""
+        self._check_node(node)
+        x_dim, y_dim, _ = self.dims
+        x = node % x_dim
+        y = (node // x_dim) % y_dim
+        z = node // (x_dim * y_dim)
+        return (x, y, z)
+
+    def node_of(self, x: int, y: int, z: int = 0) -> int:
+        """Linear node id of coordinates ``(x, y, z)``."""
+        x_dim, y_dim, z_dim = self.dims
+        if not (0 <= x < x_dim and 0 <= y < y_dim and 0 <= z < z_dim):
+            raise TopologyError(f"coords ({x},{y},{z}) outside torus {self.dims}")
+        return x + x_dim * (y + y_dim * z)
+
+    # ------------------------------------------------------------------ #
+    # distances and routing
+    # ------------------------------------------------------------------ #
+    def hop_distance(self, a: int, b: int) -> int:
+        """Minimal hop count between nodes ``a`` and ``b`` (torus metric)."""
+        ca, cb = self.coords_of(a), self.coords_of(b)
+        return sum(self._dim_distance(ca[d], cb[d], self.dims[d]) for d in range(3))
+
+    def hop_distance_many(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`hop_distance` over arrays of node ids."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        x_dim, y_dim, z_dim = self.dims
+        total = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        for coord_a, coord_b, dim in (
+            (a % x_dim, b % x_dim, x_dim),
+            ((a // x_dim) % y_dim, (b // x_dim) % y_dim, y_dim),
+            (a // (x_dim * y_dim), b // (x_dim * y_dim), z_dim),
+        ):
+            delta = np.abs(coord_a - coord_b)
+            total += np.minimum(delta, dim - delta)
+        return total
+
+    def route(self, a: int, b: int) -> list[tuple[int, int]]:
+        """Dimension-ordered path from ``a`` to ``b`` as directed node pairs.
+
+        Each returned ``(u, v)`` is one traversed physical link.  Used by
+        the contention model to count per-link loads within a round.
+        """
+        path: list[tuple[int, int]] = []
+        cur = list(self.coords_of(a))
+        target = self.coords_of(b)
+        for d in range(3):
+            dim = self.dims[d]
+            step = self._dim_step(cur[d], target[d], dim)
+            while cur[d] != target[d]:
+                prev_node = self.node_of(*cur)
+                cur[d] = (cur[d] + step) % dim
+                path.append((prev_node, self.node_of(*cur)))
+        return path
+
+    def neighbors(self, node: int) -> list[int]:
+        """The (up to six) distinct nearest neighbours of ``node``."""
+        coords = self.coords_of(node)
+        result: set[int] = set()
+        for d in range(3):
+            if self.dims[d] == 1:
+                continue
+            for step in (-1, 1):
+                shifted = list(coords)
+                shifted[d] = (shifted[d] + step) % self.dims[d]
+                result.add(self.node_of(*shifted))
+        result.discard(node)
+        return sorted(result)
+
+    @property
+    def bisection_links(self) -> int:
+        """Number of unidirectional links crossing the best bisection plane."""
+        x, y, z = sorted(self.dims, reverse=True)
+        # Cut the longest dimension in half; the torus wraps, so two planes
+        # of y*z links each cross the cut (or one if that dimension is 2).
+        crossing_planes = 2 if x > 2 else 1
+        return crossing_planes * y * z
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _dim_distance(a: int, b: int, dim: int) -> int:
+        delta = abs(a - b)
+        return min(delta, dim - delta)
+
+    @staticmethod
+    def _dim_step(a: int, b: int, dim: int) -> int:
+        """Direction (+1/-1) of the shorter way around dimension ``dim``."""
+        if a == b:
+            return 0
+        forward = (b - a) % dim
+        backward = (a - b) % dim
+        return 1 if forward <= backward else -1
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise TopologyError(f"node {node} outside torus of {self.num_nodes} nodes")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Torus3D{self.dims}"

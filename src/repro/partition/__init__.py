@@ -1,0 +1,22 @@
+"""Graph partitioning: 1D vertex partitioning and the paper's 2D edge partitioning."""
+
+from repro.partition.base import BlockDistribution, Partition
+from repro.partition.indexing import VertexIndexMap
+from repro.partition.one_d import OneDPartition, RankLocal1D
+from repro.partition.two_d import TwoDPartition, RankLocal2D
+from repro.partition.balance import balance_report, BalanceReport
+from repro.partition.permutation import VertexRelabeling, relabel_graph
+
+__all__ = [
+    "VertexRelabeling",
+    "relabel_graph",
+    "BlockDistribution",
+    "Partition",
+    "VertexIndexMap",
+    "OneDPartition",
+    "RankLocal1D",
+    "TwoDPartition",
+    "RankLocal2D",
+    "balance_report",
+    "BalanceReport",
+]

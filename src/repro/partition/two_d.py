@@ -1,0 +1,217 @@
+"""2D (edge) partitioning — the paper's contribution (Section 2.2).
+
+The ``P = R * C`` ranks form an ``R x C`` logical mesh.  The adjacency
+matrix is divided into ``R * C`` block rows and ``C`` block columns; rank
+``(i, j)`` owns the ``C`` blocks ``A^(s)_{i,j}`` — the matrix entries whose
+row falls in block row ``s*R + i`` (any ``s``) and whose column falls in
+column chunk ``j``.  Rank ``(i, j)`` *owns* the vertices of block row
+``j*R + i``.
+
+A vertex's edge list is a *column* of the adjacency matrix, so the partial
+edge lists of a vertex owned by rank ``(i, j)`` live on the ranks of
+processor-column ``j`` — which is why the *expand* runs down processor
+columns.  The neighbours a rank discovers fall in its stored block rows,
+whose owners all sit in processor-row ``i`` — which is why the *fold* runs
+across processor rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CsrGraph
+from repro.partition.base import BlockDistribution, Partition
+from repro.partition.indexing import VertexIndexMap
+from repro.types import VERTEX_DTYPE, GridShape, as_vertex_array
+
+
+@dataclass(frozen=True, slots=True)
+class RankLocal2D:
+    """Per-rank storage for the 2D layout.
+
+    The stored blocks are kept as *column edge lists* in CSR-of-columns
+    form: ``col_map.ids[c]`` is a global vertex id with a non-empty partial
+    edge list on this rank, and ``rows[col_indptr[c]:col_indptr[c+1]]`` are
+    the (global) row ids adjacent to it here.  Only non-empty columns are
+    indexed — the Section 2.4.1 memory optimisation that keeps storage
+    O(n/P) in expectation.
+    """
+
+    rank: int
+    mesh_row: int
+    mesh_col: int
+    vertex_lo: int
+    vertex_hi: int
+    col_map: VertexIndexMap
+    col_indptr: np.ndarray
+    rows: np.ndarray
+    row_map: VertexIndexMap
+
+    @property
+    def num_owned(self) -> int:
+        """Number of vertices owned by this rank."""
+        return self.vertex_hi - self.vertex_lo
+
+    @property
+    def num_stored_entries(self) -> int:
+        """Number of adjacency-matrix entries stored on this rank."""
+        return int(self.rows.shape[0])
+
+    @property
+    def num_nonempty_columns(self) -> int:
+        """Number of non-empty partial edge lists (Section 2.4.1 bound)."""
+        return len(self.col_map)
+
+    @property
+    def num_unique_row_vertices(self) -> int:
+        """Unique vertices appearing in stored edge lists (Section 2.4.1 bound)."""
+        return len(self.row_map)
+
+    def partial_neighbors(self, frontier_global: np.ndarray) -> np.ndarray:
+        """Merge the stored partial edge lists of the given frontier vertices.
+
+        ``frontier_global`` is the column-expanded frontier ``F-bar``
+        (Algorithm 2, step 12); vertices without a partial list here are
+        skipped.  Returns global row ids, duplicates included.
+        """
+        frontier_global = as_vertex_array(frontier_global)
+        if frontier_global.size == 0:
+            return np.empty(0, dtype=VERTEX_DTYPE)
+        _, local_cols = self.col_map.to_local_partial(frontier_global)
+        if local_cols.size == 0:
+            return np.empty(0, dtype=VERTEX_DTYPE)
+        starts = self.col_indptr[local_cols]
+        stops = self.col_indptr[local_cols + 1]
+        lengths = stops - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=VERTEX_DTYPE)
+        out_offsets = np.concatenate(([0], np.cumsum(lengths)))
+        gather = np.arange(total, dtype=VERTEX_DTYPE)
+        gather += np.repeat(starts - out_offsets[:-1], lengths)
+        return self.rows[gather]
+
+
+class TwoDPartition(Partition):
+    """An ``R x C`` 2D edge partitioning of an undirected graph."""
+
+    def __init__(self, graph: CsrGraph, grid: GridShape) -> None:
+        self.n = graph.n
+        self.grid = grid
+        #: block-row distribution: n vertices over R*C contiguous block rows
+        self.dist = BlockDistribution(graph.n, grid.size)
+        self._locals: list[RankLocal2D] = self._build_locals(graph)
+
+    @classmethod
+    def from_locals(
+        cls, n: int, grid: GridShape, locals_: list[RankLocal2D]
+    ) -> "TwoDPartition":
+        """Assemble a partition from pre-built per-rank structures.
+
+        Used by the distributed generator
+        (:class:`repro.graph.distributed_gen.DistributedGraphBuilder`),
+        which produces each rank's blocks without materialising the global
+        graph.
+        """
+        if len(locals_) != grid.size:
+            raise PartitionError(
+                f"need {grid.size} rank structures, got {len(locals_)}"
+            )
+        partition = cls.__new__(cls)
+        partition.n = int(n)
+        partition.grid = grid
+        partition.dist = BlockDistribution(n, grid.size)
+        for rank, loc in enumerate(locals_):
+            if loc.rank != rank:
+                raise PartitionError(
+                    f"rank structure {loc.rank} supplied at position {rank}"
+                )
+        partition._locals = list(locals_)
+        return partition
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build_locals(self, graph: CsrGraph) -> list[RankLocal2D]:
+        R, C = self.grid.rows, self.grid.cols
+        # Every stored directed entry A[u, v]: row u, column v.
+        src = np.repeat(
+            np.arange(graph.n, dtype=VERTEX_DTYPE), np.diff(graph.indptr)
+        )
+        dst = graph.indices
+        # Owning rank of entry (u, v): mesh row = blockrow(u) mod R,
+        # mesh col = column chunk of v = blockrow(v) div R.
+        u_block = self.dist.part_of(src) if src.size else src
+        v_block = self.dist.part_of(dst) if dst.size else dst
+        mesh_i = u_block % R
+        mesh_j = v_block // R
+        rank_of_entry = mesh_i * C + mesh_j
+
+        order = np.lexsort((src, dst, rank_of_entry)) if src.size else np.empty(0, np.int64)
+        src, dst, rank_of_entry = src[order], dst[order], rank_of_entry[order]
+        boundaries = np.searchsorted(rank_of_entry, np.arange(self.nranks + 1))
+
+        locals_: list[RankLocal2D] = []
+        for rank in range(self.nranks):
+            i, j = self.grid.coords_of(rank)
+            lo_entry, hi_entry = int(boundaries[rank]), int(boundaries[rank + 1])
+            cols = dst[lo_entry:hi_entry]  # sorted (by dst, then src)
+            rows = src[lo_entry:hi_entry]
+            col_ids, col_counts = np.unique(cols, return_counts=True)
+            col_indptr = np.concatenate(([0], np.cumsum(col_counts))).astype(VERTEX_DTYPE)
+            own_block = j * R + i
+            lo, hi = self.dist.range_of(own_block)
+            locals_.append(
+                RankLocal2D(
+                    rank=rank,
+                    mesh_row=i,
+                    mesh_col=j,
+                    vertex_lo=lo,
+                    vertex_hi=hi,
+                    col_map=VertexIndexMap(col_ids),
+                    col_indptr=col_indptr,
+                    rows=rows.copy(),
+                    row_map=VertexIndexMap(np.unique(rows)),
+                )
+            )
+        return locals_
+
+    # ------------------------------------------------------------------ #
+    # ownership
+    # ------------------------------------------------------------------ #
+    def owner_of(self, vertices) -> np.ndarray:
+        """Mesh owner of each vertex: block row ``g`` maps to rank ``(g % R, g // R)``."""
+        R, C = self.grid.rows, self.grid.cols
+        g = self.dist.part_of(vertices)
+        return (g % R) * C + (g // R)
+
+    def owned_vertices(self, rank: int) -> np.ndarray:
+        loc = self.local(rank)
+        return np.arange(loc.vertex_lo, loc.vertex_hi, dtype=VERTEX_DTYPE)
+
+    def column_chunk_range(self, mesh_col: int) -> tuple[int, int]:
+        """Global vertex range whose edge lists live on processor-column ``mesh_col``."""
+        R = self.grid.rows
+        if not (0 <= mesh_col < self.grid.cols):
+            raise PartitionError(f"mesh column {mesh_col} out of range")
+        lo = int(self.dist.offsets[mesh_col * R])
+        hi = int(self.dist.offsets[(mesh_col + 1) * R])
+        return lo, hi
+
+    def local(self, rank: int) -> RankLocal2D:
+        """Per-rank storage object."""
+        if not (0 <= rank < self.nranks):
+            raise PartitionError(f"rank {rank} out of range [0, {self.nranks})")
+        return self._locals[rank]
+
+    def memory_footprint(self, rank: int) -> dict[str, int]:
+        loc = self.local(rank)
+        return {
+            "owned_vertices": loc.num_owned,
+            "edge_entries": loc.num_stored_entries,
+            "nonempty_columns": loc.num_nonempty_columns,
+            "unique_row_vertices": loc.num_unique_row_vertices,
+        }

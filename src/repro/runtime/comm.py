@@ -1,0 +1,154 @@
+"""The virtual communicator: synchronous message rounds over the network model.
+
+This is the library's stand-in for an MPI communicator.  BFS drivers and
+collective algorithms talk to it exclusively through:
+
+* :meth:`Communicator.exchange` — one synchronous round of point-to-point
+  messages (payloads are int64 vertex arrays, chunked to the fixed buffer
+  capacity of Section 3.1),
+* :meth:`Communicator.allreduce_sum` / :meth:`allreduce_flag` — the global
+  termination check of the level-synchronous loop,
+* :meth:`Communicator.charge_compute` — local-work cost accounting.
+
+Messages are delivered exactly (the receiving code sees real data); time is
+charged through the :class:`~repro.runtime.network.Network` contention
+model and the per-rank :class:`~repro.runtime.clock.SimClock`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.machine.bluegene import MachineModel
+from repro.machine.mapping import TaskMapping
+from repro.runtime.clock import SimClock
+from repro.runtime.message import chunk_payload
+from repro.runtime.network import Network, Transfer
+from repro.runtime.stats import CommStats
+from repro.types import as_vertex_array
+
+#: payload type of one round: {src_rank: {dst_rank: vertex-array}}
+Outbox = dict[int, dict[int, np.ndarray]]
+#: delivery type of one round: {dst_rank: [(src_rank, vertex-array), ...]}
+Inbox = dict[int, list[tuple[int, np.ndarray]]]
+
+
+class Communicator:
+    """A P-rank virtual communicator with simulated-time accounting."""
+
+    def __init__(
+        self,
+        mapping: TaskMapping,
+        model: MachineModel,
+        *,
+        buffer_capacity: int | None = None,
+    ) -> None:
+        self.mapping = mapping
+        self.model = model
+        self.network = Network(mapping, model)
+        self.nranks = mapping.grid.size
+        self.grid = mapping.grid
+        self.buffer_capacity = buffer_capacity
+        self.clock = SimClock(self.nranks)
+        self.stats = CommStats(self.nranks)
+
+    # ------------------------------------------------------------------ #
+    # point-to-point rounds
+    # ------------------------------------------------------------------ #
+    def exchange(
+        self,
+        outbox: Outbox,
+        phase: str,
+        participants: list[int] | None = None,
+        *,
+        sync: bool = True,
+    ) -> Inbox:
+        """Execute one synchronous round of point-to-point messages.
+
+        Every payload is chunked to ``buffer_capacity`` (each chunk is a
+        separate message paying its own latency — the cost of the paper's
+        fixed-length buffers).  Participants are barrier-synchronised after
+        the round unless ``sync=False``.
+        """
+        transfers: list[Transfer] = []
+        inbox: Inbox = {}
+        for src, dests in outbox.items():
+            self._check_rank(src)
+            for dst, payload in dests.items():
+                self._check_rank(dst)
+                payload = as_vertex_array(payload)
+                for chunk in chunk_payload(payload, self.buffer_capacity):
+                    transfers.append(Transfer(src, dst, int(chunk.size)))
+                    inbox.setdefault(dst, []).append((src, chunk))
+                    self.stats.record_message(
+                        dst, int(chunk.size), int(chunk.size) * self.model.bytes_per_vertex,
+                        phase,
+                    )
+
+        send_time, recv_time = self.network.round_times(transfers)
+        self.clock.advance_many(np.maximum(send_time, recv_time), kind="comm")
+        if sync:
+            self.barrier(participants)
+        return inbox
+
+    def barrier(self, participants: list[int] | None = None) -> None:
+        """Synchronise ``participants`` (default: all ranks)."""
+        self.clock.sync(participants)
+
+    # ------------------------------------------------------------------ #
+    # reductions (termination checks)
+    # ------------------------------------------------------------------ #
+    def allreduce_sum(self, values: np.ndarray) -> float:
+        """Global sum of one scalar per rank; charges a log2(P)-deep tree."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.nranks,):
+            raise CommunicationError(
+                f"allreduce expects one value per rank ({self.nranks}), got {values.shape}"
+            )
+        depth = max(1, math.ceil(math.log2(self.nranks))) if self.nranks > 1 else 0
+        cost = depth * self.model.message_time(1, hops=1)
+        self.clock.advance_many(np.full(self.nranks, cost), kind="comm")
+        self.barrier()
+        return float(values.sum())
+
+    def allreduce_flag(self, flags: np.ndarray) -> bool:
+        """Global logical OR of one flag per rank."""
+        return self.allreduce_sum(np.asarray(flags, dtype=np.float64)) > 0.0
+
+    def allreduce_min(self, values: np.ndarray) -> float:
+        """Global minimum of one scalar per rank (same cost as a sum)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.nranks,):
+            raise CommunicationError(
+                f"allreduce expects one value per rank ({self.nranks}), got {values.shape}"
+            )
+        depth = max(1, math.ceil(math.log2(self.nranks))) if self.nranks > 1 else 0
+        cost = depth * self.model.message_time(1, hops=1)
+        self.clock.advance_many(np.full(self.nranks, cost), kind="comm")
+        self.barrier()
+        return float(values.min())
+
+    # ------------------------------------------------------------------ #
+    # compute-side accounting
+    # ------------------------------------------------------------------ #
+    def charge_compute(
+        self,
+        rank: int,
+        *,
+        edges_scanned: int = 0,
+        hash_lookups: int = 0,
+        updates: int = 0,
+    ) -> None:
+        """Charge local BFS work on ``rank`` through the machine model."""
+        self._check_rank(rank)
+        seconds = self.model.compute_time(
+            edges_scanned=edges_scanned, hash_lookups=hash_lookups, updates=updates
+        )
+        self.clock.advance(rank, seconds, kind="compute")
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.nranks):
+            raise CommunicationError(f"rank {rank} out of range [0, {self.nranks})")

@@ -1,0 +1,74 @@
+"""Message payloads and fixed-length buffers (Section 3.1).
+
+Payloads are always contiguous ``int64`` NumPy arrays of vertex ids — the
+buffer-provider fast path from the mpi4py idiom.  The paper's key memory
+optimisation is that message buffers have a *fixed* capacity independent of
+P; :func:`chunk_payload` splits an oversized payload into capacity-sized
+chunks, and :class:`MessageBuffer` enforces the cap on accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BufferOverflowError
+from repro.types import VERTEX_DTYPE, as_vertex_array
+
+
+def chunk_payload(payload: np.ndarray, capacity: int | None) -> list[np.ndarray]:
+    """Split ``payload`` into chunks of at most ``capacity`` vertices.
+
+    ``capacity=None`` means unbounded (a single chunk).  An empty payload
+    yields an empty list — nothing to send.
+    """
+    payload = as_vertex_array(payload)
+    if payload.size == 0:
+        return []
+    if capacity is None:
+        return [payload]
+    if capacity < 1:
+        raise BufferOverflowError(f"buffer capacity must be positive, got {capacity}")
+    return [payload[i : i + capacity] for i in range(0, payload.size, capacity)]
+
+
+class MessageBuffer:
+    """A fixed-capacity accumulation buffer of vertex ids.
+
+    Mirrors the per-destination staging buffer of the paper's
+    implementation: appends must fit the configured capacity, and
+    :meth:`drain` hands the content over (resetting the buffer).
+    """
+
+    __slots__ = ("capacity", "_store", "_used")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise BufferOverflowError(f"buffer capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._store = np.empty(capacity, dtype=VERTEX_DTYPE)
+        self._used = 0
+
+    def __len__(self) -> int:
+        return self._used
+
+    @property
+    def remaining(self) -> int:
+        """Free slots left in the buffer."""
+        return self.capacity - self._used
+
+    def append(self, vertices: np.ndarray) -> None:
+        """Append ``vertices``; raises :class:`BufferOverflowError` if they don't fit."""
+        vertices = as_vertex_array(vertices)
+        if vertices.size > self.remaining:
+            raise BufferOverflowError(
+                f"appending {vertices.size} vertices to a buffer with "
+                f"{self.remaining}/{self.capacity} slots free"
+            )
+        self._store[self._used : self._used + vertices.size] = vertices
+        self._used += vertices.size
+
+    def drain(self) -> np.ndarray:
+        """Return the buffered vertices (a copy) and reset the buffer."""
+        out = self._store[: self._used].copy()
+        self._used = 0
+        return out

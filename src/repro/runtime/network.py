@@ -1,0 +1,81 @@
+"""Network cost engine: routes messages, models contention, charges time.
+
+A *round* is a set of point-to-point transfers that are in flight
+simultaneously (all the sends of one collective phase).  For every
+transfer we route through the task mapping onto the physical topology,
+count how many transfers cross each directed link, and slow each transfer
+down by the maximum load along its path — a first-order store-and-share
+contention model for the BlueGene/L torus.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.bluegene import MachineModel
+from repro.machine.mapping import TaskMapping
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """One point-to-point message within a round (lengths in vertices)."""
+
+    src: int
+    dst: int
+    num_vertices: int
+
+
+class Network:
+    """Charges simulated time for rounds of transfers over a mapped topology."""
+
+    __slots__ = ("mapping", "model", "_route_cache")
+
+    def __init__(self, mapping: TaskMapping, model: MachineModel) -> None:
+        self.mapping = mapping
+        self.model = model
+        self._route_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
+
+    def hops(self, src: int, dst: int) -> int:
+        """Physical hop distance between logical ranks."""
+        return self.mapping.hops(src, dst)
+
+    def round_times(self, transfers: list[Transfer]) -> tuple[np.ndarray, np.ndarray]:
+        """Per-rank (send_time, recv_time) for one round of ``transfers``.
+
+        Self-sends cost nothing on the wire (they are local memcpys whose
+        processing cost is charged by the compute model).
+        """
+        nranks = self.mapping.grid.size
+        send_time = np.zeros(nranks, dtype=np.float64)
+        recv_time = np.zeros(nranks, dtype=np.float64)
+        wire = [t for t in transfers if t.src != t.dst]
+        if not wire:
+            return send_time, recv_time
+
+        link_load: Counter[tuple[int, int]] = Counter()
+        routes: list[list[tuple[int, int]]] = []
+        for t in wire:
+            route = self._route(t.src, t.dst)
+            routes.append(route)
+            link_load.update(route)
+
+        for t, route in zip(wire, routes):
+            contention = max((link_load[link] for link in route), default=1)
+            seconds = self.model.message_time(t.num_vertices, hops=len(route),
+                                              contention=float(contention))
+            send_time[t.src] += seconds
+            recv_time[t.dst] += seconds
+        return send_time, recv_time
+
+    def _route(self, src: int, dst: int) -> list[tuple[int, int]]:
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            cached = self.mapping.torus.route(
+                self.mapping.node_of(src), self.mapping.node_of(dst)
+            )
+            self._route_cache[key] = cached
+        return cached

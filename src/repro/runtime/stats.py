@@ -1,0 +1,162 @@
+"""Runtime statistics: message counts, volumes, redundancy, per-level series.
+
+These counters are what the paper's figures and tables are made of:
+
+* per-level *delivered* message volume (Figures 4.b and 6, Table 1's
+  average message lengths) — vertices arriving at the rank that needs
+  them,
+* *processed* volume — every vertex handled at every hop, including ring
+  forwarding; this is the paper's Figure 7 notion of "received" ("each
+  processor receives more messages ... because it passes the messages
+  using ring communications"),
+* duplicate vertices eliminated in-flight by the union-fold (Figure 7's
+  redundancy ratio numerator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(slots=True)
+class LevelStats:
+    """Aggregated communication counters for one BFS level."""
+
+    level: int
+    #: vertices delivered to their final consumer during expand
+    expand_received: int = 0
+    #: vertices delivered to their final consumer during fold
+    fold_received: int = 0
+    #: vertices handled at any hop (delivery + ring forwarding)
+    processed: int = 0
+    #: duplicate vertices removed in-flight by union reductions
+    duplicates_eliminated: int = 0
+    #: point-to-point messages sent this level
+    messages: int = 0
+    #: new vertices labelled at this level
+    frontier_size: int = 0
+    #: simulated communication seconds this level (slowest rank's delta)
+    comm_seconds: float = 0.0
+    #: simulated computation seconds this level (slowest rank's delta)
+    compute_seconds: float = 0.0
+
+    @property
+    def total_received(self) -> int:
+        """All vertices delivered this level (expand + fold)."""
+        return self.expand_received + self.fold_received
+
+
+class CommStats:
+    """Mutable per-run statistics collected by the communicator and collectives."""
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = int(nranks)
+        self.levels: list[LevelStats] = []
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.total_processed = 0
+        #: per-rank delivered vertex counts, split by phase
+        self.recv_by_rank: dict[str, np.ndarray] = {}
+        self._current: LevelStats | None = None
+
+    # ------------------------------------------------------------------ #
+    # level lifecycle
+    # ------------------------------------------------------------------ #
+    def begin_level(self, level: int) -> None:
+        """Open the counters for BFS level ``level``."""
+        if self._current is not None:
+            raise RuntimeError("previous level not closed")
+        self._current = LevelStats(level=level)
+
+    def end_level(
+        self,
+        frontier_size: int,
+        comm_seconds: float = 0.0,
+        compute_seconds: float = 0.0,
+    ) -> LevelStats:
+        """Close the current level, recording the new frontier size and the
+        level's simulated time split (slowest-rank deltas)."""
+        if self._current is None:
+            raise RuntimeError("no open level")
+        self._current.frontier_size = int(frontier_size)
+        self._current.comm_seconds = float(comm_seconds)
+        self._current.compute_seconds = float(compute_seconds)
+        self.levels.append(self._current)
+        done = self._current
+        self._current = None
+        return done
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_message(self, dst: int, num_vertices: int, nbytes: int, phase: str) -> None:
+        """Record one wire message (called by the communicator on every hop)."""
+        self.total_messages += 1
+        self.total_bytes += int(nbytes)
+        self.total_processed += int(num_vertices)
+        if self._current is not None:
+            self._current.messages += 1
+            self._current.processed += int(num_vertices)
+
+    def record_delivery(self, dst: int, num_vertices: int, phase: str) -> None:
+        """Record vertices arriving at their final consumer (called by collectives)."""
+        per_rank = self.recv_by_rank.setdefault(phase, np.zeros(self.nranks, dtype=np.int64))
+        per_rank[dst] += num_vertices
+        if self._current is not None:
+            if phase == "expand":
+                self._current.expand_received += int(num_vertices)
+            elif phase == "fold":
+                self._current.fold_received += int(num_vertices)
+
+    def record_duplicates(self, count: int) -> None:
+        """Record ``count`` duplicates eliminated in-flight by a union reduction."""
+        if self._current is not None:
+            self._current.duplicates_eliminated += int(count)
+
+    # ------------------------------------------------------------------ #
+    # derived series (figure/table inputs)
+    # ------------------------------------------------------------------ #
+    def volume_per_level(self, phase: str | None = None) -> np.ndarray:
+        """Delivered-vertex counts per level (Figures 4.b / 6 series)."""
+        if phase == "expand":
+            return np.array([s.expand_received for s in self.levels], dtype=np.int64)
+        if phase == "fold":
+            return np.array([s.fold_received for s in self.levels], dtype=np.int64)
+        return np.array([s.total_received for s in self.levels], dtype=np.int64)
+
+    def time_per_level(self, kind: str = "comm") -> np.ndarray:
+        """Per-level simulated seconds: ``kind`` is ``"comm"`` or ``"compute"``."""
+        if kind == "comm":
+            return np.array([s.comm_seconds for s in self.levels])
+        if kind == "compute":
+            return np.array([s.compute_seconds for s in self.levels])
+        raise ValueError(f"kind must be 'comm' or 'compute', got {kind!r}")
+
+    def mean_message_length_per_level(self, phase: str, nranks_receiving: int) -> float:
+        """Average vertices delivered per rank per level for ``phase`` (Table 1)."""
+        if not self.levels or nranks_receiving <= 0:
+            return 0.0
+        per_level = self.volume_per_level(phase)
+        return float(per_level.mean() / nranks_receiving)
+
+    @property
+    def total_duplicates(self) -> int:
+        """All duplicates eliminated in-flight over the whole run."""
+        return sum(s.duplicates_eliminated for s in self.levels)
+
+    @property
+    def redundancy_ratio(self) -> float:
+        """Duplicates eliminated / total vertices processed (Figure 7), in [0, 1).
+
+        The denominator is what ranks handled *plus* what the union saved
+        (i.e. the volume that would have been handled without in-flight
+        elimination), so the ratio reads "fraction of traffic the
+        union-fold removed".  It declines with P because ring forwarding
+        inflates the processed volume — the paper's own explanation.
+        """
+        eliminated = self.total_duplicates
+        processed = sum(s.processed for s in self.levels)
+        total = processed + eliminated
+        return eliminated / total if total else 0.0

@@ -1,0 +1,127 @@
+"""Message-level event tracing.
+
+A :class:`TraceRecorder` attached to a communicator captures one event per
+wire message — (simulated send time, src, dst, vertices, phase) — enabling
+timeline analysis beyond the aggregate counters in
+:class:`~repro.runtime.stats.CommStats`: per-rank load profiles, busiest
+links, phase overlap.  Export to CSV/JSON for external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.runtime.comm import Communicator
+
+
+@dataclass(frozen=True, slots=True)
+class MessageEvent:
+    """One wire message, stamped with the sender's simulated clock."""
+
+    time: float
+    src: int
+    dst: int
+    num_vertices: int
+    phase: str
+
+
+class TraceRecorder:
+    """Captures every wire message passing through one communicator.
+
+    Installed by wrapping :meth:`Communicator.exchange`; detach with
+    :meth:`uninstall`.  Usable as a context manager.
+    """
+
+    def __init__(self, comm: Communicator) -> None:
+        self.comm = comm
+        self.events: list[MessageEvent] = []
+        self._original_exchange = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def install(self) -> "TraceRecorder":
+        """Start capturing (idempotent)."""
+        if self._original_exchange is not None:
+            return self
+        original = self.comm.exchange
+
+        def traced_exchange(outbox, phase, participants=None, *, sync=True):
+            for src, dests in outbox.items():
+                stamp = float(self.comm.clock.time[src])
+                for dst, payload in dests.items():
+                    size = int(np.size(payload))
+                    if size:
+                        self.events.append(MessageEvent(stamp, src, dst, size, phase))
+            return original(outbox, phase, participants, sync=sync)
+
+        self.comm.exchange = traced_exchange  # type: ignore[method-assign]
+        self._original_exchange = original
+        return self
+
+    def uninstall(self) -> None:
+        """Stop capturing and restore the communicator."""
+        if self._original_exchange is not None:
+            self.comm.exchange = self._original_exchange  # type: ignore[method-assign]
+            self._original_exchange = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------ #
+    # analysis
+    # ------------------------------------------------------------------ #
+    def per_rank_sent(self) -> np.ndarray:
+        """Vertices sent per rank over the whole trace."""
+        out = np.zeros(self.comm.nranks, dtype=np.int64)
+        for event in self.events:
+            out[event.src] += event.num_vertices
+        return out
+
+    def per_phase_volume(self) -> dict[str, int]:
+        """Total vertices on the wire per phase."""
+        volumes: dict[str, int] = {}
+        for event in self.events:
+            volumes[event.phase] = volumes.get(event.phase, 0) + event.num_vertices
+        return volumes
+
+    def busiest_pair(self) -> tuple[int, int, int] | None:
+        """(src, dst, vertices) of the heaviest rank pair, or None if empty."""
+        if not self.events:
+            return None
+        totals: dict[tuple[int, int], int] = {}
+        for event in self.events:
+            key = (event.src, event.dst)
+            totals[key] = totals.get(key, 0) + event.num_vertices
+        (src, dst), volume = max(totals.items(), key=lambda item: item[1])
+        return src, dst, volume
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def to_csv(self, path: str | Path) -> None:
+        """Write the trace as CSV (one event per row)."""
+        path = Path(path)
+        with path.open("w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["time", "src", "dst", "num_vertices", "phase"])
+            for event in self.events:
+                writer.writerow(
+                    [f"{event.time:.9f}", event.src, event.dst,
+                     event.num_vertices, event.phase]
+                )
+
+    def to_json(self, path: str | Path) -> None:
+        """Write the trace as a JSON list of event objects."""
+        Path(path).write_text(
+            json.dumps([asdict(event) for event in self.events], indent=0),
+            encoding="utf-8",
+        )

@@ -1,0 +1,147 @@
+"""Query sessions: partition once, search many times.
+
+The paper's motivating application — relationship queries on a semantic
+graph — issues *many* s-t searches against one graph.  Building the 2D
+partition dominates one-shot query cost, so :class:`BfsSession` builds the
+layout once and serves repeated queries, each on a fresh communicator (so
+per-query statistics and simulated times stay independent).
+
+Also provides :func:`extract_path`: an explicit shortest path from the
+level arrays of a bi-directional search (the paper reports distances; the
+application wants the path itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import build_communicator
+from repro.bfs.bfs_1d import Bfs1DEngine
+from repro.bfs.bfs_2d import Bfs2DEngine
+from repro.bfs.bidirectional import run_bidirectional_bfs
+from repro.bfs.level_sync import run_bfs
+from repro.bfs.options import BfsOptions
+from repro.bfs.result import BfsResult, BidirectionalResult
+from repro.errors import ConfigurationError, SearchError
+from repro.graph.csr import CsrGraph
+from repro.machine.bluegene import MachineModel
+from repro.partition.one_d import OneDPartition
+from repro.partition.two_d import TwoDPartition
+from repro.types import GridShape, UNREACHED
+
+
+class BfsSession:
+    """A reusable query context over one graph and one layout."""
+
+    def __init__(
+        self,
+        graph: CsrGraph,
+        grid: GridShape | tuple[int, int],
+        *,
+        opts: BfsOptions | None = None,
+        machine: str | MachineModel = "bluegene",
+        mapping: str = "planar",
+        layout: str = "2d",
+    ) -> None:
+        if not isinstance(grid, GridShape):
+            grid = GridShape(*grid)
+        self.graph = graph
+        self.grid = grid
+        self.opts = opts or BfsOptions()
+        self.machine = machine
+        self.mapping = mapping
+        self.layout = layout
+        if layout == "2d":
+            self.partition = TwoDPartition(graph, grid)
+        elif layout == "1d":
+            if not grid.is_1d:
+                raise ConfigurationError(f"layout='1d' needs a 1-D grid, got {grid}")
+            self.partition = OneDPartition(graph, grid.size, as_row=grid.cols == 1)
+        else:
+            raise ConfigurationError(f"unknown layout {layout!r}; use '1d' or '2d'")
+        #: cumulative simulated seconds across all queries served
+        self.total_simulated_time = 0.0
+        #: number of queries served
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------ #
+    # engines
+    # ------------------------------------------------------------------ #
+    def _new_engine(self, comm):
+        if self.layout == "2d":
+            return Bfs2DEngine(self.partition, comm, self.opts)
+        return Bfs1DEngine(self.partition, comm, self.opts)
+
+    def _new_comm(self):
+        return build_communicator(
+            self.grid,
+            machine=self.machine,
+            mapping=self.mapping,
+            buffer_capacity=self.opts.buffer_capacity,
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def bfs(self, source: int, target: int | None = None) -> BfsResult:
+        """Full or early-terminating BFS from ``source``."""
+        result = run_bfs(self._new_engine(self._new_comm()), source, target=target)
+        self.total_simulated_time += result.elapsed
+        self.queries_served += 1
+        return result
+
+    def bidirectional(self, source: int, target: int) -> BidirectionalResult:
+        """Bi-directional s-t search (Section 2.3)."""
+        comm = self._new_comm()
+        result = run_bidirectional_bfs(
+            self._new_engine(comm), self._new_engine(comm), source, target
+        )
+        self.total_simulated_time += result.elapsed
+        self.queries_served += 1
+        return result
+
+    def distance(self, source: int, target: int) -> int | None:
+        """Graph distance via bi-directional search; None when disconnected."""
+        return self.bidirectional(source, target).path_length
+
+    def shortest_path(self, source: int, target: int) -> list[int] | None:
+        """An explicit shortest path (vertex list), or None when disconnected.
+
+        Runs a forward search terminated at the target, then backtracks
+        through the level array — each hop moves to any neighbour exactly
+        one level closer to the source.
+        """
+        result = self.bfs(source, target=target)
+        if result.target_level is None:
+            return None
+        return extract_path(self.graph, result.levels, source, target)
+
+
+def extract_path(
+    graph: CsrGraph, levels: np.ndarray, source: int, target: int
+) -> list[int]:
+    """Backtrack a shortest path from ``target`` to ``source`` through ``levels``.
+
+    ``levels`` must label every vertex on some shortest path (e.g. a full
+    or target-terminated BFS from ``source``).  Deterministic: the smallest
+    qualifying neighbour is taken at each hop.
+    """
+    levels = np.asarray(levels)
+    if not (0 <= target < graph.n) or not (0 <= source < graph.n):
+        raise SearchError("source/target out of range")
+    if levels[target] == UNREACHED:
+        raise SearchError(f"target {target} was not reached by this search")
+    if levels[source] != 0:
+        raise SearchError(f"vertex {source} is not the search source")
+    path = [target]
+    current = target
+    while current != source:
+        level = levels[current]
+        neighbors = graph.neighbors(current)
+        closer = neighbors[levels[neighbors] == level - 1]
+        if closer.size == 0:  # pragma: no cover - valid BFS labellings prevent this
+            raise SearchError(f"no predecessor for vertex {current} at level {level}")
+        current = int(closer[0])
+        path.append(current)
+    path.reverse()
+    return path

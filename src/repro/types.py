@@ -1,0 +1,120 @@
+"""Shared scalar types, array aliases, and small value objects.
+
+The whole library stores vertex identifiers as 64-bit integers
+(``VERTEX_DTYPE``) so that graphs with billions of vertices — the regime the
+paper targets — are representable without overflow, and so that message
+payloads are plain NumPy buffers (the mpi4py "fast path" idiom: communicate
+buffer-like objects, not pickled Python objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TypeAlias
+
+import numpy as np
+
+#: dtype used for vertex identifiers everywhere (global and local indices).
+VERTEX_DTYPE = np.int64
+
+#: dtype used for level labels; -1 encodes "unvisited" (the paper's infinity).
+LEVEL_DTYPE = np.int64
+
+#: Sentinel level meaning "not yet reached" (the paper's ``L = infinity``).
+UNREACHED: int = -1
+
+#: Alias for a 1-D array of vertex ids.
+VertexArray: TypeAlias = np.ndarray
+
+#: Alias for a 1-D array of level labels.
+LevelArray: TypeAlias = np.ndarray
+
+#: Rank of a (virtual) processor in the runtime.
+Rank: TypeAlias = int
+
+
+def as_vertex_array(values) -> np.ndarray:
+    """Coerce ``values`` to a contiguous 1-D ``VERTEX_DTYPE`` array.
+
+    Accepts lists, ranges, scalars and arrays; always returns a fresh or
+    already-conforming array (never a view with the wrong dtype).
+    """
+    arr = np.asarray(values, dtype=VERTEX_DTYPE)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"vertex arrays must be 1-D, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)
+
+
+@dataclass(frozen=True, slots=True)
+class GridShape:
+    """Shape ``R x C`` of the logical 2-D processor mesh.
+
+    The paper arranges ``P = R * C`` processors in an ``R x C`` mesh; the
+    conventional 1-D partitioning is the degenerate case ``R == 1`` or
+    ``C == 1`` (Section 2.2).
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"grid shape must be positive, got {self.rows}x{self.cols}")
+
+    @property
+    def size(self) -> int:
+        """Total number of processors ``P = R * C``."""
+        return self.rows * self.cols
+
+    @property
+    def is_1d(self) -> bool:
+        """True when the mesh degenerates to a conventional 1-D partitioning."""
+        return self.rows == 1 or self.cols == 1
+
+    def rank_of(self, row: int, col: int) -> int:
+        """Linear rank of mesh position ``(row, col)`` (row-major)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"({row},{col}) outside {self.rows}x{self.cols} mesh")
+        return row * self.cols + col
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        """Mesh position ``(row, col)`` of linear ``rank``."""
+        if not (0 <= rank < self.size):
+            raise IndexError(f"rank {rank} outside mesh of size {self.size}")
+        return divmod(rank, self.cols)
+
+    def row_members(self, row: int) -> list[int]:
+        """Ranks in processor-row ``row`` (the fold communicator, Section 2.2)."""
+        return [self.rank_of(row, c) for c in range(self.cols)]
+
+    def col_members(self, col: int) -> list[int]:
+        """Ranks in processor-column ``col`` (the expand communicator)."""
+        return [self.rank_of(r, col) for r in range(self.rows)]
+
+
+@dataclass(frozen=True, slots=True)
+class GraphSpec:
+    """Specification of a Poisson random graph experiment instance.
+
+    ``n`` is the global vertex count and ``k`` the average degree (the
+    paper's notation throughout).  ``seed`` pins the instance.
+    """
+
+    n: int
+    k: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"graph must have at least one vertex, got n={self.n}")
+        if self.k < 0:
+            raise ValueError(f"average degree must be non-negative, got k={self.k}")
+        if self.k > self.n - 1 and self.n > 1:
+            raise ValueError(f"average degree k={self.k} exceeds n-1={self.n - 1}")
+
+    @property
+    def expected_edges(self) -> float:
+        """Expected number of undirected edges, ``n * k / 2``."""
+        return self.n * self.k / 2.0

@@ -1,0 +1,21 @@
+"""Shared utilities: RNG streams, timers, validation, sorted-array ops, logging."""
+
+from repro.utils.rng import RngFactory, spawn_rank_rngs
+from repro.utils.timer import Timer, PhaseTimer
+from repro.utils.validation import check_positive, check_in_range, check_probability
+from repro.utils.logging import configure_logging, get_logger
+from repro.utils.arrays import in_sorted, intersect_sorted
+
+__all__ = [
+    "RngFactory",
+    "spawn_rank_rngs",
+    "Timer",
+    "PhaseTimer",
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "configure_logging",
+    "get_logger",
+    "in_sorted",
+    "intersect_sorted",
+]

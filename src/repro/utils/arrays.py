@@ -1,0 +1,29 @@
+"""Sorted-array set operations (vectorised replacements for hash probes)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import as_vertex_array
+
+
+def in_sorted(values: np.ndarray, sorted_array: np.ndarray) -> np.ndarray:
+    """Boolean mask: which ``values`` occur in ``sorted_array``.
+
+    ``sorted_array`` must be sorted ascending (duplicates allowed).  This is
+    the vectorised membership test used wherever the paper would probe a
+    hash table.
+    """
+    values = as_vertex_array(values)
+    sorted_array = as_vertex_array(sorted_array)
+    if sorted_array.size == 0 or values.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.searchsorted(sorted_array, values)
+    pos = np.minimum(pos, sorted_array.size - 1)
+    return sorted_array[pos] == values
+
+
+def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted duplicate-free arrays."""
+    a = as_vertex_array(a)
+    return a[in_sorted(a, b)]

@@ -1,0 +1,32 @@
+"""Library logging.
+
+The library logs through the standard ``logging`` module under the
+``repro`` namespace and never configures handlers on import (the usual
+library etiquette).  :func:`configure_logging` is a convenience for
+scripts and the CLI; level DEBUG surfaces per-level BFS progress and the
+SPMD hub's protocol steps.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` namespace (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}")
+
+
+def configure_logging(level: int | str = logging.INFO) -> None:
+    """Attach a simple stderr handler to the ``repro`` root logger.
+
+    Idempotent: repeated calls only adjust the level.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)

@@ -1,0 +1,71 @@
+"""Wall-clock timers for profiling the host-side simulation.
+
+These measure *real* elapsed time of the simulator itself (the optimisation
+workflow from the HPC guides: measure before optimising).  They are distinct
+from the *simulated* clocks in :mod:`repro.runtime.clock`, which model the
+virtual machine's time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Timer:
+    """A simple cumulative wall-clock timer usable as a context manager."""
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.calls: int = 0
+        self._start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self.calls += 1
+        self._start = None
+        return delta
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer(elapsed={self.elapsed:.6f}s, calls={self.calls})"
+
+
+class PhaseTimer:
+    """Named cumulative timers, e.g. ``expand`` / ``local`` / ``fold`` phases."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = defaultdict(Timer)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[Timer]:
+        timer = self._timers[name]
+        timer.start()
+        try:
+            yield timer
+        finally:
+            timer.stop()
+
+    def elapsed(self, name: str) -> float:
+        """Cumulative seconds spent in phase ``name`` (0.0 if never entered)."""
+        return self._timers[name].elapsed if name in self._timers else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of cumulative seconds per phase."""
+        return {name: t.elapsed for name, t in self._timers.items()}

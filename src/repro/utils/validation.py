@@ -1,0 +1,23 @@
+"""Small argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from numbers import Real
+
+
+def check_positive(name: str, value: Real) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(name: str, value: Real, lo: Real, hi: Real) -> None:
+    """Raise ``ValueError`` unless ``lo <= value < hi``."""
+    if not (lo <= value < hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}), got {value!r}")
+
+
+def check_probability(name: str, value: Real) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")

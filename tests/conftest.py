@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import poisson_random_graph
+from repro.types import GraphSpec
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> CsrGraph:
+    """A 400-vertex Poisson graph with average degree ~8 (connected core)."""
+    return poisson_random_graph(GraphSpec(n=400, k=8, seed=11))
+
+
+@pytest.fixture(scope="session")
+def sparse_graph() -> CsrGraph:
+    """A sparser 300-vertex graph (k~3) with several components."""
+    return poisson_random_graph(GraphSpec(n=300, k=3, seed=5))
+
+
+@pytest.fixture()
+def path_graph() -> CsrGraph:
+    """A deterministic 10-vertex path: distances are trivially checkable."""
+    edges = np.array([[i, i + 1] for i in range(9)])
+    return CsrGraph.from_edges(10, edges)
+
+
+@pytest.fixture()
+def star_graph() -> CsrGraph:
+    """A 9-leaf star centred on vertex 0."""
+    edges = np.array([[0, i] for i in range(1, 10)])
+    return CsrGraph.from_edges(10, edges)

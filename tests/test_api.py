@@ -1,0 +1,93 @@
+"""Tests for the high-level facade (repro.api) and package exports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import bidirectional_bfs, build_communicator, build_engine, distributed_bfs
+from repro.bfs.bfs_1d import Bfs1DEngine
+from repro.bfs.bfs_2d import Bfs2DEngine
+from repro.bfs.serial import serial_bfs
+from repro.errors import ConfigurationError
+from repro.machine.bluegene import BLUEGENE_L
+from repro.types import GridShape
+
+
+class TestBuildCommunicator:
+    def test_default_bluegene_planar(self):
+        comm = build_communicator(GridShape(4, 4))
+        assert comm.nranks == 16
+        assert comm.model.name == "BlueGene/L"
+
+    def test_mcr_flat(self):
+        comm = build_communicator(GridShape(2, 2), machine="mcr")
+        assert comm.model.name == "MCR"
+        assert comm.mapping.hops(0, 3) == 1
+
+    def test_custom_model(self):
+        model = BLUEGENE_L.with_overrides(alpha=1e-5)
+        comm = build_communicator(GridShape(2, 2), machine=model)
+        assert comm.model.alpha == 1e-5
+
+    def test_row_major_mapping(self):
+        comm = build_communicator(GridShape(2, 2), mapping="row-major")
+        assert comm.mapping.node_of(3) == 3
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_communicator(GridShape(2, 2), machine="cray")
+
+    def test_unknown_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_communicator(GridShape(2, 2), mapping="hilbert")
+
+    def test_buffer_capacity_threaded_through(self):
+        comm = build_communicator(GridShape(2, 2), buffer_capacity=64)
+        assert comm.buffer_capacity == 64
+
+
+class TestBuildEngine:
+    def test_2d_default(self, small_graph):
+        engine = build_engine(small_graph, (2, 2))
+        assert isinstance(engine, Bfs2DEngine)
+
+    def test_1d(self, small_graph):
+        engine = build_engine(small_graph, (4, 1), layout="1d")
+        assert isinstance(engine, Bfs1DEngine)
+
+    def test_tuple_grid_accepted(self, small_graph):
+        engine = build_engine(small_graph, (2, 3))
+        assert engine.comm.nranks == 6
+
+    def test_1d_needs_degenerate_grid(self, small_graph):
+        with pytest.raises(ConfigurationError):
+            build_engine(small_graph, (2, 2), layout="1d")
+
+    def test_unknown_layout_rejected(self, small_graph):
+        with pytest.raises(ConfigurationError):
+            build_engine(small_graph, (2, 2), layout="3d")
+
+
+class TestOneCallApis:
+    def test_distributed_bfs(self, small_graph):
+        result = distributed_bfs(small_graph, (2, 2), 0)
+        assert np.array_equal(result.levels, serial_bfs(small_graph, 0))
+
+    def test_distributed_bfs_mcr(self, small_graph):
+        result = distributed_bfs(small_graph, (2, 2), 0, machine="mcr")
+        assert np.array_equal(result.levels, serial_bfs(small_graph, 0))
+
+    def test_bidirectional(self, small_graph):
+        result = bidirectional_bfs(small_graph, (2, 2), 0, 100)
+        assert result.path_length == int(serial_bfs(small_graph, 0)[100])
+
+    def test_quickstart_docstring_example(self):
+        graph = repro.poisson_random_graph(repro.GraphSpec(n=1000, k=10, seed=1))
+        result = repro.distributed_bfs(graph, grid=(4, 4), source=0)
+        assert result.num_reached > 900  # k=10: giant component
+
+    def test_public_exports_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name

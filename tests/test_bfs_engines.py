@@ -1,0 +1,189 @@
+"""Correctness tests for the distributed BFS engines against the serial oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import build_communicator, build_engine
+from repro.bfs.bfs_1d import Bfs1DEngine
+from repro.bfs.bfs_2d import Bfs2DEngine
+from repro.bfs.level_sync import run_bfs
+from repro.bfs.options import BfsOptions
+from repro.bfs.serial import serial_bfs
+from repro.errors import ConfigurationError, SearchError
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import poisson_random_graph
+from repro.partition.one_d import OneDPartition
+from repro.partition.two_d import TwoDPartition
+from repro.types import GraphSpec, GridShape, UNREACHED
+
+
+def run_and_compare(graph, grid, layout="2d", source=0, opts=None):
+    result = run_bfs(build_engine(graph, grid, layout=layout, opts=opts), source)
+    assert np.array_equal(result.levels, serial_bfs(graph, source))
+    return result
+
+
+class TestBfs1D:
+    @pytest.mark.parametrize("p", [1, 2, 4, 7, 8])
+    def test_matches_serial(self, small_graph, p):
+        run_and_compare(small_graph, GridShape(p, 1), layout="1d")
+
+    @pytest.mark.parametrize("fold", ["direct", "ring", "union-ring", "two-phase", "bruck"])
+    def test_all_folds(self, small_graph, fold):
+        run_and_compare(
+            small_graph, GridShape(6, 1), layout="1d", opts=BfsOptions(fold_collective=fold)
+        )
+
+    def test_column_orientation(self, small_graph):
+        run_and_compare(small_graph, GridShape(1, 6), layout="1d")
+
+    def test_disconnected_graph(self, sparse_graph):
+        run_and_compare(sparse_graph, GridShape(4, 1), layout="1d", source=17)
+
+    def test_path_graph_levels(self, path_graph):
+        result = run_and_compare(path_graph, GridShape(3, 1), layout="1d")
+        assert result.num_levels == 10  # 9 expansion levels + final empty one
+
+    def test_sent_cache_off(self, small_graph):
+        run_and_compare(
+            small_graph, GridShape(4, 1), layout="1d", opts=BfsOptions(use_sent_cache=False)
+        )
+
+    def test_rank_mismatch_rejected(self, small_graph):
+        part = OneDPartition(small_graph, 4)
+        comm = build_communicator(GridShape(8, 1))
+        with pytest.raises(ConfigurationError):
+            Bfs1DEngine(part, comm)
+
+    def test_step_before_start_rejected(self, small_graph):
+        engine = build_engine(small_graph, GridShape(4, 1), layout="1d")
+        with pytest.raises(SearchError):
+            engine.step()
+
+    def test_bad_source_rejected(self, small_graph):
+        engine = build_engine(small_graph, GridShape(4, 1), layout="1d")
+        with pytest.raises(SearchError):
+            engine.start(small_graph.n)
+
+
+class TestBfs2D:
+    @pytest.mark.parametrize(
+        "grid",
+        [GridShape(1, 1), GridShape(2, 2), GridShape(4, 4), GridShape(2, 8),
+         GridShape(8, 2), GridShape(3, 5), GridShape(16, 1), GridShape(1, 16)],
+        ids=str,
+    )
+    def test_matches_serial(self, small_graph, grid):
+        run_and_compare(small_graph, grid)
+
+    @pytest.mark.parametrize("expand", ["direct", "ring", "two-phase", "recursive-doubling"])
+    @pytest.mark.parametrize("fold", ["direct", "ring", "union-ring", "two-phase", "bruck"])
+    def test_all_collective_combinations(self, small_graph, expand, fold):
+        run_and_compare(
+            small_graph,
+            GridShape(3, 4),
+            opts=BfsOptions(expand_collective=expand, fold_collective=fold),
+        )
+
+    def test_no_filter_no_cache(self, small_graph):
+        run_and_compare(
+            small_graph,
+            GridShape(4, 4),
+            opts=BfsOptions(use_sent_cache=False, use_expand_filter=False),
+        )
+
+    def test_buffer_capped(self, small_graph):
+        run_and_compare(small_graph, GridShape(4, 4), opts=BfsOptions(buffer_capacity=16))
+
+    def test_disconnected_graph(self, sparse_graph):
+        result = run_and_compare(sparse_graph, GridShape(3, 3), source=5)
+        assert (result.levels == UNREACHED).any()  # k=3 graph has stragglers
+
+    def test_star_from_leaf(self, star_graph):
+        result = run_and_compare(star_graph, GridShape(2, 2), source=4)
+        assert result.levels[0] == 1
+        assert result.levels[4] == 0
+
+    def test_singleton_graph(self):
+        g = CsrGraph.empty(1)
+        result = run_bfs(build_engine(g, GridShape(1, 1)), 0)
+        assert result.levels.tolist() == [0]
+
+    def test_more_ranks_than_vertices(self, path_graph):
+        run_and_compare(path_graph, GridShape(4, 4))
+
+    def test_grid_mismatch_rejected(self, small_graph):
+        part = TwoDPartition(small_graph, GridShape(2, 2))
+        comm = build_communicator(GridShape(4, 1))
+        with pytest.raises(ConfigurationError):
+            Bfs2DEngine(part, comm)
+
+    def test_engine_restartable(self, small_graph):
+        engine = build_engine(small_graph, GridShape(2, 2))
+        first = run_bfs(engine, 0)
+        second = run_bfs(engine, 5)
+        assert np.array_equal(second.levels, serial_bfs(small_graph, 5))
+        assert first.num_levels > 0
+
+
+class TestTargetSearch:
+    def test_stops_at_target_level(self, small_graph):
+        levels = serial_bfs(small_graph, 0)
+        target = int(np.where(levels == 3)[0][0])
+        engine = build_engine(small_graph, GridShape(2, 2))
+        result = run_bfs(engine, 0, target=target)
+        assert result.found_target
+        assert result.target_level == 3
+        # search stops at the end of the level that found the target
+        assert result.num_levels == 3
+
+    def test_source_equals_target(self, small_graph):
+        result = run_bfs(build_engine(small_graph, GridShape(2, 2)), 4, target=4)
+        assert result.target_level == 0
+
+    def test_unreachable_target_exhausts_component(self, sparse_graph):
+        levels = serial_bfs(sparse_graph, 0)
+        unreachable = np.where(levels == UNREACHED)[0]
+        assert unreachable.size, "fixture must have a disconnected vertex"
+        result = run_bfs(
+            build_engine(sparse_graph, GridShape(2, 2)), 0, target=int(unreachable[0])
+        )
+        assert not result.found_target
+        assert np.array_equal(result.levels, levels)
+
+    def test_max_levels_truncates(self, path_graph):
+        result = run_bfs(build_engine(path_graph, GridShape(2, 2)), 0, max_levels=3)
+        assert result.num_levels == 3
+        assert result.levels[9] == UNREACHED
+
+    def test_bad_target_rejected(self, small_graph):
+        engine = build_engine(small_graph, GridShape(2, 2))
+        with pytest.raises(SearchError):
+            run_bfs(engine, 0, target=small_graph.n)
+
+
+class TestResultMetadata:
+    def test_summary_strings(self, small_graph):
+        result = run_bfs(build_engine(small_graph, GridShape(2, 2)), 0, target=1)
+        assert "BFS from 0" in result.summary()
+        assert result.num_reached > 0
+
+    def test_times_positive_and_consistent(self, small_graph):
+        result = run_bfs(build_engine(small_graph, GridShape(2, 4)), 0)
+        assert result.elapsed > 0
+        assert result.comm_time > 0
+        assert result.compute_time > 0
+        # makespan >= each component's max (they are per-rank maxima)
+        assert result.elapsed <= result.comm_time + result.compute_time + 1e-12
+
+    def test_per_level_stats_recorded(self, small_graph):
+        result = run_bfs(build_engine(small_graph, GridShape(2, 4)), 0)
+        assert len(result.stats.levels) == result.num_levels
+        assert result.stats.volume_per_level().sum() > 0
+
+    def test_frontier_sizes_sum_to_reached(self, small_graph):
+        result = run_bfs(build_engine(small_graph, GridShape(2, 4)), 0)
+        total = sum(s.frontier_size for s in result.stats.levels)
+        assert total == result.num_reached - 1  # all but the source

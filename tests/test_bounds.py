@@ -1,0 +1,59 @@
+"""Tests for the bisection-bandwidth lower bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    bisection_bandwidth,
+    level_time_lower_bound,
+    level_traffic_bytes,
+)
+from repro.api import build_engine
+from repro.bfs.level_sync import run_bfs
+from repro.graph.generators import poisson_random_graph
+from repro.machine.bluegene import BLUEGENE_L, bluegene_l_torus_for
+from repro.machine.torus import Torus3D
+from repro.types import GraphSpec, GridShape
+
+
+class TestBisectionBandwidth:
+    def test_full_bluegene(self):
+        """The real machine: 64x32x32 torus at 175 MB/s per link direction
+        gives ~360 GB/s aggregate bisection (paper Section 4.1)."""
+        torus = Torus3D(64, 32, 32)
+        bw = bisection_bandwidth(torus, BLUEGENE_L)
+        assert bw == pytest.approx(2 * 32 * 32 * 175e6)
+        assert 3.0e11 < bw < 4.5e11  # ~360 GB/s
+
+    def test_grows_with_machine(self):
+        small = bisection_bandwidth(Torus3D(4, 4, 4), BLUEGENE_L)
+        large = bisection_bandwidth(Torus3D(8, 8, 8), BLUEGENE_L)
+        assert large > small
+
+
+class TestLevelBounds:
+    def test_traffic_scales_with_degree(self):
+        grid = GridShape(16, 16)
+        low = level_traffic_bytes(1e6, 10, grid, BLUEGENE_L)
+        high = level_traffic_bytes(1e6, 100, grid, BLUEGENE_L)
+        assert high > low
+
+    def test_lower_bound_positive(self):
+        grid = GridShape(8, 8)
+        torus = bluegene_l_torus_for(64)
+        assert level_time_lower_bound(1e5, 10, grid, torus, BLUEGENE_L) > 0
+
+    def test_simulator_respects_speed_of_light(self):
+        """The simulated comm time of a full traversal must not be faster
+        than the analytic lower bound for its total traffic."""
+        n, k = 20_000, 10.0
+        grid = GridShape(4, 4)
+        graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=3))
+        engine = build_engine(graph, grid)
+        result = run_bfs(engine, 0)
+        torus = bluegene_l_torus_for(grid.size)
+        total_bytes = result.stats.total_bytes
+        bound = (total_bytes / 2) / bisection_bandwidth(torus, BLUEGENE_L)
+        assert result.comm_time >= bound

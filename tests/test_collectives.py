@@ -1,0 +1,291 @@
+"""Tests for all collective algorithms: semantic equivalence + accounting.
+
+The key property: whatever the algorithm (direct, ring, union-ring,
+two-phase), every group member must end up with the same *set* of vertices
+— fold delivers the union of everything addressed to it, expand delivers
+every other member's contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.base import get_expand, get_fold
+from repro.collectives.two_phase import subgrid_shape
+from repro.collectives.union import count_duplicates, union_merge
+from repro.errors import CommunicationError
+from repro.machine.bluegene import BLUEGENE_L
+from repro.machine.cluster import flat_network_for
+from repro.runtime.comm import Communicator
+from repro.types import GridShape, VERTEX_DTYPE
+
+EXPAND_NAMES = ["direct", "ring", "two-phase", "recursive-doubling"]
+FOLD_NAMES = ["direct", "ring", "union-ring", "two-phase", "bruck"]
+
+
+def make_comm(p: int) -> Communicator:
+    return Communicator(flat_network_for(GridShape(1, p)), BLUEGENE_L)
+
+
+def random_outboxes(size: int, seed: int) -> list[dict[int, np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    outboxes = []
+    for _g in range(size):
+        per_dest = {}
+        for d in range(size):
+            if rng.random() < 0.7:
+                length = int(rng.integers(0, 12))
+                per_dest[d] = rng.integers(0, 40, length).astype(VERTEX_DTYPE)
+        outboxes.append(per_dest)
+    return outboxes
+
+
+def expected_fold_sets(outboxes: list[dict[int, np.ndarray]]) -> list[set[int]]:
+    size = len(outboxes)
+    out = [set() for _ in range(size)]
+    for g, per_dest in enumerate(outboxes):
+        for d, payload in per_dest.items():
+            out[d].update(payload.tolist())
+    return out
+
+
+class TestUnionMerge:
+    def test_merge_and_count(self):
+        merged, dups = union_merge(np.array([3, 1, 3]), np.array([1, 2]))
+        assert merged.tolist() == [1, 2, 3]
+        assert dups == 2
+
+    def test_empty_inputs(self):
+        merged, dups = union_merge()
+        assert merged.size == 0 and dups == 0
+
+    def test_count_duplicates(self):
+        assert count_duplicates([np.array([1, 1]), np.array([1])]) == 2
+
+
+class TestSubgridShape:
+    @pytest.mark.parametrize(
+        "size,expected", [(1, (1, 1)), (6, (2, 3)), (16, (4, 4)), (7, (1, 7)), (12, (3, 4))]
+    )
+    def test_most_square(self, size, expected):
+        assert subgrid_shape(size) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            subgrid_shape(0)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in EXPAND_NAMES:
+            assert get_expand(name).name == name
+        for name in FOLD_NAMES:
+            assert get_fold(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(CommunicationError):
+            get_fold("nope")
+        with pytest.raises(CommunicationError):
+            get_expand("nope")
+
+
+@pytest.mark.parametrize("fold_name", FOLD_NAMES)
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 6, 7, 8])
+class TestFoldSemantics:
+    def test_every_destination_gets_its_union(self, fold_name, size):
+        comm = make_comm(size)
+        outboxes = random_outboxes(size, seed=size * 101)
+        fold = get_fold(fold_name)
+        received = fold.fold(comm, list(range(size)), outboxes)
+        expected = expected_fold_sets(outboxes)
+        for d in range(size):
+            got = (
+                set(np.concatenate(received[d]).tolist()) if received[d] else set()
+            )
+            assert got == expected[d], f"{fold_name} size={size} dest={d}"
+
+    def test_clock_advances_when_data_moves(self, fold_name, size):
+        if size == 1:
+            pytest.skip("no wire traffic with one rank")
+        comm = make_comm(size)
+        outboxes = [
+            {d: np.arange(5, dtype=VERTEX_DTYPE) for d in range(size)}
+            for _ in range(size)
+        ]
+        get_fold(fold_name).fold(comm, list(range(size)), outboxes)
+        assert comm.clock.elapsed > 0
+
+
+@pytest.mark.parametrize("expand_name", EXPAND_NAMES)
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 6, 7, 8])
+class TestExpandSemantics:
+    def test_everyone_gets_all_other_contributions(self, expand_name, size):
+        comm = make_comm(size)
+        rng = np.random.default_rng(size)
+        contributions = [
+            rng.integers(0, 50, int(rng.integers(0, 8))).astype(VERTEX_DTYPE)
+            for _ in range(size)
+        ]
+        expand = get_expand(expand_name)
+        received = expand.expand(comm, list(range(size)), contributions)
+        for g in range(size):
+            expected = set()
+            for other in range(size):
+                if other != g:
+                    expected.update(contributions[other].tolist())
+            got = set(np.concatenate(received[g]).tolist()) if received[g] else set()
+            assert got == expected, f"{expand_name} size={size} member={g}"
+
+
+class TestExpandFilter:
+    def test_direct_expand_respects_filter(self):
+        size = 3
+        comm = make_comm(size)
+        contributions = [np.array([10 * g, 10 * g + 1], dtype=VERTEX_DTYPE) for g in range(size)]
+
+        def dest_filter(g, d):
+            # Only even entries reach destination 0; everything elsewhere.
+            payload = contributions[g]
+            return payload[payload % 2 == 0] if d == 0 else payload
+
+        received = get_expand("direct").expand(
+            comm, [0, 1, 2], contributions, dest_filter=dest_filter
+        )
+        got0 = set(np.concatenate(received[0]).tolist())
+        assert got0 == {10, 20}  # odd entries filtered out
+        got1 = set(np.concatenate(received[1]).tolist())
+        assert got1 == {0, 1, 20, 21}
+
+
+class TestUnionFoldAccounting:
+    def test_duplicates_counted(self):
+        size = 4
+        comm = make_comm(size)
+        comm.stats.begin_level(0)
+        # Every rank sends the same vertex to destination 0: 3 duplicates.
+        outboxes = [{0: np.array([7], dtype=VERTEX_DTYPE)} for _ in range(size)]
+        received = get_fold("union-ring").fold(comm, list(range(size)), outboxes)
+        level = comm.stats.end_level(0)
+        assert set(np.concatenate(received[0]).tolist()) == {7}
+        assert level.duplicates_eliminated == size - 1
+
+    def test_union_fold_reduces_wire_volume_vs_plain_ring(self):
+        """With heavy duplication the union-ring moves fewer vertices."""
+        size = 6
+        rng = np.random.default_rng(0)
+        outboxes = [
+            {d: rng.integers(0, 10, 30).astype(VERTEX_DTYPE) for d in range(size)}
+            for _ in range(size)
+        ]
+        comm_plain = make_comm(size)
+        get_fold("ring").fold(comm_plain, list(range(size)), outboxes)
+        comm_union = make_comm(size)
+        get_fold("union-ring").fold(comm_union, list(range(size)), outboxes)
+        assert comm_union.stats.total_processed < comm_plain.stats.total_processed
+
+    def test_delivery_vs_processed_split(self):
+        """Ring forwarding inflates processed volume but not delivered volume."""
+        size = 5
+        comm = make_comm(size)
+        comm.stats.begin_level(0)
+        outboxes = [
+            {d: np.array([g * 10 + d], dtype=VERTEX_DTYPE) for d in range(size)}
+            for g in range(size)
+        ]
+        get_fold("ring").fold(comm, list(range(size)), outboxes)
+        level = comm.stats.end_level(0)
+        delivered = level.fold_received
+        assert delivered == size * (size - 1)  # one vertex per (src, dst!=src)
+        assert level.processed > delivered  # forwarding hops
+
+
+class TestTwoPhaseRoundCount:
+    def test_fold_rounds_scale_with_a_plus_b(self):
+        """Two-phase fold uses O(a+b) rounds; the single ring uses G-1."""
+        size = 16  # 4x4 subgrid
+        outboxes = [
+            {d: np.array([g], dtype=VERTEX_DTYPE) for d in range(size)}
+            for g in range(size)
+        ]
+        comm_ring = make_comm(size)
+        get_fold("union-ring").fold(comm_ring, list(range(size)), outboxes)
+        comm_two = make_comm(size)
+        get_fold("two-phase").fold(comm_two, list(range(size)), outboxes)
+        # messages per rank ~ rounds; two-phase should send far fewer rounds
+        assert comm_two.stats.total_messages < comm_ring.stats.total_messages
+
+    def test_explicit_shape(self):
+        size = 8
+        comm = make_comm(size)
+        outboxes = random_outboxes(size, seed=3)
+        fold = get_fold("two-phase", shape=(2, 4))
+        received = fold.fold(comm, list(range(size)), outboxes)
+        expected = expected_fold_sets(outboxes)
+        for d in range(size):
+            got = set(np.concatenate(received[d]).tolist()) if received[d] else set()
+            assert got == expected[d]
+
+    def test_bad_shape_rejected(self):
+        comm = make_comm(6)
+        fold = get_fold("two-phase", shape=(2, 2))
+        with pytest.raises(ValueError):
+            fold.fold(comm, list(range(6)), random_outboxes(6, 0))
+
+
+class TestGroupValidation:
+    def test_mismatched_sizes(self):
+        comm = make_comm(3)
+        with pytest.raises(CommunicationError):
+            get_fold("direct").fold(comm, [0, 1], random_outboxes(3, 0))
+
+    def test_duplicate_ranks(self):
+        comm = make_comm(3)
+        with pytest.raises(CommunicationError):
+            get_fold("direct").fold(comm, [0, 0, 1], random_outboxes(3, 0))
+
+    def test_subgroup_collective(self):
+        """Collectives work on a strict subset of the communicator's ranks."""
+        comm = make_comm(6)
+        group = [1, 3, 5]
+        outboxes = [{d: np.array([10 + d], dtype=VERTEX_DTYPE) for d in range(3)}] * 3
+        received = get_fold("direct").fold(comm, group, outboxes)
+        for d in range(3):
+            assert set(np.concatenate(received[d]).tolist()) == {10 + d}
+
+
+@given(st.integers(2, 6), st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_fold_property_all_algorithms_agree(size, seed):
+    """All four fold algorithms deliver identical vertex sets."""
+    outboxes = random_outboxes(size, seed)
+    expected = expected_fold_sets(outboxes)
+    for name in FOLD_NAMES:
+        comm = make_comm(size)
+        received = get_fold(name).fold(comm, list(range(size)), outboxes)
+        for d in range(size):
+            got = set(np.concatenate(received[d]).tolist()) if received[d] else set()
+            assert got == expected[d], f"{name} deviates at dest {d}"
+
+
+@given(st.integers(2, 6), st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_expand_property_all_algorithms_agree(size, seed):
+    """All three expand algorithms deliver identical contribution sets."""
+    rng = np.random.default_rng(seed)
+    contributions = [
+        rng.integers(0, 30, int(rng.integers(0, 6))).astype(VERTEX_DTYPE)
+        for _ in range(size)
+    ]
+    for name in EXPAND_NAMES:
+        comm = make_comm(size)
+        received = get_expand(name).expand(comm, list(range(size)), contributions)
+        for g in range(size):
+            expected = set()
+            for other in range(size):
+                if other != g:
+                    expected.update(contributions[other].tolist())
+            got = set(np.concatenate(received[g]).tolist()) if received[g] else set()
+            assert got == expected, f"{name} deviates at member {g}"

@@ -1,0 +1,141 @@
+"""Tests for repro.graph.csr."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.csr import CsrGraph
+from repro.types import VERTEX_DTYPE
+
+
+def edges_strategy(n: int):
+    """Random (m, 2) edge arrays over n vertices (may include loops/dups)."""
+    return st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=60
+    ).map(lambda pairs: np.array(pairs, dtype=VERTEX_DTYPE).reshape(-1, 2))
+
+
+class TestConstruction:
+    def test_from_edges_symmetric(self):
+        g = CsrGraph.from_edges(4, np.array([[0, 1], [1, 2]]))
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(1).tolist() == [0, 2]
+        assert g.neighbors(2).tolist() == [1]
+        assert g.neighbors(3).tolist() == []
+
+    def test_self_loops_dropped(self):
+        g = CsrGraph.from_edges(3, np.array([[0, 0], [0, 1]]))
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_dropped(self):
+        g = CsrGraph.from_edges(3, np.array([[0, 1], [1, 0], [0, 1]]))
+        assert g.num_edges == 1
+
+    def test_empty(self):
+        g = CsrGraph.empty(5)
+        assert g.n == 5
+        assert g.num_edges == 0
+        assert g.average_degree == 0
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            CsrGraph.from_edges(3, np.array([[0, 3]]))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CsrGraph.from_edges(3, np.array([0, 1, 2]))
+
+    def test_inconsistent_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CsrGraph(2, np.array([0, 1, 0]), np.array([1, 0]))
+
+    def test_no_edges_input(self):
+        g = CsrGraph.from_edges(4, np.empty((0, 2)))
+        assert g.num_edges == 0
+
+
+class TestQueries:
+    def test_degree_array_and_scalar(self, path_graph):
+        degrees = path_graph.degree()
+        assert degrees.tolist() == [1] + [2] * 8 + [1]
+        assert path_graph.degree(0) == 1
+        assert path_graph.degree(5) == 2
+
+    def test_degree_out_of_range(self, path_graph):
+        with pytest.raises(IndexError):
+            path_graph.degree(10)
+
+    def test_average_degree(self, star_graph):
+        assert star_graph.average_degree == pytest.approx(18 / 10)
+
+    def test_neighbors_view_readonly(self, path_graph):
+        view = path_graph.neighbors(5)
+        with pytest.raises(ValueError):
+            view[0] = 99
+
+    def test_has_edge(self, path_graph):
+        assert path_graph.has_edge(3, 4)
+        assert not path_graph.has_edge(3, 5)
+
+    def test_edge_array_roundtrip(self, small_graph):
+        rebuilt = CsrGraph.from_edges(small_graph.n, small_graph.edge_array())
+        assert np.array_equal(rebuilt.indptr, small_graph.indptr)
+        assert np.array_equal(rebuilt.indices, small_graph.indices)
+
+    def test_num_edges_consistent(self, small_graph):
+        assert small_graph.num_directed_edges == 2 * small_graph.num_edges
+
+
+class TestNeighborsOfSet:
+    def test_star_center(self, star_graph):
+        neigh = star_graph.neighbors_of_set(np.array([0]))
+        assert sorted(neigh.tolist()) == list(range(1, 10))
+
+    def test_duplicates_preserved(self, star_graph):
+        # Two leaves both report the centre: duplicates are the caller's job.
+        neigh = star_graph.neighbors_of_set(np.array([1, 2]))
+        assert neigh.tolist() == [0, 0]
+
+    def test_empty_frontier(self, star_graph):
+        assert star_graph.neighbors_of_set(np.array([], dtype=VERTEX_DTYPE)).size == 0
+
+    def test_isolated_vertices(self):
+        g = CsrGraph.empty(4)
+        assert g.neighbors_of_set(np.array([0, 1, 2, 3])).size == 0
+
+    def test_matches_per_vertex_concat(self, small_graph):
+        frontier = np.array([3, 17, 101, 250])
+        expected = np.concatenate([small_graph.neighbors(int(v)) for v in frontier])
+        got = small_graph.neighbors_of_set(frontier)
+        assert np.array_equal(got, expected)
+
+    @given(edges_strategy(12), st.lists(st.integers(0, 11), min_size=1, max_size=12))
+    def test_property_matches_loop(self, edges, frontier):
+        g = CsrGraph.from_edges(12, edges)
+        frontier_arr = np.array(sorted(set(frontier)), dtype=VERTEX_DTYPE)
+        expected = (
+            np.concatenate([g.neighbors(int(v)) for v in frontier_arr])
+            if frontier_arr.size
+            else np.empty(0, dtype=VERTEX_DTYPE)
+        )
+        assert np.array_equal(g.neighbors_of_set(frontier_arr), expected)
+
+
+class TestSymmetryInvariant:
+    @given(edges_strategy(10))
+    def test_adjacency_symmetric(self, edges):
+        g = CsrGraph.from_edges(10, edges)
+        for u in range(10):
+            for v in g.neighbors(u):
+                assert g.has_edge(int(v), u)
+
+    @given(edges_strategy(10))
+    def test_rows_sorted_no_dups_no_loops(self, edges):
+        g = CsrGraph.from_edges(10, edges)
+        for u in range(10):
+            row = g.neighbors(u)
+            assert np.all(np.diff(row) > 0)  # strictly increasing
+            assert u not in row.tolist()

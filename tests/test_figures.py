@@ -1,0 +1,102 @@
+"""Smoke + shape tests for the per-figure data builders (small design points)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness import figures as F
+from repro.types import GridShape
+
+
+class TestSquareGrid:
+    def test_perfect_square(self):
+        assert F.square_grid(16) == GridShape(4, 4)
+
+    def test_rectangular(self):
+        assert F.square_grid(8) == GridShape(2, 4)
+
+    def test_prime(self):
+        assert F.square_grid(7) == GridShape(1, 7)
+
+
+class TestFig4a:
+    def test_weak_scaling_points(self):
+        points = F.fig4a_weak_scaling([1, 4, 16], 200, 8, searches=1)
+        assert [p.p for p in points] == [1, 4, 16]
+        assert all(p.n == 200 * p.p for p in points)
+        assert all(p.mean_time > 0 for p in points)
+
+    def test_comm_small_relative_to_compute(self):
+        """The paper's Figure 4.a observation: comm << compute."""
+        points = F.fig4a_weak_scaling([16], 400, 10, searches=2)
+        assert points[0].comm_time < points[0].compute_time
+
+
+class TestFig4b:
+    def test_volume_grows_with_path_length(self):
+        series = F.fig4b_message_volume(3000, 8, 4, seed=1)
+        distances = [d for d, _v in series]
+        volumes = [v for _d, v in series]
+        assert distances == sorted(distances)
+        # volume at the farthest distance dwarfs the nearest
+        assert volumes[-1] > 3 * volumes[0]
+
+
+class TestFig4c:
+    def test_bidirectional_wins(self):
+        rows = F.fig4c_bidirectional([4, 16], 300, 10, searches=2)
+        for _p, uni, bi in rows:
+            assert bi < uni
+
+
+class TestFig5:
+    def test_strong_scaling_speedup(self):
+        rows = F.fig5_strong_scaling(4000, 10, [1, 4, 16], searches=1)
+        times = [t for _p, t in rows]
+        assert times[1] < times[0]  # parallelism helps at small P
+
+
+class TestTable1:
+    def test_topology_rows(self):
+        grids = [GridShape(2, 4), GridShape(4, 2), GridShape(8, 1), GridShape(1, 8)]
+        rows = F.table1_topologies(150, 8, grids, searches=1)
+        assert len(rows) == 4
+        by_grid = {str(r.grid): r for r in rows}
+        # 8x1: expand-only communication; 1x8: fold-only.
+        assert by_grid["GridShape(rows=8, cols=1)"].fold_length == 0
+        assert by_grid["GridShape(rows=1, cols=8)"].expand_length == 0
+
+    def test_mixed_p_rejected(self):
+        with pytest.raises(ValueError):
+            F.table1_topologies(100, 8, [GridShape(2, 2), GridShape(2, 4)])
+
+
+class TestFig6:
+    def test_series_shapes(self):
+        series = F.fig6_partition_volume(1200, 8, 4, seed=0)
+        assert set(series) == {"1d", "2d"}
+        assert series["1d"].sum() > 0 and series["2d"].sum() > 0
+
+    def test_unreachable_target_exhausts(self):
+        """With an unreachable target both searches run past the diameter."""
+        series = F.fig6_partition_volume(1200, 8, 4, seed=0)
+        assert len(series["2d"]) >= 3
+
+    def test_crossover_bundle(self):
+        out = F.fig6b_crossover(20_000, 16, seed=0)
+        assert out["k"] > 1
+        assert set(out["volumes"]) == {"1d", "2d"}
+
+
+class TestFig7:
+    def test_redundancy_rows(self):
+        rows = F.fig7_redundancy([4, 16], 250, 10)
+        assert [p for p, _ in rows] == [4, 16]
+        for _p, ratio in rows:
+            assert 0.0 <= ratio < 100.0
+
+    def test_higher_degree_more_redundancy(self):
+        low_k = F.fig7_redundancy([16], 250, 10)[0][1]
+        high_k = F.fig7_redundancy([16], 50, 40)[0][1]
+        assert high_k > low_k

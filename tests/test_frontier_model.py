@@ -1,0 +1,87 @@
+"""Tests for the analytic frontier-evolution model vs measured BFS runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.frontier_model import (
+    predict_frontier_fractions,
+    predict_frontier_sizes,
+    predict_giant_component_fraction,
+    predict_num_levels,
+)
+from repro.api import build_engine
+from repro.bfs.level_sync import run_bfs
+from repro.graph.components import giant_component
+from repro.graph.generators import poisson_random_graph
+from repro.types import GraphSpec, GridShape
+
+
+class TestRecursion:
+    def test_starts_at_single_source(self):
+        fractions = predict_frontier_fractions(1000, 10)
+        assert fractions[0] == pytest.approx(1e-3)
+
+    def test_total_below_one(self):
+        fractions = predict_frontier_fractions(1e6, 10)
+        assert fractions.sum() <= 1.0
+
+    def test_explosive_then_flattening(self):
+        """Figure 4.b shape: early levels grow ~k-fold, then saturate."""
+        sizes = predict_frontier_sizes(10**7, 10)
+        growth = sizes[1:4] / sizes[:3]
+        assert (growth > 5).all()  # near-k growth while the graph is empty
+        assert sizes.argmax() < len(sizes) - 1  # a peak exists, then decline
+
+    def test_dies_out_below_threshold(self):
+        fractions = predict_frontier_fractions(10**6, 0.5)
+        assert fractions.sum() < 0.01  # subcritical: tiny component
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            predict_frontier_fractions(0, 10)
+        with pytest.raises(ValueError):
+            predict_frontier_fractions(100, -1)
+
+
+class TestAgainstMeasurement:
+    def test_level_count_matches(self):
+        """Predicted level count ~ measured, the Figure 4.a driver."""
+        n, k = 30_000, 10.0
+        graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=6))
+        giant = giant_component(graph)
+        result = run_bfs(build_engine(graph, GridShape(2, 2)), int(giant[0]))
+        predicted = predict_num_levels(n, k)
+        assert abs(result.num_levels - predicted) <= 2
+
+    def test_frontier_sizes_match(self):
+        n, k = 30_000, 10.0
+        graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=6))
+        giant = giant_component(graph)
+        result = run_bfs(build_engine(graph, GridShape(2, 2)), int(giant[0]))
+        measured = np.array([s.frontier_size for s in result.stats.levels if s.frontier_size])
+        predicted = predict_frontier_sizes(n, k)[1 : 1 + measured.size]
+        # the bulk levels (where sizes are large) should agree within ~20%
+        bulk = measured > 0.01 * n
+        assert bulk.any()
+        ratio = measured[bulk] / predicted[: measured.size][bulk]
+        assert (np.abs(np.log(ratio)) < 0.35).all()
+
+    def test_giant_component_fraction(self):
+        n, k = 20_000, 5.0
+        graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=2))
+        measured = giant_component(graph).size / n
+        predicted = predict_giant_component_fraction(k)
+        assert measured == pytest.approx(predicted, abs=0.02)
+
+    def test_subcritical_no_giant(self):
+        assert predict_giant_component_fraction(0.8) == 0.0
+        assert predict_giant_component_fraction(1.0) == 0.0
+
+    @pytest.mark.parametrize("k", [2.0, 10.0, 50.0])
+    def test_reached_total_matches_giant(self, k):
+        predicted_total = predict_frontier_fractions(10**7, k).sum()
+        assert predicted_total == pytest.approx(
+            predict_giant_component_fraction(k), abs=0.01
+        )

@@ -1,0 +1,111 @@
+"""Tests for repro.graph.diameter and repro.graph.io."""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.graph.csr import CsrGraph
+from repro.graph.diameter import (
+    bfs_levels,
+    double_sweep_lower_bound,
+    eccentricity,
+    estimate_diameter,
+)
+from repro.graph.generators import poisson_random_graph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.types import GraphSpec, UNREACHED
+
+
+def to_networkx(graph: CsrGraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.edge_array().tolist())
+    return g
+
+
+class TestBfsLevels:
+    def test_path_graph(self, path_graph):
+        levels = bfs_levels(path_graph, 0)
+        assert levels.tolist() == list(range(10))
+
+    def test_star_graph(self, star_graph):
+        levels = bfs_levels(star_graph, 1)
+        assert levels[1] == 0 and levels[0] == 1
+        assert (levels[2:] == 2).all()
+
+    def test_disconnected_marked_unreached(self):
+        g = CsrGraph.from_edges(4, np.array([[0, 1]]))
+        levels = bfs_levels(g, 0)
+        assert levels.tolist() == [0, 1, UNREACHED, UNREACHED]
+
+    def test_matches_networkx(self, small_graph):
+        levels = bfs_levels(small_graph, 7)
+        sp = nx.single_source_shortest_path_length(to_networkx(small_graph), 7)
+        for v, d in sp.items():
+            assert levels[v] == d
+        assert (levels != UNREACHED).sum() == len(sp)
+
+    def test_bad_source(self, path_graph):
+        with pytest.raises(IndexError):
+            bfs_levels(path_graph, 10)
+
+
+class TestDiameterEstimates:
+    def test_eccentricity_path(self, path_graph):
+        assert eccentricity(path_graph, 0) == 9
+        assert eccentricity(path_graph, 5) == 5
+
+    def test_double_sweep_exact_on_path(self, path_graph):
+        assert double_sweep_lower_bound(path_graph, 4) == 9
+
+    def test_double_sweep_is_lower_bound(self, small_graph):
+        true_diam = max(
+            max(d.values())
+            for _n, d in nx.all_pairs_shortest_path_length(to_networkx(small_graph))
+        )
+        assert double_sweep_lower_bound(small_graph) <= true_diam
+
+    def test_estimate_diameter_reasonable(self, small_graph):
+        est = estimate_diameter(small_graph, samples=3)
+        assert est >= 2
+
+    def test_log_n_growth(self):
+        """Random-graph diameter grows slowly with n (the paper's log-n law)."""
+        diam_small = estimate_diameter(poisson_random_graph(GraphSpec(500, 10, seed=1)))
+        diam_large = estimate_diameter(poisson_random_graph(GraphSpec(8000, 10, seed=1)))
+        assert diam_large <= diam_small + 4  # 16x vertices, only ~log2(16)/log2(10) more
+
+    def test_empty_graph(self):
+        assert estimate_diameter(CsrGraph.empty(0)) == 0
+        assert eccentricity(CsrGraph.empty(3), 0) == 0
+
+
+class TestIo:
+    def test_npz_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        write_edge_list(small_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.n == small_graph.n
+        assert np.array_equal(loaded.indices, small_graph.indices)
+
+    def test_text_roundtrip(self, path_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(path_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.n == path_graph.n
+        assert np.array_equal(loaded.indptr, path_graph.indptr)
+
+    def test_text_empty_graph(self, tmp_path):
+        g = CsrGraph.empty(5)
+        path = tmp_path / "empty.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.n == 5 and loaded.num_edges == 0
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError, match="header"):
+            read_edge_list(path)

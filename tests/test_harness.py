@@ -1,0 +1,102 @@
+"""Tests for the experiment harness: configs, sweeps, reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bfs.options import BfsOptions
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.report import format_series, format_table
+from repro.harness.sweep import sweep
+from repro.types import GraphSpec, GridShape
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        name="tiny",
+        graph=GraphSpec(n=200, k=6, seed=1),
+        grid=GridShape(2, 2),
+        num_searches=2,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestRunExperiment:
+    def test_basic_run(self):
+        result = run_experiment(tiny_config())
+        assert len(result.runs) == 2
+        assert result.mean_time > 0
+        assert result.mean_comm_time >= 0
+        assert result.mean_compute_time > 0
+
+    def test_deterministic(self):
+        a = run_experiment(tiny_config())
+        b = run_experiment(tiny_config())
+        assert a.mean_time == b.mean_time
+        assert a.mean_message_length("fold") == b.mean_message_length("fold")
+
+    def test_pinned_source_target(self):
+        config = tiny_config(source=0, target=5, num_searches=1)
+        result = run_experiment(config)
+        assert result.runs[0].source == 0
+        assert result.runs[0].target == 5
+
+    def test_pinned_source_full_search(self):
+        config = tiny_config(source=3, num_searches=1)
+        result = run_experiment(config)
+        assert result.runs[0].target is None
+
+    def test_1d_layout(self):
+        config = tiny_config(grid=GridShape(4, 1), layout="1d")
+        result = run_experiment(config)
+        assert result.mean_time > 0
+
+    def test_redundancy_metric(self):
+        config = tiny_config(opts=BfsOptions(fold_collective="union-ring"))
+        result = run_experiment(config)
+        assert 0.0 <= result.mean_redundancy < 1.0
+
+
+class TestSweep:
+    def test_graph_overrides(self):
+        results = sweep(tiny_config(), [{"n": 100}, {"n": 300}])
+        assert results[0].config.graph.n == 100
+        assert results[1].config.graph.n == 300
+        assert results[0].config.graph.k == 6  # untouched
+
+    def test_field_overrides(self):
+        results = sweep(tiny_config(), [{"grid": GridShape(1, 4), "layout": "1d"}])
+        assert results[0].config.layout == "1d"
+
+    def test_names(self):
+        results = sweep(tiny_config(), [{"name": "a"}, {}])
+        assert results[0].config.name == "a"
+        assert results[1].config.name == "tiny[1]"
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["P", "time"], [[1, 0.5], [128, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("P")
+        assert "128" in lines[3]
+
+    def test_format_table_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        text = format_series("2-D (k=10)", [0, 1], [5, 10])
+        assert text == "2-D (k=10): (0, 5), (1, 10)"
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], [1])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000012], [123456.0], [1.5], [0]])
+        assert "1.200e-05" in text
+        assert "1.235e+05" in text

@@ -1,0 +1,58 @@
+"""Tests for networkx interop and the module entry point."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.csr import CsrGraph
+from repro.graph.interop import from_networkx, to_networkx
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self, small_graph):
+        back = from_networkx(to_networkx(small_graph))
+        assert back.n == small_graph.n
+        assert np.array_equal(back.indptr, small_graph.indptr)
+        assert np.array_equal(back.indices, small_graph.indices)
+
+    def test_to_networkx_preserves_structure(self, path_graph):
+        g = to_networkx(path_graph)
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() == 9
+        assert nx.is_connected(g)
+
+    def test_from_networkx_requires_integer_labels(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError, match="0..n-1"):
+            from_networkx(g)
+
+    def test_from_networkx_empty(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        out = from_networkx(g)
+        assert out.n == 4 and out.num_edges == 0
+
+    def test_isolated_vertices_survive(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(5))
+        g.add_edge(0, 1)
+        out = from_networkx(g)
+        assert out.n == 5
+        assert out.degree(4) == 0
+
+
+def test_python_dash_m_entry_point():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "crossover", "--n", "1e6", "--p", "100"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "crossover" in proc.stdout

@@ -1,0 +1,41 @@
+"""Tests for per-level simulated time attribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import build_engine
+from repro.bfs.level_sync import run_bfs
+from repro.types import GridShape
+
+
+class TestPerLevelTimes:
+    def test_levels_sum_to_totals(self, small_graph):
+        result = run_bfs(build_engine(small_graph, GridShape(2, 4)), 0)
+        comm = result.stats.time_per_level("comm")
+        compute = result.stats.time_per_level("compute")
+        assert comm.sum() == pytest.approx(result.comm_time, rel=1e-9)
+        assert compute.sum() == pytest.approx(result.compute_time, rel=1e-9)
+
+    def test_nonnegative(self, small_graph):
+        result = run_bfs(build_engine(small_graph, GridShape(2, 2)), 0)
+        assert (result.stats.time_per_level("comm") >= 0).all()
+        assert (result.stats.time_per_level("compute") >= 0).all()
+
+    def test_busy_levels_cost_more(self, small_graph):
+        """The level with the largest frontier must cost the most compute."""
+        result = run_bfs(build_engine(small_graph, GridShape(2, 2)), 0)
+        compute = result.stats.time_per_level("compute")
+        frontiers = np.array([s.frontier_size for s in result.stats.levels])
+        # compare the peak-frontier level against the first level
+        assert compute[np.argmax(frontiers)] > compute[0]
+
+    def test_unknown_kind_rejected(self, small_graph):
+        result = run_bfs(build_engine(small_graph, GridShape(2, 2)), 0)
+        with pytest.raises(ValueError):
+            result.stats.time_per_level("waiting")
+
+    def test_single_rank_has_zero_comm_levels(self, small_graph):
+        result = run_bfs(build_engine(small_graph, GridShape(1, 1)), 0)
+        assert result.stats.time_per_level("comm").sum() == 0.0

@@ -1,0 +1,96 @@
+"""Second batch of edge cases across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.spmd import spmd_bfs
+from repro.bfs.options import BfsOptions
+from repro.bfs.serial import serial_bfs
+from repro.errors import PartitionError
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.export import results_to_rows
+from repro.harness.figures import fig4a_weak_scaling
+from repro.harness.sweep import sweep
+from repro.partition.two_d import TwoDPartition
+from repro.runtime.clock import SimClock
+from repro.runtime.message import chunk_payload
+from repro.session import BfsSession
+from repro.types import GraphSpec, GridShape
+
+
+class TestFiguresStMode:
+    def test_fig4a_st_searches(self):
+        """The paper's literal random s-t protocol (early termination)."""
+        points = fig4a_weak_scaling([4], 300, 8.0, searches=3, full_traversal=False)
+        assert points[0].mean_time > 0
+        # early-terminated searches are cheaper than full traversals
+        full = fig4a_weak_scaling([4], 300, 8.0, searches=3, full_traversal=True)
+        assert points[0].mean_time <= full[0].mean_time
+
+
+class TestSmallPieces:
+    def test_column_chunk_range_invalid(self, small_graph):
+        part = TwoDPartition(small_graph, GridShape(2, 3))
+        with pytest.raises(PartitionError):
+            part.column_chunk_range(3)
+
+    def test_clock_sync_empty_selection(self):
+        clock = SimClock(3)
+        clock.advance(0, 1.0)
+        horizon = clock.sync([])
+        assert horizon == 0.0  # nothing synced
+        assert clock.time[1] == 0.0
+
+    def test_chunk_payload_exact_multiple(self):
+        chunks = chunk_payload(np.arange(8), 4)
+        assert [len(c) for c in chunks] == [4, 4]
+
+    def test_session_on_mcr(self, small_graph):
+        session = BfsSession(small_graph, (2, 2), machine="mcr")
+        result = session.bfs(0)
+        assert np.array_equal(result.levels, serial_bfs(small_graph, 0))
+
+
+class TestSpmdDegenerateGrids:
+    def test_ring_collectives_on_1xp(self, path_graph):
+        opts = BfsOptions(expand_collective="ring", fold_collective="union-ring")
+        levels = spmd_bfs(path_graph, (1, 4), 0, opts=opts, timeout=60)
+        assert np.array_equal(levels, serial_bfs(path_graph, 0))
+
+    def test_ring_collectives_on_px1(self, path_graph):
+        opts = BfsOptions(expand_collective="ring", fold_collective="union-ring")
+        levels = spmd_bfs(path_graph, (4, 1), 0, opts=opts, timeout=60)
+        assert np.array_equal(levels, serial_bfs(path_graph, 0))
+
+    def test_sent_cache_equivalence(self, small_graph):
+        on = spmd_bfs(small_graph, (2, 2), 3, opts=BfsOptions(use_sent_cache=True),
+                      timeout=60)
+        off = spmd_bfs(small_graph, (2, 2), 3, opts=BfsOptions(use_sent_cache=False),
+                       timeout=60)
+        assert np.array_equal(on, off)
+
+
+class TestSweepExportIntegration:
+    def test_sweep_to_rows(self):
+        base = ExperimentConfig(
+            name="sweep-export",
+            graph=GraphSpec(n=120, k=4, seed=1),
+            grid=GridShape(2, 2),
+            num_searches=1,
+        )
+        results = sweep(base, [{"n": 100}, {"n": 140}])
+        rows = results_to_rows(results)
+        assert [r["n"] for r in rows] == [100, 140]
+        assert all(r["mean_time_s"] > 0 for r in rows)
+
+    def test_machine_variation_in_sweep(self):
+        base = ExperimentConfig(
+            name="machines",
+            graph=GraphSpec(n=120, k=4, seed=1),
+            grid=GridShape(2, 2),
+            num_searches=1,
+        )
+        results = sweep(base, [{"machine": "bluegene"}, {"machine": "mcr"}])
+        assert results[0].mean_compute_time > results[1].mean_compute_time

@@ -1,0 +1,86 @@
+"""Tests for the 1D vertex partitioning (Algorithm 1's layout)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.balance import balance_report
+from repro.partition.one_d import OneDPartition
+from repro.types import GridShape, VERTEX_DTYPE
+
+
+class TestOneDPartition:
+    def test_grid_orientation(self, small_graph):
+        assert OneDPartition(small_graph, 4, as_row=True).grid == GridShape(4, 1)
+        assert OneDPartition(small_graph, 4, as_row=False).grid == GridShape(1, 4)
+
+    def test_total_edges_preserved(self, small_graph):
+        part = OneDPartition(small_graph, 8)
+        total = sum(part.local(r).num_local_edges for r in range(8))
+        assert total == small_graph.num_directed_edges
+
+    def test_owned_vertices_partition_the_graph(self, small_graph):
+        part = OneDPartition(small_graph, 5)
+        owned = np.concatenate([part.owned_vertices(r) for r in range(5)])
+        assert np.array_equal(owned, np.arange(small_graph.n))
+
+    def test_owner_of_matches_owned(self, small_graph):
+        part = OneDPartition(small_graph, 5)
+        for r in range(5):
+            assert (part.owner_of(part.owned_vertices(r)) == r).all()
+
+    def test_local_edge_lists_match_graph(self, small_graph):
+        part = OneDPartition(small_graph, 6)
+        for r in range(6):
+            loc = part.local(r)
+            for i, v in enumerate(range(loc.vertex_lo, loc.vertex_hi)):
+                local_row = loc.adjacency[loc.indptr[i] : loc.indptr[i + 1]]
+                assert np.array_equal(local_row, small_graph.neighbors(v))
+
+    def test_neighbors_of_frontier(self, small_graph):
+        part = OneDPartition(small_graph, 4)
+        loc = part.local(1)
+        frontier = part.owned_vertices(1)[:5]
+        expected = np.concatenate([small_graph.neighbors(int(v)) for v in frontier])
+        assert np.array_equal(loc.neighbors_of_frontier(frontier), expected)
+
+    def test_neighbors_of_frontier_empty(self, small_graph):
+        loc = OneDPartition(small_graph, 4).local(0)
+        assert loc.neighbors_of_frontier(np.empty(0, dtype=VERTEX_DTYPE)).size == 0
+
+    def test_non_owned_frontier_rejected(self, small_graph):
+        part = OneDPartition(small_graph, 4)
+        foreign = part.owned_vertices(2)[:1]
+        with pytest.raises(PartitionError):
+            part.local(0).neighbors_of_frontier(foreign)
+
+    def test_single_rank(self, small_graph):
+        part = OneDPartition(small_graph, 1)
+        assert part.local(0).num_owned == small_graph.n
+        assert part.local(0).num_local_edges == small_graph.num_directed_edges
+
+    def test_more_ranks_than_vertices(self, path_graph):
+        part = OneDPartition(path_graph, 16)
+        total = sum(part.local(r).num_local_edges for r in range(16))
+        assert total == path_graph.num_directed_edges
+
+    def test_zero_ranks_rejected(self, small_graph):
+        with pytest.raises(PartitionError):
+            OneDPartition(small_graph, 0)
+
+    def test_bad_rank_rejected(self, small_graph):
+        with pytest.raises(PartitionError):
+            OneDPartition(small_graph, 4).local(4)
+
+    def test_memory_footprint_keys(self, small_graph):
+        fp = OneDPartition(small_graph, 4).memory_footprint(0)
+        assert set(fp) == {"owned_vertices", "edge_entries", "indptr"}
+
+    def test_balance(self, small_graph):
+        report = balance_report(OneDPartition(small_graph, 8), "owned_vertices")
+        assert report.maximum - report.minimum <= 1
+        edge_report = balance_report(OneDPartition(small_graph, 8), "edge_entries")
+        # Poisson graphs balance statistically; allow generous slack.
+        assert edge_report.imbalance < 1.5

@@ -1,0 +1,76 @@
+"""Tests for the sent-neighbours cache (Section 2.4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import build_engine
+from repro.bfs.level_sync import run_bfs
+from repro.bfs.options import BfsOptions
+from repro.bfs.sent_cache import SentCache
+from repro.partition.indexing import VertexIndexMap
+from repro.types import GridShape
+
+
+class TestSentCache:
+    def test_first_pass_all_fresh(self):
+        cache = SentCache(VertexIndexMap([10, 20, 30]))
+        out = cache.filter_unsent(np.array([10, 30]))
+        assert out.tolist() == [10, 30]
+        assert cache.num_sent == 2
+
+    def test_second_pass_filtered(self):
+        cache = SentCache(VertexIndexMap([10, 20, 30]))
+        cache.filter_unsent(np.array([10, 30]))
+        out = cache.filter_unsent(np.array([10, 20, 30]))
+        assert out.tolist() == [20]
+
+    def test_empty_input(self):
+        cache = SentCache(VertexIndexMap([1]))
+        assert cache.filter_unsent(np.array([], dtype=np.int64)).size == 0
+
+    def test_reset(self):
+        cache = SentCache(VertexIndexMap([1, 2]))
+        cache.filter_unsent(np.array([1, 2]))
+        cache.reset()
+        assert cache.num_sent == 0
+        assert cache.filter_unsent(np.array([1])).tolist() == [1]
+
+    def test_unknown_vertex_rejected(self):
+        cache = SentCache(VertexIndexMap([1, 2]))
+        from repro.errors import PartitionError
+
+        with pytest.raises(PartitionError):
+            cache.filter_unsent(np.array([3]))
+
+    def test_len_is_universe_size(self):
+        assert len(SentCache(VertexIndexMap([5, 6, 7]))) == 3
+
+
+class TestCacheEffectOnTraffic:
+    def test_cache_reduces_fold_volume(self, small_graph):
+        """Dense graphs rediscover neighbours constantly; the cache must cut
+        the fold traffic without changing the result."""
+        grid = GridShape(2, 4)
+        with_cache = run_bfs(
+            build_engine(small_graph, grid, opts=BfsOptions(use_sent_cache=True)), 0
+        )
+        without = run_bfs(
+            build_engine(small_graph, grid, opts=BfsOptions(use_sent_cache=False)), 0
+        )
+        assert np.array_equal(with_cache.levels, without.levels)
+        assert (
+            with_cache.stats.volume_per_level("fold").sum()
+            < without.stats.volume_per_level("fold").sum()
+        )
+
+    def test_cache_universe_is_edge_list_vertices(self, small_graph):
+        """Storage is one flag per unique vertex in local edge lists -- the
+        Section 2.4.1/2.4.3 O(n/P) expectation."""
+        engine = build_engine(small_graph, GridShape(2, 4))
+        engine.start(0)
+        for rank in range(8):
+            cache = engine._sent_caches[rank]
+            fp = engine.partition.memory_footprint(rank)
+            assert len(cache) == fp["unique_row_vertices"]

@@ -1,0 +1,102 @@
+"""Tests for the reusable query session and path extraction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.bfs.serial import serial_bfs
+from repro.errors import ConfigurationError, SearchError
+from repro.graph.csr import CsrGraph
+from repro.session import BfsSession, extract_path
+from repro.types import GridShape
+
+
+def to_networkx(graph: CsrGraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.edge_array().tolist())
+    return g
+
+
+class TestBfsSession:
+    def test_bfs_matches_serial(self, small_graph):
+        session = BfsSession(small_graph, (2, 4))
+        result = session.bfs(0)
+        assert np.array_equal(result.levels, serial_bfs(small_graph, 0))
+
+    def test_repeated_queries_accumulate(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        session.bfs(0)
+        session.distance(0, 100)
+        assert session.queries_served == 2
+        assert session.total_simulated_time > 0
+
+    def test_distance_matches_networkx(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        g = to_networkx(small_graph)
+        for s, t in [(0, 1), (5, 300), (42, 42)]:
+            try:
+                expected = nx.shortest_path_length(g, s, t)
+            except nx.NetworkXNoPath:
+                expected = None
+            assert session.distance(s, t) == expected
+
+    def test_1d_layout(self, small_graph):
+        session = BfsSession(small_graph, (4, 1), layout="1d")
+        result = session.bfs(7)
+        assert np.array_equal(result.levels, serial_bfs(small_graph, 7))
+
+    def test_1d_needs_degenerate_grid(self, small_graph):
+        with pytest.raises(ConfigurationError):
+            BfsSession(small_graph, (2, 2), layout="1d")
+
+    def test_unknown_layout_rejected(self, small_graph):
+        with pytest.raises(ConfigurationError):
+            BfsSession(small_graph, (2, 2), layout="hex")
+
+    def test_queries_are_independent(self, small_graph):
+        """Each query gets fresh statistics: same query twice, same cost."""
+        session = BfsSession(small_graph, (2, 2))
+        a = session.bfs(3)
+        b = session.bfs(3)
+        assert a.elapsed == b.elapsed
+        assert a.stats.total_messages == b.stats.total_messages
+
+
+class TestShortestPath:
+    def test_path_is_valid_and_shortest(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        g = to_networkx(small_graph)
+        for s, t in [(0, 399), (10, 200), (5, 6)]:
+            path = session.shortest_path(s, t)
+            expected = nx.shortest_path_length(g, s, t)
+            assert path[0] == s and path[-1] == t
+            assert len(path) - 1 == expected
+            for u, v in zip(path, path[1:]):
+                assert small_graph.has_edge(u, v)
+
+    def test_trivial_path(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        assert session.shortest_path(9, 9) == [9]
+
+    def test_disconnected_returns_none(self):
+        g = CsrGraph.from_edges(5, np.array([[0, 1], [2, 3]]))
+        session = BfsSession(g, (2, 2))
+        assert session.shortest_path(0, 3) is None
+
+    def test_extract_path_on_path_graph(self, path_graph):
+        levels = serial_bfs(path_graph, 0)
+        assert extract_path(path_graph, levels, 0, 9) == list(range(10))
+
+    def test_extract_path_unreached_rejected(self):
+        g = CsrGraph.from_edges(4, np.array([[0, 1]]))
+        levels = serial_bfs(g, 0)
+        with pytest.raises(SearchError, match="not reached"):
+            extract_path(g, levels, 0, 3)
+
+    def test_extract_path_wrong_source_rejected(self, path_graph):
+        levels = serial_bfs(path_graph, 0)
+        with pytest.raises(SearchError, match="not the search source"):
+            extract_path(path_graph, levels, 1, 9)

@@ -1,0 +1,91 @@
+"""High-diameter stress workloads: lattices and rings.
+
+The paper's Poisson graphs have O(log n) diameters, so the BFS loop runs a
+handful of levels with explosive frontiers.  Lattices and rings invert the
+regime — hundreds of levels with small frontiers — stressing the per-level
+machinery (termination reductions, empty-frontier ranks, level counters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import build_engine, distributed_bfs
+from repro.bfs.level_sync import run_bfs
+from repro.bfs.options import BfsOptions
+from repro.bfs.serial import serial_bfs
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import lattice_edges, ring_edges
+from repro.types import GridShape
+
+
+class TestLatticeGenerator:
+    def test_open_lattice_edge_count(self):
+        # w x h grid: h*(w-1) horizontal + w*(h-1) vertical
+        g = CsrGraph.from_edges(12, lattice_edges(4, 3))
+        assert g.num_edges == 3 * 3 + 4 * 2
+
+    def test_periodic_lattice_regular(self):
+        g = CsrGraph.from_edges(16, lattice_edges(4, 4, periodic=True))
+        assert (g.degree() == 4).all()
+
+    def test_degenerate_dimensions(self):
+        g = CsrGraph.from_edges(5, lattice_edges(5, 1))
+        assert g.num_edges == 4  # a path
+        assert CsrGraph.from_edges(1, lattice_edges(1, 1)).num_edges == 0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            lattice_edges(0, 3)
+
+    def test_distances_are_manhattan(self):
+        w, h = 7, 5
+        g = CsrGraph.from_edges(w * h, lattice_edges(w, h))
+        levels = serial_bfs(g, 0)
+        for y in range(h):
+            for x in range(w):
+                assert levels[y * w + x] == x + y
+
+    def test_ring_generator(self):
+        g = CsrGraph.from_edges(8, ring_edges(8))
+        assert (g.degree() == 2).all()
+        assert serial_bfs(g, 0).max() == 4
+
+    def test_tiny_ring(self):
+        assert ring_edges(1).shape == (0, 2)
+        assert CsrGraph.from_edges(2, ring_edges(2)).num_edges == 1
+
+
+class TestDeepGraphStress:
+    def test_lattice_bfs_many_levels(self):
+        """60x20 lattice: 79 levels of tiny frontiers; all variants agree."""
+        w, h = 60, 20
+        g = CsrGraph.from_edges(w * h, lattice_edges(w, h))
+        ref = serial_bfs(g, 0)
+        assert ref.max() == w + h - 2
+        for opts in (
+            BfsOptions(),
+            BfsOptions(expand_collective="two-phase", fold_collective="two-phase"),
+            BfsOptions(fold_collective="bruck"),
+        ):
+            result = distributed_bfs(g, (3, 4), 0, opts=opts)
+            assert np.array_equal(result.levels, ref)
+            assert result.num_levels == w + h - 1  # 78 expansions + empty final
+
+    def test_ring_bfs_maximum_diameter(self):
+        n = 300
+        g = CsrGraph.from_edges(n, ring_edges(n))
+        result = run_bfs(build_engine(g, GridShape(2, 2)), 0)
+        assert np.array_equal(result.levels, serial_bfs(g, 0))
+        assert result.levels.max() == n // 2
+
+    def test_per_level_stats_depth(self):
+        """Per-level statistics stay consistent over hundreds of levels."""
+        n = 240
+        g = CsrGraph.from_edges(n, ring_edges(n))
+        result = run_bfs(build_engine(g, GridShape(2, 2)), 0)
+        sizes = [s.frontier_size for s in result.stats.levels]
+        # a ring frontier is two vertices per level until the antipode
+        assert sizes[: n // 2 - 1] == [2] * (n // 2 - 1)
+        assert result.stats.time_per_level("comm").shape[0] == result.num_levels

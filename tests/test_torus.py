@@ -1,0 +1,121 @@
+"""Tests for the 3D torus topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.machine.torus import Torus3D
+
+
+dims_strategy = st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 4))
+
+
+class TestCoordinates:
+    def test_roundtrip(self):
+        torus = Torus3D(4, 3, 2)
+        for node in range(torus.num_nodes):
+            assert torus.node_of(*torus.coords_of(node)) == node
+
+    def test_x_fastest(self):
+        torus = Torus3D(4, 3, 2)
+        assert torus.coords_of(1) == (1, 0, 0)
+        assert torus.coords_of(4) == (0, 1, 0)
+        assert torus.coords_of(12) == (0, 0, 1)
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(TopologyError):
+            Torus3D(2, 2, 2).coords_of(8)
+
+    def test_bad_coords_rejected(self):
+        with pytest.raises(TopologyError):
+            Torus3D(2, 2, 2).node_of(2, 0, 0)
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(TopologyError):
+            Torus3D(0, 2, 2)
+
+
+class TestDistances:
+    def test_wraparound(self):
+        torus = Torus3D(8, 1, 1)
+        assert torus.hop_distance(0, 7) == 1  # wrap is shorter
+        assert torus.hop_distance(0, 4) == 4
+
+    def test_symmetric(self):
+        torus = Torus3D(4, 4, 4)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a, b = rng.integers(0, 64, 2)
+            assert torus.hop_distance(int(a), int(b)) == torus.hop_distance(int(b), int(a))
+
+    def test_identity(self):
+        torus = Torus3D(4, 4, 2)
+        assert torus.hop_distance(5, 5) == 0
+
+    def test_vectorised_matches_scalar(self):
+        torus = Torus3D(5, 3, 2)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 30, 40)
+        b = rng.integers(0, 30, 40)
+        vec = torus.hop_distance_many(a, b)
+        scalar = [torus.hop_distance(int(x), int(y)) for x, y in zip(a, b)]
+        assert vec.tolist() == scalar
+
+    @given(dims_strategy, st.data())
+    @settings(max_examples=30)
+    def test_triangle_inequality(self, dims, data):
+        torus = Torus3D(*dims)
+        n = torus.num_nodes
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        c = data.draw(st.integers(0, n - 1))
+        assert torus.hop_distance(a, c) <= torus.hop_distance(a, b) + torus.hop_distance(b, c)
+
+
+class TestRouting:
+    def test_route_length_equals_distance(self):
+        torus = Torus3D(4, 4, 4)
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            a, b = (int(x) for x in rng.integers(0, 64, 2))
+            route = torus.route(a, b)
+            assert len(route) == torus.hop_distance(a, b)
+
+    def test_route_is_connected_path(self):
+        torus = Torus3D(4, 3, 2)
+        route = torus.route(0, 23)
+        assert route[0][0] == 0
+        assert route[-1][1] == 23
+        for (u1, v1), (u2, _v2) in zip(route, route[1:]):
+            assert v1 == u2
+
+    def test_route_links_are_physical(self):
+        torus = Torus3D(4, 4, 1)
+        for u, v in torus.route(0, 10):
+            assert v in torus.neighbors(u)
+
+    def test_self_route_empty(self):
+        assert Torus3D(3, 3, 3).route(13, 13) == []
+
+
+class TestNeighbors:
+    def test_interior_degree_six(self):
+        torus = Torus3D(4, 4, 4)
+        assert len(torus.neighbors(21)) == 6
+
+    def test_degenerate_dims_reduce_degree(self):
+        assert len(Torus3D(4, 1, 1).neighbors(0)) == 2
+        assert len(Torus3D(2, 2, 1).neighbors(0)) == 2  # wrap collapses on dim=2
+
+    def test_neighbors_at_distance_one(self):
+        torus = Torus3D(3, 3, 3)
+        for nb in torus.neighbors(0):
+            assert torus.hop_distance(0, nb) == 1
+
+    def test_bisection_links_positive(self):
+        assert Torus3D(8, 4, 4).bisection_links == 2 * 4 * 4
+        assert Torus3D(2, 1, 1).bisection_links == 1

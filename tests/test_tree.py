@@ -1,0 +1,133 @@
+"""Tests for BFS tree construction and Graph500-style validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import distributed_bfs
+from repro.bfs.serial import serial_bfs
+from repro.bfs.tree import (
+    NO_PARENT,
+    ROOT,
+    build_parent_tree,
+    validate_bfs_result,
+)
+from repro.errors import SearchError
+from repro.graph.csr import CsrGraph
+from repro.graph.generators import poisson_random_graph
+from repro.types import GraphSpec, UNREACHED
+
+
+class TestBuildParentTree:
+    def test_path_graph(self, path_graph):
+        levels = serial_bfs(path_graph, 0)
+        parents = build_parent_tree(path_graph, levels)
+        assert parents[0] == ROOT
+        assert parents[1:].tolist() == list(range(9))
+
+    def test_star_graph(self, star_graph):
+        levels = serial_bfs(star_graph, 0)
+        parents = build_parent_tree(star_graph, levels)
+        assert parents[0] == ROOT
+        assert (parents[1:] == 0).all()
+
+    def test_unreached_get_no_parent(self):
+        g = CsrGraph.from_edges(4, np.array([[0, 1]]))
+        parents = build_parent_tree(g, serial_bfs(g, 0))
+        assert parents.tolist() == [ROOT, 0, NO_PARENT, NO_PARENT]
+
+    def test_smallest_parent_chosen(self):
+        # 0-2, 1-2 and 0,1 both at level... build: source 0, edges 0-1, 0-2, 1-3, 2-3
+        g = CsrGraph.from_edges(4, np.array([[0, 1], [0, 2], [1, 3], [2, 3]]))
+        parents = build_parent_tree(g, serial_bfs(g, 0))
+        assert parents[3] == 1  # both 1 and 2 qualify; smallest id wins
+
+    def test_invalid_levels_rejected(self, path_graph):
+        levels = serial_bfs(path_graph, 0)
+        levels[5] = 99  # orphan level
+        with pytest.raises(SearchError, match="not a BFS labelling"):
+            build_parent_tree(path_graph, levels)
+
+    def test_shape_checked(self, path_graph):
+        with pytest.raises(SearchError):
+            build_parent_tree(path_graph, np.zeros(3, dtype=np.int64))
+
+    def test_parents_on_distributed_result(self, small_graph):
+        result = distributed_bfs(small_graph, (2, 4), 3)
+        parents = build_parent_tree(small_graph, result.levels)
+        report = validate_bfs_result(small_graph, 3, result.levels, parents)
+        assert report.ok, str(report)
+
+
+class TestValidateBfsResult:
+    def test_valid_result_passes(self, small_graph):
+        levels = serial_bfs(small_graph, 0)
+        report = validate_bfs_result(small_graph, 0, levels)
+        assert report.ok
+        assert set(report.checks) == {
+            "root-level", "edge-span", "connectivity", "level-support",
+        }
+
+    def test_detects_wrong_root(self, small_graph):
+        levels = serial_bfs(small_graph, 0)
+        levels[0] = 1
+        report = validate_bfs_result(small_graph, 0, levels)
+        assert not report.checks["root-level"]
+
+    def test_detects_edge_span_violation(self, path_graph):
+        levels = serial_bfs(path_graph, 0)
+        levels[5] = 99
+        report = validate_bfs_result(path_graph, 0, levels)
+        assert not report.checks["edge-span"]
+
+    def test_detects_unreached_neighbour_of_reached(self, path_graph):
+        levels = serial_bfs(path_graph, 0)
+        levels[9] = UNREACHED
+        report = validate_bfs_result(path_graph, 0, levels)
+        assert not report.checks["connectivity"]
+
+    def test_detects_unsupported_level(self):
+        g = CsrGraph.from_edges(3, np.array([[0, 1], [1, 2]]))
+        levels = np.array([0, 1, 3])  # vertex 2 claims level 3, support is 2
+        report = validate_bfs_result(g, 0, levels)
+        assert not report.ok
+
+    def test_detects_bad_parent(self, path_graph):
+        levels = serial_bfs(path_graph, 0)
+        parents = build_parent_tree(path_graph, levels)
+        parents[5] = 9  # not a neighbour one closer
+        report = validate_bfs_result(path_graph, 0, levels, parents)
+        assert not report.checks["parent-edges"]
+
+    def test_detects_parent_root_mismatch(self, path_graph):
+        levels = serial_bfs(path_graph, 0)
+        parents = build_parent_tree(path_graph, levels)
+        parents[0] = NO_PARENT  # source must be ROOT
+        report = validate_bfs_result(path_graph, 0, levels, parents)
+        assert not report.checks["parent-edges"]
+
+    def test_str_and_report_api(self, path_graph):
+        levels = serial_bfs(path_graph, 0)
+        report = validate_bfs_result(path_graph, 0, levels)
+        assert report.ok
+        report.record("extra", False, "injected failure")
+        assert not report.ok
+        assert "injected failure" in report.messages[0]
+
+    def test_bad_source_rejected(self, path_graph):
+        with pytest.raises(SearchError):
+            validate_bfs_result(path_graph, 99, serial_bfs(path_graph, 0))
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=15, deadline=None)
+def test_property_distributed_results_always_validate(seed):
+    graph = poisson_random_graph(GraphSpec(n=200, k=5, seed=seed % 23))
+    source = seed % graph.n
+    result = distributed_bfs(graph, (2, 2), source)
+    parents = build_parent_tree(graph, result.levels)
+    report = validate_bfs_result(graph, source, result.levels, parents)
+    assert report.ok, str(report)

@@ -1,0 +1,111 @@
+"""Tests for repro.types: grid shapes, graph specs, array coercion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import GraphSpec, GridShape, VERTEX_DTYPE, as_vertex_array
+
+
+class TestAsVertexArray:
+    def test_list_coerced(self):
+        arr = as_vertex_array([3, 1, 2])
+        assert arr.dtype == VERTEX_DTYPE
+        assert arr.tolist() == [3, 1, 2]
+
+    def test_scalar_becomes_length_one(self):
+        assert as_vertex_array(5).tolist() == [5]
+
+    def test_existing_array_kept_contiguous(self):
+        src = np.arange(10, dtype=VERTEX_DTYPE)[::2]
+        arr = as_vertex_array(src)
+        assert arr.flags["C_CONTIGUOUS"]
+        assert arr.tolist() == [0, 2, 4, 6, 8]
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_vertex_array(np.zeros((2, 2)))
+
+    def test_empty_ok(self):
+        assert as_vertex_array([]).size == 0
+
+
+class TestGridShape:
+    def test_size(self):
+        assert GridShape(4, 8).size == 32
+
+    def test_is_1d(self):
+        assert GridShape(1, 7).is_1d
+        assert GridShape(7, 1).is_1d
+        assert not GridShape(2, 2).is_1d
+        assert GridShape(1, 1).is_1d
+
+    def test_rank_coords_roundtrip(self):
+        grid = GridShape(3, 5)
+        for rank in range(grid.size):
+            row, col = grid.coords_of(rank)
+            assert grid.rank_of(row, col) == rank
+
+    def test_rank_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            GridShape(2, 2).rank_of(2, 0)
+        with pytest.raises(IndexError):
+            GridShape(2, 2).rank_of(0, -1)
+
+    def test_coords_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            GridShape(2, 2).coords_of(4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            GridShape(0, 3)
+        with pytest.raises(ValueError):
+            GridShape(3, -1)
+
+    def test_row_members_are_one_row(self):
+        grid = GridShape(3, 4)
+        members = grid.row_members(1)
+        assert members == [4, 5, 6, 7]
+        assert all(grid.coords_of(m)[0] == 1 for m in members)
+
+    def test_col_members_are_one_column(self):
+        grid = GridShape(3, 4)
+        members = grid.col_members(2)
+        assert members == [2, 6, 10]
+        assert all(grid.coords_of(m)[1] == 2 for m in members)
+
+    def test_rows_and_cols_partition_all_ranks(self):
+        grid = GridShape(4, 6)
+        from_rows = sorted(r for i in range(grid.rows) for r in grid.row_members(i))
+        from_cols = sorted(r for j in range(grid.cols) for r in grid.col_members(j))
+        assert from_rows == list(range(grid.size))
+        assert from_cols == list(range(grid.size))
+
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 143))
+    def test_roundtrip_property(self, rows, cols, rank):
+        grid = GridShape(rows, cols)
+        rank = rank % grid.size
+        assert grid.rank_of(*grid.coords_of(rank)) == rank
+
+
+class TestGraphSpec:
+    def test_expected_edges(self):
+        assert GraphSpec(n=1000, k=10).expected_edges == 5000
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            GraphSpec(n=10, k=-1)
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            GraphSpec(n=0, k=1)
+
+    def test_degree_above_n_minus_1_rejected(self):
+        with pytest.raises(ValueError):
+            GraphSpec(n=5, k=5)
+
+    def test_single_vertex_zero_degree_ok(self):
+        assert GraphSpec(n=1, k=0).expected_edges == 0
