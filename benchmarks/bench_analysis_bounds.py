@@ -8,8 +8,6 @@ laptop scale.
 
 from __future__ import annotations
 
-import numpy as np
-
 from conftest import emit
 from repro.analysis.model import MessageLengthModel
 from repro.harness.report import format_table

@@ -1,0 +1,66 @@
+"""Fault-injection overhead — graceful degradation under transient faults.
+
+Sweeps the transient message-drop probability on a pinned 2D search and
+reports the simulated-time overhead relative to the fault-free baseline.
+Expected shape: overhead grows monotonically-ish with the drop rate (more
+retries, occasionally a level rollback), every faulted run still produces
+exactly the baseline's level labels, and the zero-rate point is *free* —
+an empty schedule must not change the simulated time at all.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.faults import FaultSpec
+from repro.graph.generators import poisson_random_graph
+from repro.harness.fault_sweep import fault_sweep, format_fault_sweep
+from repro.types import GraphSpec, GridShape
+
+GRID = GridShape(4, 4)
+SPEC = GraphSpec(n=8_000, k=10, seed=3)
+
+DROP_RATES = [0.0, 0.01, 0.02, 0.05, 0.10]
+
+
+def test_fault_overhead(once):
+    def run_all():
+        graph = poisson_random_graph(SPEC)
+        specs = [
+            FaultSpec(seed=11, drop_rate=rate, max_retries=4) for rate in DROP_RATES
+        ]
+        return fault_sweep(graph, GRID, 0, specs)
+
+    points = once(run_all)
+    emit(
+        "Fault overhead  drop-rate sweep (n=8000, k=10, 4x4 mesh)",
+        format_fault_sweep(points),
+    )
+    # Recovery is mandatory: every faulted run matches the baseline levels.
+    assert all(p.levels_match for p in points)
+    # An inactive schedule costs nothing.
+    assert points[0].overhead_seconds == 0.0
+    assert points[0].report.injected == 0
+    # Faults cost simulated time, and the harshest point costs the most.
+    assert all(p.overhead_seconds > 0 for p in points[1:])
+    assert points[-1].overhead_seconds == max(p.overhead_seconds for p in points)
+    # The paper's resilience story: overhead stays graceful, not catastrophic.
+    assert points[-1].overhead_ratio < 2.0
+
+
+def test_straggler_overhead(once):
+    def run_all():
+        graph = poisson_random_graph(SPEC)
+        specs = [
+            FaultSpec(seed=5, straggler_rate=0.25, straggler_slowdown=slow)
+            for slow in (1.5, 3.0)
+        ]
+        return fault_sweep(graph, GRID, 0, specs)
+
+    mild, harsh = once(run_all)
+    emit(
+        "Fault overhead  stragglers (25% of ranks slowed)",
+        format_fault_sweep([mild, harsh]),
+    )
+    assert mild.levels_match and harsh.levels_match
+    # A slower straggler stretches the level barrier further.
+    assert harsh.overhead_seconds > mild.overhead_seconds > 0

@@ -16,7 +16,15 @@ Quickstart::
     print(result.summary())
 """
 
-from repro.types import GraphSpec, GridShape, UNREACHED
+from repro.types import (
+    SYSTEM_PRESETS,
+    GraphSpec,
+    GridShape,
+    SystemSpec,
+    UNREACHED,
+    resolve_system,
+)
+from repro.faults import FAULT_PRESETS, FaultReport, FaultSchedule, FaultSpec
 from repro.graph import CsrGraph, poisson_random_graph
 from repro.partition import OneDPartition, TwoDPartition
 from repro.machine import BLUEGENE_L, MCR_CLUSTER, MachineModel, Torus3D
@@ -45,6 +53,13 @@ __all__ = [
     "GraphSpec",
     "GridShape",
     "UNREACHED",
+    "SystemSpec",
+    "SYSTEM_PRESETS",
+    "resolve_system",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultReport",
+    "FAULT_PRESETS",
     "CsrGraph",
     "poisson_random_graph",
     "OneDPartition",

@@ -1,9 +1,16 @@
 """High-level convenience API.
 
 These helpers wire together the full stack — graph, partition, machine
-model, task mapping, communicator, engine — so that a user can run the
-paper's algorithm in three lines (see ``examples/quickstart.py``).  Every
-piece remains individually constructible for finer control.
+model, task mapping, fault schedule, communicator, engine — so that a user
+can run the paper's algorithm in three lines (see ``examples/quickstart.py``).
+Every piece remains individually constructible for finer control.
+
+The system a search runs on is described by one
+:class:`~repro.types.SystemSpec` value (or a preset name like
+``"bluegene-2d"``), passed as ``system=``.  The pre-``SystemSpec`` keyword
+arguments (``machine=``, ``mapping=``, ``layout=``, ``faults=``) remain a
+thin compatibility path: they are merged over the spec by
+:func:`repro.types.resolve_system`, the single shared resolver.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from repro.bfs.level_sync import LevelSyncEngine, run_bfs
 from repro.bfs.options import BfsOptions
 from repro.bfs.result import BfsResult, BidirectionalResult
 from repro.errors import ConfigurationError
+from repro.faults import FaultSchedule, FaultSpec
 from repro.graph.csr import CsrGraph
 from repro.machine.bluegene import BLUEGENE_L, MachineModel, bluegene_l_torus_for
 from repro.machine.cluster import MCR_CLUSTER, flat_network_for
@@ -22,45 +30,55 @@ from repro.machine.mapping import TaskMapping, planar_mapping, row_major_mapping
 from repro.partition.one_d import OneDPartition
 from repro.partition.two_d import TwoDPartition
 from repro.runtime.comm import Communicator
-from repro.types import GridShape
+from repro.types import GridShape, SystemSpec, resolve_system
 
 
 def build_communicator(
     grid: GridShape,
     *,
-    machine: str | MachineModel = "bluegene",
-    mapping: str | TaskMapping = "planar",
+    system: SystemSpec | str | None = None,
+    machine: str | MachineModel | None = None,
+    mapping: str | TaskMapping | None = None,
     buffer_capacity: int | None = None,
+    faults: FaultSpec | None = None,
 ) -> Communicator:
-    """Create a virtual communicator for ``grid`` on the requested machine.
+    """Create a virtual communicator for ``grid`` on the requested system.
 
-    ``machine`` is ``"bluegene"``, ``"mcr"``, or a custom
-    :class:`MachineModel`; ``mapping`` is ``"planar"`` (the paper's
+    ``system`` is a :class:`SystemSpec` or a preset name; the legacy
+    ``machine``/``mapping``/``faults`` keywords override its fields.
+    ``machine`` resolves to ``"bluegene"``, ``"mcr"``, or a custom
+    :class:`MachineModel`; ``mapping`` to ``"planar"`` (the paper's
     Figure 1 scheme), ``"row-major"`` (naive baseline), or a prebuilt
     :class:`TaskMapping`.  The MCR machine always uses its flat network.
     """
-    if isinstance(machine, MachineModel):
-        model = machine
-    elif machine == "bluegene":
-        model = BLUEGENE_L
-    elif machine == "mcr":
-        model = MCR_CLUSTER
-    else:
-        raise ConfigurationError(f"unknown machine {machine!r}; use 'bluegene' or 'mcr'")
+    spec = resolve_system(system, machine=machine, mapping=mapping, faults=faults)
 
-    if isinstance(mapping, TaskMapping):
-        task_mapping = mapping
+    if isinstance(spec.machine, MachineModel):
+        model = spec.machine
+    elif spec.machine == "bluegene":
+        model = BLUEGENE_L
+    elif spec.machine == "mcr":
+        model = MCR_CLUSTER
+    else:  # pragma: no cover - resolve_system validates preset strings
+        raise ConfigurationError(f"unknown machine {spec.machine!r}; use 'bluegene' or 'mcr'")
+
+    if isinstance(spec.mapping, TaskMapping):
+        task_mapping = spec.mapping
     elif model.name == "MCR":
         task_mapping = flat_network_for(grid)
-    elif mapping == "planar":
+    elif spec.mapping == "planar":
         task_mapping = planar_mapping(grid, bluegene_l_torus_for(grid.size))
-    elif mapping == "row-major":
+    elif spec.mapping == "row-major":
         task_mapping = row_major_mapping(grid, bluegene_l_torus_for(grid.size))
-    else:
+    else:  # pragma: no cover - resolve_system validates preset strings
         raise ConfigurationError(
-            f"unknown mapping {mapping!r}; use 'planar', 'row-major', or a TaskMapping"
+            f"unknown mapping {spec.mapping!r}; use 'planar', 'row-major', or a TaskMapping"
         )
-    return Communicator(task_mapping, model, buffer_capacity=buffer_capacity)
+
+    schedule = FaultSchedule(spec.faults, grid.size) if spec.faults is not None else None
+    return Communicator(
+        task_mapping, model, buffer_capacity=buffer_capacity, faults=schedule
+    )
 
 
 def build_engine(
@@ -68,32 +86,36 @@ def build_engine(
     grid: GridShape | tuple[int, int],
     *,
     opts: BfsOptions | None = None,
-    machine: str | MachineModel = "bluegene",
-    mapping: str | TaskMapping = "planar",
-    layout: str = "2d",
+    system: SystemSpec | str | None = None,
+    machine: str | MachineModel | None = None,
+    mapping: str | TaskMapping | None = None,
+    layout: str | None = None,
+    faults: FaultSpec | None = None,
     comm: Communicator | None = None,
 ) -> LevelSyncEngine:
     """Partition ``graph`` over ``grid`` and build a ready-to-run engine.
 
-    ``layout="2d"`` uses Algorithm 2 on a :class:`TwoDPartition`;
-    ``layout="1d"`` uses Algorithm 1 on a :class:`OneDPartition` (the grid
-    must then be ``P x 1`` or ``1 x P``).
+    ``layout="2d"`` (the default) uses Algorithm 2 on a
+    :class:`TwoDPartition`; ``layout="1d"`` uses Algorithm 1 on a
+    :class:`OneDPartition` (the grid must then be ``P x 1`` or ``1 x P``).
+    A prebuilt ``comm`` wins over the spec's machine/mapping/faults.
     """
     if not isinstance(grid, GridShape):
         grid = GridShape(*grid)
+    spec = resolve_system(
+        system, machine=machine, mapping=mapping, layout=layout, faults=faults
+    )
     opts = opts or BfsOptions()
     if comm is None:
-        comm = build_communicator(
-            grid, machine=machine, mapping=mapping, buffer_capacity=opts.buffer_capacity
-        )
-    if layout == "2d":
+        comm = build_communicator(grid, system=spec, buffer_capacity=opts.buffer_capacity)
+    if spec.layout == "2d":
         return Bfs2DEngine(TwoDPartition(graph, grid), comm, opts)
-    if layout == "1d":
+    if spec.layout == "1d":
         if not grid.is_1d:
             raise ConfigurationError(f"layout='1d' needs a 1-D grid, got {grid}")
         partition = OneDPartition(graph, grid.size, as_row=grid.cols == 1)
         return Bfs1DEngine(partition, comm, opts)
-    raise ConfigurationError(f"unknown layout {layout!r}; use '1d' or '2d'")
+    raise ConfigurationError(f"unknown layout {spec.layout!r}; use '1d' or '2d'")
 
 
 def distributed_bfs(
@@ -103,14 +125,17 @@ def distributed_bfs(
     *,
     target: int | None = None,
     opts: BfsOptions | None = None,
-    machine: str | MachineModel = "bluegene",
-    mapping: str | TaskMapping = "planar",
-    layout: str = "2d",
+    system: SystemSpec | str | None = None,
+    machine: str | MachineModel | None = None,
+    mapping: str | TaskMapping | None = None,
+    layout: str | None = None,
+    faults: FaultSpec | None = None,
     max_levels: int | None = None,
 ) -> BfsResult:
     """One-call distributed BFS: partition, simulate, return the result."""
     engine = build_engine(
-        graph, grid, opts=opts, machine=machine, mapping=mapping, layout=layout
+        graph, grid, opts=opts, system=system, machine=machine, mapping=mapping,
+        layout=layout, faults=faults,
     )
     return run_bfs(engine, source, target=target, max_levels=max_levels)
 
@@ -122,17 +147,20 @@ def bidirectional_bfs(
     target: int,
     *,
     opts: BfsOptions | None = None,
-    machine: str | MachineModel = "bluegene",
-    mapping: str | TaskMapping = "planar",
-    layout: str = "2d",
+    system: SystemSpec | str | None = None,
+    machine: str | MachineModel | None = None,
+    mapping: str | TaskMapping | None = None,
+    layout: str | None = None,
+    faults: FaultSpec | None = None,
 ) -> BidirectionalResult:
     """One-call bi-directional s-t search (Section 2.3)."""
     if not isinstance(grid, GridShape):
         grid = GridShape(*grid)
-    opts = opts or BfsOptions()
-    comm = build_communicator(
-        grid, machine=machine, mapping=mapping, buffer_capacity=opts.buffer_capacity
+    spec = resolve_system(
+        system, machine=machine, mapping=mapping, layout=layout, faults=faults
     )
-    forward = build_engine(graph, grid, opts=opts, layout=layout, comm=comm)
-    backward = build_engine(graph, grid, opts=opts, layout=layout, comm=comm)
+    opts = opts or BfsOptions()
+    comm = build_communicator(grid, system=spec, buffer_capacity=opts.buffer_capacity)
+    forward = build_engine(graph, grid, opts=opts, layout=spec.layout, comm=comm)
+    backward = build_engine(graph, grid, opts=opts, layout=spec.layout, comm=comm)
     return run_bidirectional_bfs(forward, backward, source, target)

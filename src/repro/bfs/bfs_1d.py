@@ -63,6 +63,13 @@ class Bfs1DEngine(LevelSyncEngine):
     def _reset_layout_state(self) -> None:
         self._sent_caches = [SentCache(u) for u in self._sent_universe]
 
+    def _snapshot_layout_state(self):
+        return [cache.snapshot() for cache in self._sent_caches]
+
+    def _restore_layout_state(self, snapshot) -> None:
+        for cache, sent in zip(self._sent_caches, snapshot):
+            cache.restore(sent)
+
     # ------------------------------------------------------------------ #
     # one level (Algorithm 1, steps 7-16)
     # ------------------------------------------------------------------ #

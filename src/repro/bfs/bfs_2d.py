@@ -97,6 +97,13 @@ class Bfs2DEngine(LevelSyncEngine):
             SentCache(self.partition.local(r).row_map) for r in range(self.comm.nranks)
         ]
 
+    def _snapshot_layout_state(self):
+        return [cache.snapshot() for cache in self._sent_caches]
+
+    def _restore_layout_state(self, snapshot) -> None:
+        for cache, sent in zip(self._sent_caches, snapshot):
+            cache.restore(sent)
+
     # ------------------------------------------------------------------ #
     # one level (Algorithm 2, steps 7-21)
     # ------------------------------------------------------------------ #

@@ -84,6 +84,7 @@ def run_bidirectional_bfs(
         comm_time=clock.max_comm_time,
         compute_time=clock.max_compute_time,
         stats=comm.stats,
+        faults=comm.fault_report(),
     )
 
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.bfs.options import BfsOptions
 from repro.bfs.result import BfsResult
-from repro.errors import SearchError
+from repro.errors import FaultError, SearchError
 from repro.runtime.comm import Communicator
 from repro.types import LEVEL_DTYPE, UNREACHED, VERTEX_DTYPE
 from repro.utils.logging import get_logger
@@ -62,6 +62,18 @@ class LevelSyncEngine(abc.ABC):
     def _reset_layout_state(self) -> None:
         """Clear layout-specific per-run state (e.g. sent caches)."""
 
+    def _snapshot_layout_state(self):
+        """Capture layout-specific mutable state for a level checkpoint.
+
+        Engines with per-run caches (the sent-neighbours cache) override
+        this together with :meth:`_restore_layout_state`; the default
+        carries nothing.
+        """
+        return None
+
+    def _restore_layout_state(self, snapshot) -> None:
+        """Reinstate state captured by :meth:`_snapshot_layout_state`."""
+
     # ------------------------------------------------------------------ #
     # loop
     # ------------------------------------------------------------------ #
@@ -89,6 +101,13 @@ class LevelSyncEngine(abc.ABC):
 
         A return of 0 means the search has terminated (steps 4-6 of the
         algorithms: every rank's frontier is empty).
+
+        Under fault injection with checkpointing enabled, a level in
+        which a message chunk was lost for good (retry budget exhausted)
+        is rolled back to its entry state and re-executed — the wasted
+        simulated time stays on the clocks and is tallied in the fault
+        report.  The re-execution draws fresh fault decisions, so it can
+        (and eventually will) succeed.
         """
         if not self._started:
             raise SearchError("engine not started; call start(source) first")
@@ -96,15 +115,42 @@ class LevelSyncEngine(abc.ABC):
         clock = self.comm.clock
         comm_before = clock.max_comm_time
         compute_before = clock.max_compute_time
-        stats.begin_level(self.level)
-        new_frontiers = self._expand_level()
+        fault_before = clock.max_fault_time
+        faults = self.comm.faults
+        checkpointing = self.opts.checkpoint
+        if checkpointing is None:
+            checkpointing = faults is not None and faults.spec.drop_rate > 0
+        attempts_left = faults.spec.max_level_retries if faults is not None else 0
+        while True:
+            snapshot = self._checkpoint() if checkpointing else None
+            elapsed_before = clock.elapsed
+            self.comm.begin_level(self.level)
+            new_frontiers = self._expand_level()
+            sizes = np.array([f.size for f in new_frontiers], dtype=np.float64)
+            total_new = int(self.comm.allreduce_sum(sizes))
+            if not self.comm.consume_level_failure():
+                break
+            if snapshot is None:
+                raise FaultError(
+                    f"message lost for good at level {self.level} and "
+                    "checkpointing is disabled (BfsOptions.checkpoint=False)"
+                )
+            if attempts_left <= 0:
+                raise FaultError(
+                    f"level {self.level} still failing after "
+                    f"{faults.spec.max_level_retries} rollbacks"
+                )
+            attempts_left -= 1
+            stats.abort_level()
+            self._restore(snapshot)
+            faults.record_rollback(clock.elapsed - elapsed_before)
+            logger.debug("level %d rolled back after an unrecovered loss", self.level)
         self.frontier = new_frontiers
-        sizes = np.array([f.size for f in new_frontiers], dtype=np.float64)
-        total_new = int(self.comm.allreduce_sum(sizes))
         level_stats = stats.end_level(
             total_new,
             comm_seconds=clock.max_comm_time - comm_before,
             compute_seconds=clock.max_compute_time - compute_before,
+            fault_seconds=clock.max_fault_time - fault_before,
         )
         logger.debug(
             "level %d: frontier=%d delivered=%d messages=%d",
@@ -115,6 +161,24 @@ class LevelSyncEngine(abc.ABC):
         )
         self.level += 1
         return total_new
+
+    # ------------------------------------------------------------------ #
+    # level-boundary checkpointing (fault recovery)
+    # ------------------------------------------------------------------ #
+    def _checkpoint(self):
+        """Snapshot every mutable per-search structure at a level boundary."""
+        return (
+            [arr.copy() for arr in self.owned_levels],
+            [f.copy() for f in self.frontier],
+            self._snapshot_layout_state(),
+        )
+
+    def _restore(self, snapshot) -> None:
+        """Roll the search back to a :meth:`_checkpoint` snapshot."""
+        owned_levels, frontier, layout = snapshot
+        self.owned_levels = owned_levels
+        self.frontier = frontier
+        self._restore_layout_state(layout)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -175,4 +239,5 @@ def run_bfs(
         stats=engine.comm.stats,
         target=target,
         target_level=target_level,
+        faults=engine.comm.fault_report(),
     )

@@ -43,6 +43,12 @@ class BfsOptions:
     collective_shape:
         Optional explicit ``(a, b)`` subgrid shape for the two-phase
         collectives; default is the most-square factorisation.
+    checkpoint:
+        Level-boundary checkpoint/rollback policy under fault injection.
+        ``None`` (default) enables it automatically when the attached
+        fault schedule can drop messages; ``True`` forces it on;
+        ``False`` disables it, turning an unrecovered message loss into a
+        :class:`~repro.errors.FaultError`.
     """
 
     expand_collective: str = "direct"
@@ -51,6 +57,7 @@ class BfsOptions:
     use_expand_filter: bool = True
     buffer_capacity: int | None = None
     collective_shape: tuple[int, int] | None = None
+    checkpoint: bool | None = None
 
     def __post_init__(self) -> None:
         if self.expand_collective not in _EXPAND_NAMES:

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults import FaultReport
 from repro.runtime.stats import CommStats
 from repro.types import UNREACHED
 
@@ -28,6 +29,8 @@ class BfsResult:
     stats: CommStats
     target: int | None = None
     target_level: int | None = None
+    #: fault-injection summary; None when the fault layer was disabled
+    faults: FaultReport | None = None
 
     @property
     def reached(self) -> np.ndarray:
@@ -73,6 +76,8 @@ class BidirectionalResult:
     comm_time: float
     compute_time: float
     stats: CommStats
+    #: fault-injection summary; None when the fault layer was disabled
+    faults: FaultReport | None = None
 
     @property
     def found(self) -> bool:

@@ -50,3 +50,11 @@ class SentCache:
     def reset(self) -> None:
         """Forget all sent marks (for reusing a cache across runs)."""
         self._sent[:] = False
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the sent flags (level-boundary checkpointing)."""
+        return self._sent.copy()
+
+    def restore(self, snapshot: np.ndarray) -> None:
+        """Reinstate flags captured by :meth:`snapshot` (level rollback)."""
+        self._sent[:] = snapshot

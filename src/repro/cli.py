@@ -26,10 +26,11 @@ from repro.bfs.options import BfsOptions
 from repro.bfs.tree import build_parent_tree, validate_bfs_result
 from repro.graph.csr import CsrGraph
 from repro.graph.generators import poisson_random_graph, rmat_edges
+from repro.faults import FaultSpec
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.harness import figures as figs
 from repro.harness.report import format_series, format_table
-from repro.types import GraphSpec, GridShape
+from repro.types import SYSTEM_PRESETS, GraphSpec, GridShape
 from repro.utils.logging import configure_logging
 from repro.utils.rng import RngFactory
 
@@ -57,7 +58,11 @@ def _load_graph(args) -> CsrGraph:
 
 def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--grid", type=_parse_grid, default=GridShape(4, 4))
-    parser.add_argument("--layout", choices=["1d", "2d"], default="2d")
+    parser.add_argument(
+        "--system", choices=sorted(SYSTEM_PRESETS), default=None,
+        help="system preset (machine+mapping+layout); individual flags override it",
+    )
+    parser.add_argument("--layout", choices=["1d", "2d"], default=None)
     parser.add_argument(
         "--expand", default="direct",
         choices=["direct", "ring", "two-phase", "recursive-doubling"],
@@ -66,8 +71,13 @@ def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
         "--fold", default="union-ring",
         choices=["direct", "ring", "union-ring", "two-phase", "bruck"],
     )
-    parser.add_argument("--machine", choices=["bluegene", "mcr"], default="bluegene")
-    parser.add_argument("--mapping", choices=["planar", "row-major"], default="planar")
+    parser.add_argument("--machine", choices=["bluegene", "mcr"], default=None)
+    parser.add_argument("--mapping", choices=["planar", "row-major"], default=None)
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec: a preset (mild, harsh) or e.g. "
+             "'drop=0.05,degrade=0.25x4,straggler=0.1x3,down=2,seed=7'",
+    )
     parser.add_argument("--no-sent-cache", action="store_true")
     parser.add_argument("--buffer-capacity", type=int, default=None)
 
@@ -79,6 +89,13 @@ def _options_from(args) -> BfsOptions:
         use_sent_cache=not args.no_sent_cache,
         buffer_capacity=args.buffer_capacity,
     )
+
+
+def _faults_from(args) -> FaultSpec | None:
+    if args.faults is None:
+        return None
+    spec = FaultSpec.parse(args.faults)
+    return spec if spec.active else None
 
 
 # ---------------------------------------------------------------------- #
@@ -107,9 +124,11 @@ def cmd_bfs(args) -> int:
         args.source,
         target=args.target,
         opts=_options_from(args),
+        system=args.system,
         machine=args.machine,
         mapping=args.mapping,
         layout=args.layout,
+        faults=_faults_from(args),
     )
     print(result.summary())
     print(
@@ -117,6 +136,8 @@ def cmd_bfs(args) -> int:
         f"compute {result.compute_time:.6f}s"
     )
     print(f"messages {result.stats.total_messages}, bytes {result.stats.total_bytes}")
+    if result.faults is not None:
+        print(result.faults.summary())
     print(format_series(
         "volume/level", range(len(result.stats.levels)),
         result.stats.volume_per_level().tolist(),
@@ -134,10 +155,12 @@ def cmd_bidir(args) -> int:
     graph = _load_graph(args)
     result = bidirectional_bfs(
         graph, args.grid, args.source, args.target,
-        opts=_options_from(args), machine=args.machine,
-        mapping=args.mapping, layout=args.layout,
+        opts=_options_from(args), system=args.system, machine=args.machine,
+        mapping=args.mapping, layout=args.layout, faults=_faults_from(args),
     )
     print(result.summary())
+    if result.faults is not None:
+        print(result.faults.summary())
     return 0
 
 

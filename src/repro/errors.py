@@ -33,6 +33,15 @@ class BufferOverflowError(CommunicationError):
     """
 
 
+class FaultError(CommunicationError):
+    """The fault-recovery machinery could not restore a consistent state.
+
+    Raised when a message chunk is lost for good (retry budget exhausted)
+    and level checkpointing is disabled, or when a level keeps failing
+    after ``max_level_retries`` re-executions.
+    """
+
+
 class TopologyError(ConfigurationError):
     """A processor-mesh or torus topology is malformed or incompatible."""
 

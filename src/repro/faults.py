@@ -1,0 +1,351 @@
+"""Deterministic fault injection and recovery (`repro.faults`).
+
+The paper's testbed is a 32,768-node BlueGene/L; at that scale the
+interesting question is not whether the machine is perfect but how the
+algorithm behaves when it is not — stragglers, degraded links, dropped
+messages (see Buluç & Madduri's survey of distributed-memory BFS for the
+modern version of the same concern).  This module injects those faults
+into the virtual runtime *deterministically*: every decision is drawn
+from a seeded stream, so identical seeds and schedules reproduce
+byte-identical fault counts and simulated times.
+
+Three layers:
+
+* :class:`FaultSpec` — the frozen, declarative description of a fault
+  workload (drop probability, degraded-link fraction and multiplier,
+  straggler fraction and slowdown, optional permanent link-down level,
+  retry policy).  Parseable from a CLI string via :meth:`FaultSpec.parse`.
+* :class:`FaultSchedule` — the per-run stateful object the communicator
+  consults on every wire message.  Degraded links, stragglers, and the
+  link that dies are sampled once at construction (stable in the seed);
+  per-message transient drops come from a sequential stream so that a
+  rolled-back level re-executes under *fresh* draws and can succeed.
+* :class:`FaultReport` — the graceful-degradation summary: injected vs
+  retried vs recovered vs unrecovered messages, level rollbacks, and the
+  simulated seconds the faults added.
+
+Semantics on the wire (implemented in
+:meth:`repro.runtime.comm.Communicator.exchange`):
+
+* A *transient drop* loses one transmission of one message chunk.  The
+  sender detects it by timeout (``retry_timeout * backoff**i`` simulated
+  seconds for the i-th retry) and retransmits, up to ``max_retries``
+  times; every wasted transmission and timeout is charged to the clocks
+  as fault time.  A chunk that exhausts its retries is *unrecovered*:
+  the data is lost and the BFS level must roll back to its checkpoint
+  (see :class:`repro.bfs.level_sync.LevelSyncEngine`).
+* A *degraded link* multiplies the wire cost of every message between
+  one directed rank pair.
+* A *permanent link-down* (from level ``down_level`` on) does not lose
+  data — traffic is assumed rerouted around the dead link — but pays the
+  detour: the pair's cost multiplier becomes ``down_detour_factor``.
+* A *straggler* multiplies a rank's compute time; the excess is booked
+  as fault time.
+
+Reductions (``allreduce_*``) are assumed reliable, as on the real
+machine's dedicated collective network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """Declarative, seeded description of a fault-injection workload.
+
+    All rates are probabilities in ``[0, 1]``; all multipliers are
+    ``>= 1``.  The default instance injects nothing (and a ``None``
+    spec everywhere means "fault layer disabled, zero overhead").
+    """
+
+    #: seed of every random fault decision (drops, link/straggler choice)
+    seed: int = 0
+    #: probability that any single transmission of a message chunk is lost
+    drop_rate: float = 0.0
+    #: fraction of directed rank pairs whose link is degraded
+    degraded_link_rate: float = 0.0
+    #: wire-cost multiplier on degraded links
+    degradation_factor: float = 2.0
+    #: fraction of ranks that straggle
+    straggler_rate: float = 0.0
+    #: compute-time multiplier on straggler ranks
+    straggler_slowdown: float = 2.0
+    #: BFS level at which one sampled link goes permanently down (None = never)
+    down_level: int | None = None
+    #: detour cost multiplier for traffic rerouted around the dead link
+    down_detour_factor: float = 3.0
+    #: retransmissions attempted per dropped chunk before giving up
+    max_retries: int = 3
+    #: simulated seconds to detect the first lost transmission
+    retry_timeout: float = 5.0e-5
+    #: timeout growth factor per further retry (exponential backoff)
+    backoff: float = 2.0
+    #: level re-executions allowed after unrecovered losses before erroring
+    max_level_retries: int = 25
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigurationError(f"fault seed must be non-negative, got {self.seed}")
+        for name in ("drop_rate", "degraded_link_rate", "straggler_rate"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.drop_rate >= 1.0:
+            raise ConfigurationError("drop_rate must be < 1 (nothing would ever arrive)")
+        for name in ("degradation_factor", "straggler_slowdown", "down_detour_factor",
+                     "backoff"):
+            if getattr(self, name) < 1.0:
+                raise ConfigurationError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.max_retries < 0 or self.max_level_retries < 0:
+            raise ConfigurationError("retry counts must be non-negative")
+        if self.retry_timeout < 0:
+            raise ConfigurationError("retry_timeout must be non-negative")
+        if self.down_level is not None and self.down_level < 0:
+            raise ConfigurationError(f"down_level must be non-negative, got {self.down_level}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec can inject any fault at all."""
+        return (
+            self.drop_rate > 0
+            or (self.degraded_link_rate > 0 and self.degradation_factor > 1)
+            or (self.straggler_rate > 0 and self.straggler_slowdown > 1)
+            or self.down_level is not None
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Build a spec from a preset name or a ``key=value,...`` string.
+
+        Examples: ``"mild"``, ``"harsh"``,
+        ``"drop=0.05,degrade=0.25x4,straggler=0.1x3,down=2,seed=7"``.
+        ``degrade`` and ``straggler`` take ``ratexfactor``; the remaining
+        keys map directly onto the dataclass fields (``retries`` is a
+        shorthand for ``max_retries``).
+        """
+        text = text.strip()
+        if text in FAULT_PRESETS:
+            return FAULT_PRESETS[text]
+        known = {f.name for f in fields(cls)}
+        kwargs: dict = {}
+        for part in filter(None, (p.strip() for p in text.split(","))):
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"bad fault token {part!r}; expected key=value or a preset "
+                    f"name from {sorted(FAULT_PRESETS)}"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "drop":
+                    kwargs["drop_rate"] = float(value)
+                elif key == "degrade":
+                    rate, factor = _parse_rate_factor(value)
+                    kwargs["degraded_link_rate"] = rate
+                    kwargs["degradation_factor"] = factor
+                elif key == "straggler":
+                    rate, factor = _parse_rate_factor(value)
+                    kwargs["straggler_rate"] = rate
+                    kwargs["straggler_slowdown"] = factor
+                elif key == "down":
+                    kwargs["down_level"] = int(value)
+                elif key == "retries":
+                    kwargs["max_retries"] = int(value)
+                elif key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key in known:
+                    kind = cls.__dataclass_fields__[key].type
+                    kwargs[key] = int(value) if "int" in kind else float(value)
+                else:
+                    raise ConfigurationError(f"unknown fault key {key!r}")
+            except ValueError as exc:
+                raise ConfigurationError(f"bad fault value {part!r}: {exc}") from exc
+        return cls(**kwargs)
+
+
+def _parse_rate_factor(value: str) -> tuple[float, float]:
+    """Parse ``"0.25x4"`` (rate, factor); a bare rate keeps the default factor."""
+    if "x" in value:
+        rate, _, factor = value.partition("x")
+        return float(rate), float(factor)
+    return float(value), 2.0
+
+
+#: Named workloads for the CLI and the harness sweeps.
+FAULT_PRESETS: dict[str, FaultSpec] = {
+    "none": FaultSpec(),
+    "mild": FaultSpec(drop_rate=0.01, degraded_link_rate=0.1, degradation_factor=2.0,
+                      straggler_rate=0.1, straggler_slowdown=1.5),
+    "harsh": FaultSpec(drop_rate=0.05, degraded_link_rate=0.25, degradation_factor=4.0,
+                       straggler_rate=0.25, straggler_slowdown=3.0, down_level=2),
+}
+
+
+@dataclass(slots=True)
+class FaultReport:
+    """What the fault layer did to one run (graceful-degradation summary)."""
+
+    #: transmissions lost (every individual drop, including on retries)
+    injected: int = 0
+    #: retransmissions performed after a drop
+    retries: int = 0
+    #: chunks eventually delivered after at least one drop
+    recovered: int = 0
+    #: chunks lost for good (retry budget exhausted) — forces a rollback
+    unrecovered: int = 0
+    #: BFS level re-executions after unrecovered losses
+    rollbacks: int = 0
+    #: directed rank pairs with a degraded link
+    degraded_links: int = 0
+    #: ranks with a compute slowdown
+    straggler_ranks: int = 0
+    #: the rank pair whose link goes permanently down (None = none)
+    link_down: tuple[int, int] | None = None
+    #: slowest rank's retry/timeout/straggler overhead, simulated seconds
+    overhead_seconds: float = 0.0
+    #: simulated seconds spent on level executions that were rolled back
+    rollback_seconds: float = 0.0
+
+    @property
+    def added_seconds(self) -> float:
+        """Total simulated seconds attributable to faults."""
+        return self.overhead_seconds + self.rollback_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"faults: {self.injected} injected, {self.retries} retries, "
+            f"{self.recovered} recovered, {self.unrecovered} unrecovered, "
+            f"{self.rollbacks} rollbacks, +{self.added_seconds:.6f}s simulated"
+        )
+
+
+class FaultSchedule:
+    """Per-run sampled fault decisions, consulted by the communicator.
+
+    Link degradation, stragglers, and the dying link are sampled once at
+    construction from named streams (stable in ``spec.seed`` and
+    ``nranks`` only).  Transient drops are drawn from a sequential
+    stream: deterministic for identical runs, but a re-executed level
+    sees fresh draws — which is what lets a rollback recover.
+    """
+
+    __slots__ = ("spec", "nranks", "report", "_drop_rng", "_link_multipliers",
+                 "_compute_multipliers", "_down_pair", "_level")
+
+    def __init__(self, spec: FaultSpec, nranks: int) -> None:
+        # Deferred so that repro.types -> repro.faults does not pull in the
+        # repro.utils package (whose __init__ imports repro.types back).
+        from repro.utils.rng import RngFactory
+
+        if nranks < 1:
+            raise ConfigurationError(f"need at least one rank, got {nranks}")
+        self.spec = spec
+        self.nranks = int(nranks)
+        self.report = FaultReport()
+        factory = RngFactory(spec.seed)
+        self._drop_rng = factory.named("faults:drops")
+        self._level = 0
+
+        #: degraded directed rank pairs -> wire-cost multiplier
+        self._link_multipliers: dict[tuple[int, int], float] = {}
+        if spec.degraded_link_rate > 0 and spec.degradation_factor > 1:
+            link_rng = factory.named("faults:links")
+            for src in range(nranks):
+                for dst in range(nranks):
+                    if src != dst and link_rng.random() < spec.degraded_link_rate:
+                        self._link_multipliers[(src, dst)] = spec.degradation_factor
+        self.report.degraded_links = len(self._link_multipliers)
+
+        self._compute_multipliers = np.ones(nranks, dtype=np.float64)
+        if spec.straggler_rate > 0 and spec.straggler_slowdown > 1:
+            straggler_rng = factory.named("faults:stragglers")
+            mask = straggler_rng.random(nranks) < spec.straggler_rate
+            self._compute_multipliers[mask] = spec.straggler_slowdown
+        self.report.straggler_ranks = int((self._compute_multipliers > 1).sum())
+
+        self._down_pair: tuple[int, int] | None = None
+        if spec.down_level is not None and nranks > 1:
+            down_rng = factory.named("faults:down")
+            src = int(down_rng.integers(nranks))
+            dst = int(down_rng.integers(nranks - 1))
+            self._down_pair = (src, dst if dst < src else dst + 1)
+            self.report.link_down = self._down_pair
+
+    # ------------------------------------------------------------------ #
+    # queries made by the communicator
+    # ------------------------------------------------------------------ #
+    def begin_level(self, level: int) -> None:
+        """Tell the schedule which BFS level is executing (link-down gate)."""
+        self._level = int(level)
+
+    def link_multiplier(self, src: int, dst: int) -> float:
+        """Wire-cost multiplier for messages ``src -> dst`` at the current level."""
+        if (
+            self._down_pair == (src, dst)
+            and self.spec.down_level is not None
+            and self._level >= self.spec.down_level
+        ):
+            return self.spec.down_detour_factor
+        return self._link_multipliers.get((src, dst), 1.0)
+
+    def compute_multiplier(self, rank: int) -> float:
+        """Compute-time multiplier of ``rank`` (> 1 for stragglers)."""
+        return float(self._compute_multipliers[rank])
+
+    def transmission_plan(self, src: int, dst: int) -> tuple[int, bool]:
+        """Decide the fate of one chunk ``src -> dst``.
+
+        Returns ``(transmissions, delivered)`` and tallies the report:
+        each transmission is dropped independently with ``drop_rate``; a
+        drop triggers a retransmission until the chunk arrives or
+        ``max_retries`` retries are spent.
+        """
+        spec = self.spec
+        if spec.drop_rate <= 0.0:
+            return 1, True
+        drops = 0
+        while drops <= spec.max_retries and self._drop_rng.random() < spec.drop_rate:
+            drops += 1
+        delivered = drops <= spec.max_retries
+        transmissions = drops + 1 if delivered else drops
+        if drops:
+            self.report.injected += drops
+            self.report.retries += transmissions - 1
+            if delivered:
+                self.report.recovered += 1
+            else:
+                self.report.unrecovered += 1
+        return transmissions, delivered
+
+    def retry_penalty(self, drops: int) -> float:
+        """Timeout seconds the sender waits to detect ``drops`` losses."""
+        spec = self.spec
+        return spec.retry_timeout * sum(spec.backoff**i for i in range(drops))
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping shared with the engines
+    # ------------------------------------------------------------------ #
+    def record_rollback(self, wasted_seconds: float) -> None:
+        """Count one level rollback that threw away ``wasted_seconds``."""
+        self.report.rollbacks += 1
+        self.report.rollback_seconds += float(wasted_seconds)
+
+    def snapshot_report(self, overhead_seconds: float) -> FaultReport:
+        """Freeze the current report with the clock's fault-time total."""
+        return replace(self.report, overhead_seconds=float(overhead_seconds))
+
+
+__all__ = [
+    "FAULT_PRESETS",
+    "FaultReport",
+    "FaultSchedule",
+    "FaultSpec",
+]

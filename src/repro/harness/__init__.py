@@ -2,6 +2,12 @@
 
 from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.harness.sweep import sweep
+from repro.harness.fault_sweep import (
+    FaultSweepPoint,
+    drop_rate_sweep,
+    fault_sweep,
+    format_fault_sweep,
+)
 from repro.harness.report import format_table, format_series
 from repro.harness.export import results_to_rows, write_csv, write_json
 from repro.harness.scorecard import Check, run_scorecard, format_scorecard
@@ -11,6 +17,10 @@ __all__ = [
     "ExperimentResult",
     "run_experiment",
     "sweep",
+    "FaultSweepPoint",
+    "fault_sweep",
+    "drop_rate_sweep",
+    "format_fault_sweep",
     "format_table",
     "format_series",
     "results_to_rows",

@@ -10,22 +10,32 @@ from repro.api import build_engine
 from repro.bfs.level_sync import run_bfs
 from repro.bfs.options import BfsOptions
 from repro.bfs.result import BfsResult
+from repro.faults import FaultSpec
 from repro.graph.generators import poisson_random_graph
-from repro.types import GraphSpec, GridShape
+from repro.types import GraphSpec, GridShape, SystemSpec
 from repro.utils.rng import RngFactory
 
 
 @dataclass(frozen=True, slots=True)
 class ExperimentConfig:
-    """A fully pinned experiment instance (deterministic given the seed)."""
+    """A fully pinned experiment instance (deterministic given the seed).
+
+    ``system`` (a :class:`SystemSpec` or preset name) describes the
+    machine/mapping/layout/faults in one value.  The per-axis string fields
+    are kept so ``dataclasses.replace``-based sweeps keep working unchanged;
+    because they carry concrete defaults, they only apply when ``system`` is
+    ``None`` (``faults`` always applies — its default is ``None``).
+    """
 
     name: str
     graph: GraphSpec
     grid: GridShape
-    layout: str = "2d"
+    system: SystemSpec | str | None = None
+    layout: str | None = "2d"
     opts: BfsOptions = field(default_factory=BfsOptions)
-    machine: str = "bluegene"
-    mapping: str = "planar"
+    machine: str | None = "bluegene"
+    mapping: str | None = "planar"
+    faults: FaultSpec | None = None
     source: int | None = None
     target: int | None = None
     #: pick this many random (source, target) pairs and average
@@ -83,13 +93,25 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         target = config.target
         if target is None and config.source is None:
             target = int(rng.integers(graph.n))
+        # The per-axis fields default to concrete strings (for replace-based
+        # sweeps), so they act as the system description only when no
+        # explicit ``system`` is given — otherwise they would always win.
+        axes = (
+            {}
+            if config.system is not None
+            else {
+                "machine": config.machine,
+                "mapping": config.mapping,
+                "layout": config.layout,
+            }
+        )
         engine = build_engine(
             graph,
             config.grid,
             opts=config.opts,
-            machine=config.machine,
-            mapping=config.mapping,
-            layout=config.layout,
+            system=config.system,
+            faults=config.faults,
+            **axes,
         )
         runs.append(run_bfs(engine, source, target=target, max_levels=config.max_levels))
     return ExperimentResult(config=config, runs=runs)

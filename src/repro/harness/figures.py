@@ -9,8 +9,7 @@ print the series, and assert the paper's qualitative shape.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -23,7 +22,7 @@ from repro.bfs.serial import serial_bfs
 from repro.collectives.two_phase import subgrid_shape
 from repro.graph.csr import CsrGraph
 from repro.graph.generators import poisson_random_graph
-from repro.types import GraphSpec, GridShape, UNREACHED, VERTEX_DTYPE
+from repro.types import GraphSpec, GridShape
 from repro.utils.rng import RngFactory
 
 #: the paper's BlueGene/L configuration: two-phase grouped-ring collectives

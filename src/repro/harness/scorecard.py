@@ -18,7 +18,6 @@ from repro.analysis.memory import BLUEGENE_L_NODE_MEMORY, MemoryModel, fits_in_m
 from repro.analysis.scaling import log_fit, speedup_curve, sqrt_fit
 from repro.bfs.options import BfsOptions
 from repro.harness.figures import (
-    PAPER_OPTS,
     fig4a_weak_scaling,
     fig4c_bidirectional,
     fig5_strong_scaling,

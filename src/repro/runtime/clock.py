@@ -2,9 +2,12 @@
 
 Each virtual rank owns a clock that accumulates simulated seconds, split
 into *compute* and *communication* buckets (the paper reports both, e.g.
-Figure 4.a and Table 1).  Synchronisation points (collective boundaries)
-advance every participant to the group maximum; the wait is booked as
-communication time, matching how the paper's timers would see it.
+Figure 4.a and Table 1), plus a *fault* bucket for time added by the
+fault-injection layer (retransmissions, timeouts, straggler excess) so
+that fault overhead is separable from the algorithm's intrinsic cost.
+Synchronisation points (collective boundaries) advance every participant
+to the group maximum; the wait is booked as communication time, matching
+how the paper's timers would see it.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ import numpy as np
 class SimClock:
     """Vector of per-rank simulated times with comm/compute attribution."""
 
-    __slots__ = ("nranks", "time", "comm_time", "compute_time")
+    __slots__ = ("nranks", "time", "comm_time", "compute_time", "fault_time")
 
     def __init__(self, nranks: int) -> None:
         if nranks < 1:
@@ -24,18 +27,23 @@ class SimClock:
         self.time = np.zeros(nranks, dtype=np.float64)
         self.comm_time = np.zeros(nranks, dtype=np.float64)
         self.compute_time = np.zeros(nranks, dtype=np.float64)
+        self.fault_time = np.zeros(nranks, dtype=np.float64)
+
+    def _bucket(self, kind: str) -> np.ndarray:
+        if kind == "compute":
+            return self.compute_time
+        if kind == "comm":
+            return self.comm_time
+        if kind == "fault":
+            return self.fault_time
+        raise ValueError(f"unknown work kind {kind!r}")
 
     def advance(self, rank: int, seconds: float, kind: str = "compute") -> None:
         """Advance ``rank``'s clock by ``seconds`` of ``kind`` work."""
         if seconds < 0:
             raise ValueError(f"cannot advance a clock by {seconds} s")
         self.time[rank] += seconds
-        if kind == "compute":
-            self.compute_time[rank] += seconds
-        elif kind == "comm":
-            self.comm_time[rank] += seconds
-        else:
-            raise ValueError(f"unknown work kind {kind!r}")
+        self._bucket(kind)[rank] += seconds
 
     def advance_many(self, seconds: np.ndarray, kind: str = "compute") -> None:
         """Advance every rank by its entry in ``seconds`` (vectorised)."""
@@ -45,12 +53,7 @@ class SimClock:
         if (seconds < 0).any():
             raise ValueError("cannot advance clocks by negative time")
         self.time += seconds
-        if kind == "compute":
-            self.compute_time += seconds
-        elif kind == "comm":
-            self.comm_time += seconds
-        else:
-            raise ValueError(f"unknown work kind {kind!r}")
+        self._bucket(kind)[:] += seconds
 
     def sync(self, ranks: list[int] | np.ndarray | None = None) -> float:
         """Barrier: advance ``ranks`` (default all) to their common maximum.
@@ -79,3 +82,8 @@ class SimClock:
     def max_compute_time(self) -> float:
         """Largest per-rank cumulative computation time."""
         return float(self.compute_time.max())
+
+    @property
+    def max_fault_time(self) -> float:
+        """Largest per-rank cumulative fault-attributable time."""
+        return float(self.fault_time.max())

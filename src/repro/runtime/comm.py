@@ -10,9 +10,17 @@ collective algorithms talk to it exclusively through:
   termination check of the level-synchronous loop,
 * :meth:`Communicator.charge_compute` — local-work cost accounting.
 
-Messages are delivered exactly (the receiving code sees real data); time is
-charged through the :class:`~repro.runtime.network.Network` contention
-model and the per-rank :class:`~repro.runtime.clock.SimClock`.
+Time is charged through the :class:`~repro.runtime.network.Network`
+contention model and the per-rank :class:`~repro.runtime.clock.SimClock`.
+
+When a :class:`~repro.faults.FaultSchedule` is attached, every wire chunk
+consults it: transient drops are retried with exponential backoff (each
+wasted transmission and timeout charges simulated *fault* time), degraded
+links multiply wire cost, and stragglers multiply compute cost.  A chunk
+that exhausts its retries is lost — the inbox never sees it — and the
+round is flagged so the BFS engine can roll the level back to its
+checkpoint.  Without a schedule every path below is byte-identical to the
+fault-free runtime.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import math
 import numpy as np
 
 from repro.errors import CommunicationError
+from repro.faults import FaultReport, FaultSchedule, FaultSpec
 from repro.machine.bluegene import MachineModel
 from repro.machine.mapping import TaskMapping
 from repro.runtime.clock import SimClock
@@ -45,6 +54,7 @@ class Communicator:
         model: MachineModel,
         *,
         buffer_capacity: int | None = None,
+        faults: FaultSpec | FaultSchedule | None = None,
     ) -> None:
         self.mapping = mapping
         self.model = model
@@ -54,6 +64,10 @@ class Communicator:
         self.buffer_capacity = buffer_capacity
         self.clock = SimClock(self.nranks)
         self.stats = CommStats(self.nranks)
+        if isinstance(faults, FaultSpec):
+            faults = FaultSchedule(faults, self.nranks)
+        self.faults: FaultSchedule | None = faults
+        self._level_failed = False
 
     # ------------------------------------------------------------------ #
     # point-to-point rounds
@@ -72,8 +86,16 @@ class Communicator:
         separate message paying its own latency — the cost of the paper's
         fixed-length buffers).  Participants are barrier-synchronised after
         the round unless ``sync=False``.
+
+        With a fault schedule attached, each chunk may be dropped and
+        retried (see the module docstring); a chunk lost for good is
+        withheld from the returned inbox and flags the current level as
+        failed.
         """
+        faults = self.faults
         transfers: list[Transfer] = []
+        endpoints: list[tuple[int, int]] = []
+        plans: list[tuple[int, bool]] = []
         inbox: Inbox = {}
         for src, dests in outbox.items():
             self._check_rank(src)
@@ -82,14 +104,51 @@ class Communicator:
                 payload = as_vertex_array(payload)
                 for chunk in chunk_payload(payload, self.buffer_capacity):
                     transfers.append(Transfer(src, dst, int(chunk.size)))
-                    inbox.setdefault(dst, []).append((src, chunk))
+                    endpoints.append((src, dst))
+                    delivered = True
+                    if faults is not None and src != dst:
+                        transmissions, delivered = faults.transmission_plan(src, dst)
+                        plans.append((transmissions, delivered))
+                        drops = transmissions - 1 if delivered else transmissions
+                        if drops:
+                            self.stats.record_fault(drops, transmissions - 1)
+                        if not delivered:
+                            self._level_failed = True
+                    elif faults is not None:
+                        plans.append((1, True))
+                    if delivered:
+                        inbox.setdefault(dst, []).append((src, chunk))
                     self.stats.record_message(
                         dst, int(chunk.size), int(chunk.size) * self.model.bytes_per_vertex,
                         phase,
                     )
 
-        send_time, recv_time = self.network.round_times(transfers)
-        self.clock.advance_many(np.maximum(send_time, recv_time), kind="comm")
+        if faults is None:
+            send_time, recv_time = self.network.round_times(transfers)
+            self.clock.advance_many(np.maximum(send_time, recv_time), kind="comm")
+        else:
+            multipliers = [faults.link_multiplier(s, d) for s, d in endpoints]
+            send_time, recv_time, per_transfer = self.network.round_times_detailed(
+                transfers, multipliers
+            )
+            fault_send = np.zeros(self.nranks, dtype=np.float64)
+            fault_recv = np.zeros(self.nranks, dtype=np.float64)
+            for (src, dst), (transmissions, delivered), seconds in zip(
+                endpoints, plans, per_transfer
+            ):
+                drops = transmissions - 1 if delivered else transmissions
+                if drops == 0:
+                    continue
+                # wasted retransmissions plus the backoff timeouts that
+                # detected each loss; the first transmission is already in
+                # the base round times
+                extra = (transmissions - 1) * seconds + faults.retry_penalty(drops)
+                fault_send[src] += extra
+                fault_recv[dst] += extra
+            base = np.maximum(send_time, recv_time)
+            total = np.maximum(send_time + fault_send, recv_time + fault_recv)
+            self.clock.advance_many(base, kind="comm")
+            self.clock.advance_many(total - base, kind="fault")
         if sync:
             self.barrier(participants)
         return inbox
@@ -99,10 +158,37 @@ class Communicator:
         self.clock.sync(participants)
 
     # ------------------------------------------------------------------ #
+    # fault lifecycle (driven by the BFS engines)
+    # ------------------------------------------------------------------ #
+    def begin_level(self, level: int) -> None:
+        """Open level ``level``: statistics row, fault gate, failure flag."""
+        self.stats.begin_level(level)
+        if self.faults is not None:
+            self.faults.begin_level(level)
+        self._level_failed = False
+
+    def consume_level_failure(self) -> bool:
+        """Return (and clear) whether an unrecovered loss occurred since
+        the last :meth:`begin_level`."""
+        failed = self._level_failed
+        self._level_failed = False
+        return failed
+
+    def fault_report(self) -> FaultReport | None:
+        """Snapshot of the fault layer's report (None when faults are off)."""
+        if self.faults is None:
+            return None
+        return self.faults.snapshot_report(self.clock.max_fault_time)
+
+    # ------------------------------------------------------------------ #
     # reductions (termination checks)
     # ------------------------------------------------------------------ #
     def allreduce_sum(self, values: np.ndarray) -> float:
-        """Global sum of one scalar per rank; charges a log2(P)-deep tree."""
+        """Global sum of one scalar per rank; charges a log2(P)-deep tree.
+
+        Reductions are assumed reliable even under fault injection (the
+        real machine runs them on a dedicated collective network).
+        """
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (self.nranks,):
             raise CommunicationError(
@@ -142,12 +228,20 @@ class Communicator:
         hash_lookups: int = 0,
         updates: int = 0,
     ) -> None:
-        """Charge local BFS work on ``rank`` through the machine model."""
+        """Charge local BFS work on ``rank`` through the machine model.
+
+        Straggler ranks (fault layer) pay their slowdown multiplier; the
+        excess over the fault-free cost is booked as fault time.
+        """
         self._check_rank(rank)
         seconds = self.model.compute_time(
             edges_scanned=edges_scanned, hash_lookups=hash_lookups, updates=updates
         )
         self.clock.advance(rank, seconds, kind="compute")
+        if self.faults is not None:
+            extra = seconds * (self.faults.compute_multiplier(rank) - 1.0)
+            if extra > 0.0:
+                self.clock.advance(rank, extra, kind="fault")
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.nranks):

@@ -42,33 +42,59 @@ class Network:
         """Physical hop distance between logical ranks."""
         return self.mapping.hops(src, dst)
 
-    def round_times(self, transfers: list[Transfer]) -> tuple[np.ndarray, np.ndarray]:
+    def round_times(
+        self,
+        transfers: list[Transfer],
+        multipliers: list[float] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Per-rank (send_time, recv_time) for one round of ``transfers``.
 
+        ``multipliers`` (parallel to ``transfers``) scale individual
+        transfer costs — the fault layer's degraded-link / detour factors.
         Self-sends cost nothing on the wire (they are local memcpys whose
         processing cost is charged by the compute model).
+        """
+        send_time, recv_time, _ = self.round_times_detailed(transfers, multipliers)
+        return send_time, recv_time
+
+    def round_times_detailed(
+        self,
+        transfers: list[Transfer],
+        multipliers: list[float] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, list[float]]:
+        """Like :meth:`round_times`, plus each transfer's own seconds.
+
+        The third element is parallel to ``transfers`` (self-sends get
+        0.0) — the communicator uses it to price retransmissions of a
+        specific transfer without re-running contention analysis.
         """
         nranks = self.mapping.grid.size
         send_time = np.zeros(nranks, dtype=np.float64)
         recv_time = np.zeros(nranks, dtype=np.float64)
-        wire = [t for t in transfers if t.src != t.dst]
+        per_transfer = [0.0] * len(transfers)
+        if multipliers is not None and len(multipliers) != len(transfers):
+            raise ValueError("multipliers must be parallel to transfers")
+        wire = [(i, t) for i, t in enumerate(transfers) if t.src != t.dst]
         if not wire:
-            return send_time, recv_time
+            return send_time, recv_time, per_transfer
 
         link_load: Counter[tuple[int, int]] = Counter()
         routes: list[list[tuple[int, int]]] = []
-        for t in wire:
+        for _, t in wire:
             route = self._route(t.src, t.dst)
             routes.append(route)
             link_load.update(route)
 
-        for t, route in zip(wire, routes):
+        for (i, t), route in zip(wire, routes):
             contention = max((link_load[link] for link in route), default=1)
             seconds = self.model.message_time(t.num_vertices, hops=len(route),
                                               contention=float(contention))
+            if multipliers is not None:
+                seconds *= multipliers[i]
+            per_transfer[i] = seconds
             send_time[t.src] += seconds
             recv_time[t.dst] += seconds
-        return send_time, recv_time
+        return send_time, recv_time, per_transfer
 
     def _route(self, src: int, dst: int) -> list[tuple[int, int]]:
         key = (src, dst)

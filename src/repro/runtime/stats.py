@@ -41,6 +41,12 @@ class LevelStats:
     comm_seconds: float = 0.0
     #: simulated computation seconds this level (slowest rank's delta)
     compute_seconds: float = 0.0
+    #: transmissions lost to injected faults this level
+    drops: int = 0
+    #: retransmissions performed after drops this level
+    retries: int = 0
+    #: simulated fault-overhead seconds this level (slowest rank's delta)
+    fault_seconds: float = 0.0
 
     @property
     def total_received(self) -> int:
@@ -57,6 +63,12 @@ class CommStats:
         self.total_messages = 0
         self.total_bytes = 0
         self.total_processed = 0
+        #: transmissions lost to injected faults (whole run)
+        self.total_drops = 0
+        #: retransmissions performed after drops (whole run)
+        self.total_retries = 0
+        #: BFS level re-executions forced by unrecovered losses
+        self.total_rollbacks = 0
         #: per-rank delivered vertex counts, split by phase
         self.recv_by_rank: dict[str, np.ndarray] = {}
         self._current: LevelStats | None = None
@@ -75,6 +87,7 @@ class CommStats:
         frontier_size: int,
         comm_seconds: float = 0.0,
         compute_seconds: float = 0.0,
+        fault_seconds: float = 0.0,
     ) -> LevelStats:
         """Close the current level, recording the new frontier size and the
         level's simulated time split (slowest-rank deltas)."""
@@ -83,10 +96,23 @@ class CommStats:
         self._current.frontier_size = int(frontier_size)
         self._current.comm_seconds = float(comm_seconds)
         self._current.compute_seconds = float(compute_seconds)
+        self._current.fault_seconds = float(fault_seconds)
         self.levels.append(self._current)
         done = self._current
         self._current = None
         return done
+
+    def abort_level(self) -> None:
+        """Discard the open level's counters (a faulted level being rolled back).
+
+        The aborted attempt's *run-level* totals (messages, bytes, drops)
+        are kept — that traffic really crossed the wire — but no
+        per-level row is appended for it.
+        """
+        if self._current is None:
+            raise RuntimeError("no open level")
+        self.total_rollbacks += 1
+        self._current = None
 
     # ------------------------------------------------------------------ #
     # recording
@@ -110,6 +136,14 @@ class CommStats:
             elif phase == "fold":
                 self._current.fold_received += int(num_vertices)
 
+    def record_fault(self, drops: int, retries: int) -> None:
+        """Record one chunk's injected drops and retransmissions."""
+        self.total_drops += int(drops)
+        self.total_retries += int(retries)
+        if self._current is not None:
+            self._current.drops += int(drops)
+            self._current.retries += int(retries)
+
     def record_duplicates(self, count: int) -> None:
         """Record ``count`` duplicates eliminated in-flight by a union reduction."""
         if self._current is not None:
@@ -127,12 +161,15 @@ class CommStats:
         return np.array([s.total_received for s in self.levels], dtype=np.int64)
 
     def time_per_level(self, kind: str = "comm") -> np.ndarray:
-        """Per-level simulated seconds: ``kind`` is ``"comm"`` or ``"compute"``."""
+        """Per-level simulated seconds: ``kind`` is ``"comm"``, ``"compute"``,
+        or ``"fault"``."""
         if kind == "comm":
             return np.array([s.comm_seconds for s in self.levels])
         if kind == "compute":
             return np.array([s.compute_seconds for s in self.levels])
-        raise ValueError(f"kind must be 'comm' or 'compute', got {kind!r}")
+        if kind == "fault":
+            return np.array([s.fault_seconds for s in self.levels])
+        raise ValueError(f"kind must be 'comm', 'compute', or 'fault', got {kind!r}")
 
     def mean_message_length_per_level(self, phase: str, nranks_receiving: int) -> float:
         """Average vertices delivered per rank per level for ``phase`` (Table 1)."""

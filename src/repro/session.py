@@ -23,15 +23,21 @@ from repro.bfs.level_sync import run_bfs
 from repro.bfs.options import BfsOptions
 from repro.bfs.result import BfsResult, BidirectionalResult
 from repro.errors import ConfigurationError, SearchError
+from repro.faults import FaultSpec
 from repro.graph.csr import CsrGraph
 from repro.machine.bluegene import MachineModel
 from repro.partition.one_d import OneDPartition
 from repro.partition.two_d import TwoDPartition
-from repro.types import GridShape, UNREACHED
+from repro.types import GridShape, SystemSpec, UNREACHED, resolve_system
 
 
 class BfsSession:
-    """A reusable query context over one graph and one layout."""
+    """A reusable query context over one graph and one layout.
+
+    The target system is a :class:`SystemSpec` (or preset name) passed as
+    ``system=``; the legacy ``machine``/``mapping``/``layout``/``faults``
+    keywords override its fields, as everywhere else in the API.
+    """
 
     def __init__(
         self,
@@ -39,26 +45,30 @@ class BfsSession:
         grid: GridShape | tuple[int, int],
         *,
         opts: BfsOptions | None = None,
-        machine: str | MachineModel = "bluegene",
-        mapping: str = "planar",
-        layout: str = "2d",
+        system: SystemSpec | str | None = None,
+        machine: str | MachineModel | None = None,
+        mapping: str | None = None,
+        layout: str | None = None,
+        faults: FaultSpec | None = None,
     ) -> None:
         if not isinstance(grid, GridShape):
             grid = GridShape(*grid)
         self.graph = graph
         self.grid = grid
         self.opts = opts or BfsOptions()
-        self.machine = machine
-        self.mapping = mapping
-        self.layout = layout
-        if layout == "2d":
+        #: the resolved system description this session simulates
+        self.system = resolve_system(
+            system, machine=machine, mapping=mapping, layout=layout, faults=faults
+        )
+        self.machine = self.system.machine
+        self.mapping = self.system.mapping
+        self.layout = self.system.layout
+        if self.layout == "2d":
             self.partition = TwoDPartition(graph, grid)
-        elif layout == "1d":
+        else:
             if not grid.is_1d:
                 raise ConfigurationError(f"layout='1d' needs a 1-D grid, got {grid}")
             self.partition = OneDPartition(graph, grid.size, as_row=grid.cols == 1)
-        else:
-            raise ConfigurationError(f"unknown layout {layout!r}; use '1d' or '2d'")
         #: cumulative simulated seconds across all queries served
         self.total_simulated_time = 0.0
         #: number of queries served
@@ -74,10 +84,7 @@ class BfsSession:
 
     def _new_comm(self):
         return build_communicator(
-            self.grid,
-            machine=self.machine,
-            mapping=self.mapping,
-            buffer_capacity=self.opts.buffer_capacity,
+            self.grid, system=self.system, buffer_capacity=self.opts.buffer_capacity
         )
 
     # ------------------------------------------------------------------ #

@@ -9,10 +9,17 @@ buffer-like objects, not pickled Python objects).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TypeAlias
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, TypeAlias
 
 import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.machine.bluegene import MachineModel
+    from repro.machine.mapping import TaskMapping
 
 #: dtype used for vertex identifiers everywhere (global and local indices).
 VERTEX_DTYPE = np.int64
@@ -92,6 +99,112 @@ class GridShape:
     def col_members(self, col: int) -> list[int]:
         """Ranks in processor-column ``col`` (the expand communicator)."""
         return [self.rank_of(r, col) for r in range(self.rows)]
+
+
+_KNOWN_MACHINES = frozenset({"bluegene", "mcr"})
+_KNOWN_MAPPINGS = frozenset({"planar", "row-major"})
+_KNOWN_LAYOUTS = frozenset({"1d", "2d"})
+
+
+@dataclass(frozen=True, slots=True)
+class SystemSpec:
+    """The simulated system a search runs on, as one value object.
+
+    Bundles the four axes that used to travel as separate
+    ``machine=``/``mapping=``/``layout=`` (and fault) keyword arguments
+    through every entry point: the machine cost model, the task mapping
+    onto the physical topology, the partition layout, and the optional
+    fault-injection workload.  Pass it as ``system=SystemSpec(...)`` — or
+    as a preset name such as ``"bluegene-2d"`` — to
+    :func:`repro.api.build_communicator`, :func:`repro.api.build_engine`,
+    :func:`repro.api.distributed_bfs`, :func:`repro.api.bidirectional_bfs`,
+    and :class:`repro.session.BfsSession`.  The old keyword arguments
+    remain accepted everywhere and act as overrides on top of the spec
+    (see :func:`resolve_system`, the single shared resolver).
+    """
+
+    #: ``"bluegene"``, ``"mcr"``, or a custom :class:`MachineModel`
+    machine: str | MachineModel = "bluegene"
+    #: ``"planar"`` (Figure 1), ``"row-major"``, or a prebuilt :class:`TaskMapping`
+    mapping: str | TaskMapping = "planar"
+    #: ``"2d"`` (Algorithm 2) or ``"1d"`` (Algorithm 1)
+    layout: str = "2d"
+    #: optional fault-injection workload (``repro.faults``)
+    faults: FaultSpec | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.machine, str) and self.machine not in _KNOWN_MACHINES:
+            raise ConfigurationError(
+                f"unknown machine {self.machine!r}; use one of "
+                f"{sorted(_KNOWN_MACHINES)} or a MachineModel"
+            )
+        if isinstance(self.mapping, str) and self.mapping not in _KNOWN_MAPPINGS:
+            raise ConfigurationError(
+                f"unknown mapping {self.mapping!r}; use one of "
+                f"{sorted(_KNOWN_MAPPINGS)} or a TaskMapping"
+            )
+        if self.layout not in _KNOWN_LAYOUTS:
+            raise ConfigurationError(
+                f"unknown layout {self.layout!r}; use one of {sorted(_KNOWN_LAYOUTS)}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise ConfigurationError(
+                f"faults must be a FaultSpec or None, got {type(self.faults).__name__}"
+            )
+
+
+#: Named system configurations accepted wherever ``system=`` is.
+SYSTEM_PRESETS: dict[str, SystemSpec] = {
+    "bluegene-2d": SystemSpec(),
+    "bluegene-1d": SystemSpec(layout="1d"),
+    "bluegene-row-major": SystemSpec(mapping="row-major"),
+    "mcr-2d": SystemSpec(machine="mcr"),
+    "mcr-1d": SystemSpec(machine="mcr", layout="1d"),
+}
+
+
+def resolve_system(
+    system: SystemSpec | str | None = None,
+    *,
+    machine: str | Any | None = None,
+    mapping: str | Any | None = None,
+    layout: str | None = None,
+    faults: FaultSpec | None = None,
+) -> SystemSpec:
+    """The single shared resolver behind every ``system=`` entry point.
+
+    ``system`` may be a :class:`SystemSpec`, a preset name from
+    :data:`SYSTEM_PRESETS`, or ``None`` (the default system).  The legacy
+    keyword arguments — the compatibility path for the pre-``SystemSpec``
+    API — are applied on top of it, so an explicit ``machine=``/
+    ``mapping=``/``layout=``/``faults=`` always wins over the spec.
+    """
+    if system is None:
+        base = SystemSpec()
+    elif isinstance(system, str):
+        try:
+            base = SYSTEM_PRESETS[system]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown system preset {system!r}; choose from "
+                f"{sorted(SYSTEM_PRESETS)} or pass a SystemSpec"
+            ) from None
+    elif isinstance(system, SystemSpec):
+        base = system
+    else:
+        raise ConfigurationError(
+            f"system must be a SystemSpec, a preset name, or None, "
+            f"got {type(system).__name__}"
+        )
+    overrides = {
+        key: value
+        for key, value in (
+            ("machine", machine), ("mapping", mapping),
+            ("layout", layout), ("faults", faults),
+        )
+        if value is not None
+    }
+    return replace(base, **overrides) if overrides else base
 
 
 @dataclass(frozen=True, slots=True)

@@ -8,7 +8,6 @@ counts equal what was addressed, and simulated time decomposes exactly.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

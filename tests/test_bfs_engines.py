@@ -13,10 +13,9 @@ from repro.bfs.options import BfsOptions
 from repro.bfs.serial import serial_bfs
 from repro.errors import ConfigurationError, SearchError
 from repro.graph.csr import CsrGraph
-from repro.graph.generators import poisson_random_graph
 from repro.partition.one_d import OneDPartition
 from repro.partition.two_d import TwoDPartition
-from repro.types import GraphSpec, GridShape, UNREACHED
+from repro.types import GridShape, UNREACHED
 
 
 def run_and_compare(graph, grid, layout="2d", source=0, opts=None):

@@ -1,0 +1,176 @@
+"""Tests for the deterministic fault-injection and recovery layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import distributed_bfs
+from repro.bfs.options import BfsOptions
+from repro.bfs.serial import serial_bfs
+from repro.errors import ConfigurationError, FaultError
+from repro.faults import FAULT_PRESETS, FaultSchedule, FaultSpec
+
+
+class TestFaultSpec:
+    def test_default_is_inactive(self):
+        assert not FaultSpec().active
+
+    def test_active_axes(self):
+        assert FaultSpec(drop_rate=0.1).active
+        assert FaultSpec(degraded_link_rate=0.5).active
+        assert FaultSpec(straggler_rate=0.5).active
+        assert FaultSpec(down_level=1).active
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(drop_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(drop_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(degradation_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(down_level=-2)
+
+    def test_parse_preset(self):
+        assert FaultSpec.parse("mild") == FAULT_PRESETS["mild"]
+        assert FaultSpec.parse("none") == FaultSpec()
+
+    def test_parse_kv_string(self):
+        spec = FaultSpec.parse("drop=0.05,degrade=0.25x4,straggler=0.1x3,down=2,seed=7")
+        assert spec.drop_rate == 0.05
+        assert spec.degraded_link_rate == 0.25
+        assert spec.degradation_factor == 4.0
+        assert spec.straggler_rate == 0.1
+        assert spec.straggler_slowdown == 3.0
+        assert spec.down_level == 2
+        assert spec.seed == 7
+
+    def test_parse_retries_shorthand_and_bare_rate(self):
+        spec = FaultSpec.parse("drop=0.02,retries=5,degrade=0.3")
+        assert spec.max_retries == 5
+        assert spec.degradation_factor == 2.0
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse("dropp=0.1")
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse("justaword")
+
+
+class TestFaultSchedule:
+    def test_identical_seeds_identical_samples(self):
+        a = FaultSchedule(FAULT_PRESETS["harsh"], 16)
+        b = FaultSchedule(FAULT_PRESETS["harsh"], 16)
+        assert a._link_multipliers == b._link_multipliers
+        assert np.array_equal(a._compute_multipliers, b._compute_multipliers)
+        assert a._down_pair == b._down_pair
+
+    def test_down_link_gated_by_level(self):
+        spec = FaultSpec(down_level=3, down_detour_factor=5.0)
+        sched = FaultSchedule(spec, 4)
+        src, dst = sched.report.link_down
+        sched.begin_level(2)
+        assert sched.link_multiplier(src, dst) == 1.0
+        sched.begin_level(3)
+        assert sched.link_multiplier(src, dst) == 5.0
+
+    def test_retry_penalty_backoff(self):
+        spec = FaultSpec(retry_timeout=1.0, backoff=2.0)
+        sched = FaultSchedule(spec, 2)
+        assert sched.retry_penalty(0) == 0.0
+        assert sched.retry_penalty(3) == pytest.approx(1.0 + 2.0 + 4.0)
+
+
+class TestFaultedRuns:
+    def test_levels_match_serial_under_drops(self, small_graph):
+        result = distributed_bfs(
+            small_graph, (2, 2), 0, faults=FaultSpec(seed=2, drop_rate=0.08)
+        )
+        assert result.faults is not None
+        assert result.faults.injected > 0
+        assert np.array_equal(result.levels, serial_bfs(small_graph, 0))
+
+    def test_levels_match_serial_1d(self, small_graph):
+        result = distributed_bfs(
+            small_graph, (4, 1), 0, layout="1d",
+            faults=FaultSpec(seed=2, drop_rate=0.08),
+        )
+        assert np.array_equal(result.levels, serial_bfs(small_graph, 0))
+
+    def test_deterministic_report_and_time(self, small_graph):
+        spec = FaultSpec.parse("harsh")
+        a = distributed_bfs(small_graph, (2, 2), 0, faults=spec)
+        b = distributed_bfs(small_graph, (2, 2), 0, faults=spec)
+        assert a.elapsed == b.elapsed
+        assert a.faults == b.faults
+        assert np.array_equal(a.levels, b.levels)
+
+    def test_fault_free_time_unchanged(self, small_graph):
+        plain = distributed_bfs(small_graph, (2, 2), 0)
+        inactive = distributed_bfs(small_graph, (2, 2), 0, faults=FaultSpec())
+        assert plain.faults is None
+        assert inactive.faults is not None
+        assert inactive.faults.added_seconds == 0.0
+        assert inactive.elapsed == plain.elapsed
+        assert np.array_equal(inactive.levels, plain.levels)
+
+    def test_drops_cost_time(self, small_graph):
+        plain = distributed_bfs(small_graph, (2, 2), 0)
+        faulted = distributed_bfs(
+            small_graph, (2, 2), 0, faults=FaultSpec(seed=1, drop_rate=0.05)
+        )
+        assert faulted.elapsed > plain.elapsed
+        assert faulted.faults.added_seconds > 0.0
+
+    def test_stragglers_cost_time(self, small_graph):
+        plain = distributed_bfs(small_graph, (2, 2), 0)
+        faulted = distributed_bfs(
+            small_graph, (2, 2), 0,
+            faults=FaultSpec(seed=1, straggler_rate=0.5, straggler_slowdown=4.0),
+        )
+        assert faulted.faults.straggler_ranks > 0
+        assert faulted.elapsed > plain.elapsed
+
+    def test_degraded_links_cost_comm_time(self, small_graph):
+        plain = distributed_bfs(small_graph, (2, 2), 0)
+        faulted = distributed_bfs(
+            small_graph, (2, 2), 0,
+            faults=FaultSpec(seed=1, degraded_link_rate=0.5, degradation_factor=6.0),
+        )
+        assert faulted.faults.degraded_links > 0
+        assert faulted.elapsed > plain.elapsed
+        assert np.array_equal(faulted.levels, plain.levels)
+
+    def test_rollback_recovers_correctness(self, small_graph):
+        # No retries: every drop is an unrecovered loss, forcing rollbacks.
+        result = distributed_bfs(
+            small_graph, (2, 2), 0,
+            faults=FaultSpec(seed=0, drop_rate=0.05, max_retries=0),
+        )
+        assert result.faults.unrecovered > 0
+        assert result.faults.rollbacks > 0
+        assert result.faults.rollback_seconds > 0.0
+        assert np.array_equal(result.levels, serial_bfs(small_graph, 0))
+
+    def test_checkpoint_disabled_raises(self, small_graph):
+        with pytest.raises(FaultError):
+            distributed_bfs(
+                small_graph, (2, 2), 0,
+                opts=BfsOptions(checkpoint=False),
+                faults=FaultSpec(seed=0, drop_rate=0.05, max_retries=0),
+            )
+
+    def test_report_summary_and_messages_uninflated(self, small_graph):
+        plain = distributed_bfs(small_graph, (2, 2), 0)
+        faulted = distributed_bfs(
+            small_graph, (2, 2), 0, faults=FaultSpec(seed=2, drop_rate=0.08)
+        )
+        # Retransmissions live in the fault counters, not total_messages.
+        assert faulted.faults.rollbacks > 0 or (
+            faulted.stats.total_messages == plain.stats.total_messages
+        )
+        text = faulted.faults.summary()
+        assert "injected" in text and "recovered" in text

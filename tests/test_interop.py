@@ -9,7 +9,6 @@ import networkx as nx
 import numpy as np
 import pytest
 
-from repro.graph.csr import CsrGraph
 from repro.graph.interop import from_networkx, to_networkx
 
 

@@ -9,7 +9,7 @@ from repro.backends.spmd import spmd_bfs
 from repro.bfs.options import BfsOptions
 from repro.bfs.serial import serial_bfs
 from repro.errors import PartitionError
-from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.experiment import ExperimentConfig
 from repro.harness.export import results_to_rows
 from repro.harness.figures import fig4a_weak_scaling
 from repro.harness.sweep import sweep

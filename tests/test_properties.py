@@ -19,7 +19,7 @@ from repro.bfs.options import BfsOptions
 from repro.bfs.serial import serial_bfs
 from repro.graph.csr import CsrGraph
 from repro.graph.generators import gnm_edges, poisson_random_graph
-from repro.types import GraphSpec, GridShape, VERTEX_DTYPE
+from repro.types import GraphSpec, GridShape
 from repro.utils.rng import RngFactory
 
 SLOW = settings(

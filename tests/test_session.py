@@ -10,7 +10,6 @@ from repro.bfs.serial import serial_bfs
 from repro.errors import ConfigurationError, SearchError
 from repro.graph.csr import CsrGraph
 from repro.session import BfsSession, extract_path
-from repro.types import GridShape
 
 
 def to_networkx(graph: CsrGraph) -> nx.Graph:

@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.errors import BufferOverflowError
 from repro.bfs.sent_cache import SentCache
