@@ -25,6 +25,16 @@ from repro.types import (
     resolve_system,
 )
 from repro.faults import FAULT_PRESETS, FaultReport, FaultSchedule, FaultSpec
+from repro.wire import (
+    WIRE_CODECS,
+    AdaptiveCodec,
+    BitmapCodec,
+    DeltaVarintCodec,
+    RawCodec,
+    WireCodec,
+    get_codec,
+    resolve_wire,
+)
 from repro.graph import CsrGraph, poisson_random_graph
 from repro.partition import OneDPartition, TwoDPartition
 from repro.machine import BLUEGENE_L, MCR_CLUSTER, MachineModel, Torus3D
@@ -60,6 +70,14 @@ __all__ = [
     "FaultSchedule",
     "FaultReport",
     "FAULT_PRESETS",
+    "WireCodec",
+    "WIRE_CODECS",
+    "RawCodec",
+    "DeltaVarintCodec",
+    "BitmapCodec",
+    "AdaptiveCodec",
+    "get_codec",
+    "resolve_wire",
     "CsrGraph",
     "poisson_random_graph",
     "OneDPartition",

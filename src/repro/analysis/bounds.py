@@ -1,4 +1,5 @@
-"""Communication lower bounds from bisection bandwidth.
+"""Communication lower bounds from bisection bandwidth, and predicted
+compressed traffic.
 
 Section 4.1 quotes BlueGene/L's bisection bandwidth (360 GB/s per
 direction for the full 64x32x32 torus).  Any algorithm that must move
@@ -6,9 +7,18 @@ direction for the full 64x32x32 torus).  Any algorithm that must move
 bisection_bandwidth`` seconds — a "speed of light" no simulation can beat.
 These helpers compute that bound for a BFS level and let the tests assert
 the simulator never reports an impossible time.
+
+The second half of the module predicts what a :mod:`repro.wire` codec
+puts on the wire for the Section 3.1 expected message lengths: γ(m)
+gives the expected number of frontier vertices per message, the owner
+block size gives the index span they are drawn from, and from those two
+numbers each codec's encoded size follows in closed form
+(:func:`predicted_message_bytes`, :func:`predicted_level_traffic_bytes`).
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.analysis.model import expected_expand_length_2d, expected_fold_length_2d
 from repro.machine.bluegene import MachineModel
@@ -30,6 +40,89 @@ def level_traffic_bytes(n: float, k: float, grid: GridShape, model: MachineModel
         n, k, p, grid.cols
     )
     return per_rank * p * model.bytes_per_vertex
+
+
+def _varint_bytes_for(value: float) -> float:
+    """LEB128 bytes needed for a non-negative value (continuous model)."""
+    if value < 1.0:
+        return 1.0
+    return max(1.0, math.ceil((math.floor(math.log2(value)) + 1) / 7.0))
+
+
+def predicted_message_bytes(
+    wire: str, num_vertices: float, span: float, *, bytes_per_vertex: int = 8
+) -> float:
+    """Expected encoded bytes for one message of ``num_vertices`` sorted
+    vertex ids drawn from an index range of ``span`` vertices.
+
+    This is the closed-form companion of the :mod:`repro.wire` codecs:
+
+    * ``"raw"`` — ``bytes_per_vertex`` per id.
+    * ``"delta-varint"`` — consecutive gaps average ``g = span/m``, zigzag
+      doubles them, and LEB128 spends 7 bits per byte, so each id costs
+      roughly ``bytes(2g)``; a count header rides along.
+    * ``"bitmap"`` — one bit per vertex of the span plus the base/span
+      header, independent of ``m`` (γ saturation makes this a constant).
+    * ``"adaptive"`` — the cheaper of the two, which is what the runtime
+      codec picks per message.
+    """
+    check_positive("span", span)
+    if num_vertices <= 0.0:
+        return 0.0
+    if wire == "raw":
+        return num_vertices * bytes_per_vertex
+    if wire == "delta-varint":
+        gap = max(1.0, span / num_vertices)
+        return _varint_bytes_for(num_vertices) + num_vertices * _varint_bytes_for(
+            2.0 * gap
+        )
+    if wire == "bitmap":
+        return 2.0 * _varint_bytes_for(span) + math.ceil(span / 8.0)
+    if wire == "adaptive":
+        return 1.0 + min(
+            predicted_message_bytes("delta-varint", num_vertices, span),
+            predicted_message_bytes("bitmap", num_vertices, span),
+        )
+    raise ValueError(f"unknown wire codec {wire!r}")
+
+
+def predicted_level_traffic_bytes(
+    n: float, k: float, grid: GridShape, model: MachineModel, wire: str = "raw"
+) -> float:
+    """Expected *encoded* wire bytes of one worst-case 2D level.
+
+    Uses the Section 3.1 expectations for message lengths: each rank sends
+    ``R-1`` expand messages of γ-expected length over its owned block
+    (span ``n/P``) and ``C-1`` fold messages over the destination column
+    block (span ``n/C``).  With ``wire="raw"`` this reduces to
+    :func:`level_traffic_bytes` up to varint-header rounding.
+    """
+    check_positive("n", n)
+    p = grid.size
+    rows, cols = grid.rows, grid.cols
+    bpv = model.bytes_per_vertex
+    total = 0.0
+    if rows > 1:
+        per_message = expected_expand_length_2d(n, k, p, rows) / (rows - 1)
+        total += (rows - 1) * predicted_message_bytes(
+            wire, per_message, n / p, bytes_per_vertex=bpv
+        )
+    if cols > 1:
+        per_message = expected_fold_length_2d(n, k, p, cols) / (cols - 1)
+        total += (cols - 1) * predicted_message_bytes(
+            wire, per_message, n / cols, bytes_per_vertex=bpv
+        )
+    return total * p
+
+
+def predicted_compression_ratio(
+    n: float, k: float, grid: GridShape, model: MachineModel, wire: str
+) -> float:
+    """Raw-over-encoded ratio the γ model predicts for one dense level."""
+    encoded = predicted_level_traffic_bytes(n, k, grid, model, wire)
+    if encoded == 0.0:
+        return 1.0
+    return predicted_level_traffic_bytes(n, k, grid, model, "raw") / encoded
 
 
 def level_time_lower_bound(

@@ -40,18 +40,23 @@ def build_communicator(
     machine: str | MachineModel | None = None,
     mapping: str | TaskMapping | None = None,
     buffer_capacity: int | None = None,
+    wire: str | None = None,
     faults: FaultSpec | None = None,
 ) -> Communicator:
     """Create a virtual communicator for ``grid`` on the requested system.
 
     ``system`` is a :class:`SystemSpec` or a preset name; the legacy
-    ``machine``/``mapping``/``faults`` keywords override its fields.
-    ``machine`` resolves to ``"bluegene"``, ``"mcr"``, or a custom
-    :class:`MachineModel`; ``mapping`` to ``"planar"`` (the paper's
+    ``machine``/``mapping``/``wire``/``faults`` keywords override its
+    fields.  ``machine`` resolves to ``"bluegene"``, ``"mcr"``, or a
+    custom :class:`MachineModel`; ``mapping`` to ``"planar"`` (the paper's
     Figure 1 scheme), ``"row-major"`` (naive baseline), or a prebuilt
-    :class:`TaskMapping`.  The MCR machine always uses its flat network.
+    :class:`TaskMapping`; ``wire`` to a :mod:`repro.wire` codec name
+    (``"raw"``, ``"delta-varint"``, ``"bitmap"``, ``"adaptive"``) or
+    instance.  The MCR machine always uses its flat network.
     """
-    spec = resolve_system(system, machine=machine, mapping=mapping, faults=faults)
+    spec = resolve_system(
+        system, machine=machine, mapping=mapping, wire=wire, faults=faults
+    )
 
     if isinstance(spec.machine, MachineModel):
         model = spec.machine
@@ -77,7 +82,8 @@ def build_communicator(
 
     schedule = FaultSchedule(spec.faults, grid.size) if spec.faults is not None else None
     return Communicator(
-        task_mapping, model, buffer_capacity=buffer_capacity, faults=schedule
+        task_mapping, model, buffer_capacity=buffer_capacity, faults=schedule,
+        wire=spec.wire,
     )
 
 
@@ -90,6 +96,7 @@ def build_engine(
     machine: str | MachineModel | None = None,
     mapping: str | TaskMapping | None = None,
     layout: str | None = None,
+    wire: str | None = None,
     faults: FaultSpec | None = None,
     comm: Communicator | None = None,
 ) -> LevelSyncEngine:
@@ -98,12 +105,13 @@ def build_engine(
     ``layout="2d"`` (the default) uses Algorithm 2 on a
     :class:`TwoDPartition`; ``layout="1d"`` uses Algorithm 1 on a
     :class:`OneDPartition` (the grid must then be ``P x 1`` or ``1 x P``).
-    A prebuilt ``comm`` wins over the spec's machine/mapping/faults.
+    A prebuilt ``comm`` wins over the spec's machine/mapping/wire/faults.
     """
     if not isinstance(grid, GridShape):
         grid = GridShape(*grid)
     spec = resolve_system(
-        system, machine=machine, mapping=mapping, layout=layout, faults=faults
+        system, machine=machine, mapping=mapping, layout=layout, wire=wire,
+        faults=faults,
     )
     opts = opts or BfsOptions()
     if comm is None:
@@ -129,13 +137,14 @@ def distributed_bfs(
     machine: str | MachineModel | None = None,
     mapping: str | TaskMapping | None = None,
     layout: str | None = None,
+    wire: str | None = None,
     faults: FaultSpec | None = None,
     max_levels: int | None = None,
 ) -> BfsResult:
     """One-call distributed BFS: partition, simulate, return the result."""
     engine = build_engine(
         graph, grid, opts=opts, system=system, machine=machine, mapping=mapping,
-        layout=layout, faults=faults,
+        layout=layout, wire=wire, faults=faults,
     )
     return run_bfs(engine, source, target=target, max_levels=max_levels)
 
@@ -151,13 +160,15 @@ def bidirectional_bfs(
     machine: str | MachineModel | None = None,
     mapping: str | TaskMapping | None = None,
     layout: str | None = None,
+    wire: str | None = None,
     faults: FaultSpec | None = None,
 ) -> BidirectionalResult:
     """One-call bi-directional s-t search (Section 2.3)."""
     if not isinstance(grid, GridShape):
         grid = GridShape(*grid)
     spec = resolve_system(
-        system, machine=machine, mapping=mapping, layout=layout, faults=faults
+        system, machine=machine, mapping=mapping, layout=layout, wire=wire,
+        faults=faults,
     )
     opts = opts or BfsOptions()
     comm = build_communicator(grid, system=spec, buffer_capacity=opts.buffer_capacity)

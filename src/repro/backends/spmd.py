@@ -37,6 +37,7 @@ from repro.errors import CommunicationError, SearchError
 from repro.graph.csr import CsrGraph
 from repro.partition.two_d import TwoDPartition
 from repro.types import LEVEL_DTYPE, UNREACHED, VERTEX_DTYPE, GridShape
+from repro.wire import WireCodec, resolve_wire
 
 _POLL_INTERVAL = 0.05
 
@@ -47,13 +48,17 @@ def spmd_bfs(
     source: int,
     *,
     opts: BfsOptions | None = None,
+    wire: WireCodec | str | None = None,
     timeout: float = 120.0,
 ) -> np.ndarray:
     """Run a 2D-partitioned BFS with one OS process per rank.
 
     Returns the global level array (identical to the simulated engine and
-    the serial oracle).  ``timeout`` bounds the whole run; a hung or dead
-    worker raises :class:`CommunicationError` instead of deadlocking.
+    the serial oracle).  ``wire`` selects a :mod:`repro.wire` codec; every
+    inter-rank payload is *really* encoded by the sender and decoded by
+    the receiver, so the codecs are exercised under true parallelism.
+    ``timeout`` bounds the whole run; a hung or dead worker raises
+    :class:`CommunicationError` instead of deadlocking.
     """
     if not isinstance(grid, GridShape):
         grid = GridShape(*grid)
@@ -70,6 +75,7 @@ def spmd_bfs(
             f"spmd backend supports fold in {{'direct', 'union-ring'}}, "
             f"got {opts.fold_collective!r}"
         )
+    codec = resolve_wire(wire)
     partition = TwoDPartition(graph, grid)
     nranks = grid.size
 
@@ -81,7 +87,7 @@ def spmd_bfs(
     workers = [
         ctx.Process(
             target=_worker_main,
-            args=(rank, partition, source, opts, pipes[rank][1]),
+            args=(rank, partition, source, opts, codec, pipes[rank][1]),
             daemon=True,
         )
         for rank in range(nranks)
@@ -158,6 +164,7 @@ def _worker_main(
     partition: TwoDPartition,
     source: int,
     opts: BfsOptions,
+    codec: WireCodec,
     conn,
 ) -> None:
     grid = partition.grid
@@ -178,7 +185,9 @@ def _worker_main(
     level = 0
     while True:
         # --- expand: share the frontier within the processor-column --- #
-        fbar = _expand_phase(conn, rank, col_group, frontier, opts.expand_collective)
+        fbar = _expand_phase(
+            conn, rank, col_group, frontier, opts.expand_collective, codec
+        )
 
         # --- local discovery on partial edge lists --- #
         neighbors = np.unique(loc.partial_neighbors(fbar))
@@ -193,7 +202,7 @@ def _worker_main(
             if bounds[m + 1] > bounds[m]
         }
         candidates = _fold_phase(
-            conn, rank, row_group, contrib, opts.fold_collective
+            conn, rank, row_group, contrib, opts.fold_collective, codec
         )
 
         # --- label fresh vertices --- #
@@ -214,13 +223,27 @@ def _worker_main(
     conn.send(("done", levels))
 
 
-def _exchange(conn, sends: dict[int, np.ndarray]) -> list[tuple[int, np.ndarray]]:
-    conn.send(("xchg", sends))
-    return conn.recv()
+def _exchange(
+    conn, sends: dict[int, np.ndarray], codec: WireCodec
+) -> list[tuple[int, np.ndarray]]:
+    """Round-trip one exchange through the hub with *real* encoded buffers.
+
+    The sender serialises every payload through ``codec.encode`` and the
+    receiver reconstructs it with ``codec.decode`` — bytes are the only
+    thing that crosses the process boundary, so a codec bug cannot hide
+    behind the simulator's byte accounting.
+    """
+    conn.send(("xchg", {dst: codec.encode(arr) for dst, arr in sends.items()}))
+    return [(src, codec.decode(buf)) for src, buf in conn.recv()]
 
 
 def _expand_phase(
-    conn, rank: int, col_group: list[int], frontier: np.ndarray, mode: str
+    conn,
+    rank: int,
+    col_group: list[int],
+    frontier: np.ndarray,
+    mode: str,
+    codec: WireCodec,
 ) -> np.ndarray:
     """Column-group expand: direct personalized sends or an all-gather ring."""
     size = len(col_group)
@@ -228,7 +251,7 @@ def _expand_phase(
         return frontier
     if mode == "direct":
         sends = {peer: frontier for peer in col_group if peer != rank and frontier.size}
-        inbox = _exchange(conn, sends)
+        inbox = _exchange(conn, sends, codec)
         pieces = [frontier, *(payload for _src, payload in inbox)]
         return np.unique(np.concatenate(pieces)) if len(pieces) > 1 else frontier
     # ring all-gather: R-1 rounds, forward what arrived last round
@@ -238,14 +261,19 @@ def _expand_phase(
     gathered = [frontier]
     for _round in range(size - 1):
         sends = {successor: in_hand} if in_hand.size else {}
-        inbox = _exchange(conn, sends)
+        inbox = _exchange(conn, sends, codec)
         in_hand = inbox[0][1] if inbox else np.empty(0, dtype=VERTEX_DTYPE)
         gathered.append(in_hand)
     return np.unique(np.concatenate(gathered))
 
 
 def _fold_phase(
-    conn, rank: int, row_group: list[int], contrib: dict[int, np.ndarray], mode: str
+    conn,
+    rank: int,
+    row_group: list[int],
+    contrib: dict[int, np.ndarray],
+    mode: str,
+    codec: WireCodec,
 ) -> np.ndarray:
     """Row-group fold: direct personalized sends or the union reduce-scatter ring.
 
@@ -264,7 +292,7 @@ def _fold_phase(
             for m, chunk in contrib.items()
             if m != idx and chunk.size
         }
-        inbox = _exchange(conn, sends)
+        inbox = _exchange(conn, sends, codec)
         pieces = [contrib.get(idx, empty), *(payload for _src, payload in inbox)]
         merged = np.concatenate(pieces)
         return np.unique(merged) if merged.size else merged
@@ -279,7 +307,7 @@ def _fold_phase(
     result = empty
     for round_idx in range(size - 1):
         sends = {successor: chunk} if chunk.size else {}
-        inbox = _exchange(conn, sends)
+        inbox = _exchange(conn, sends, codec)
         received = inbox[0][1] if inbox else empty
         dest = (idx - 2 - round_idx) % size
         own = contrib.get(dest, empty)

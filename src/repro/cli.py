@@ -74,6 +74,12 @@ def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--machine", choices=["bluegene", "mcr"], default=None)
     parser.add_argument("--mapping", choices=["planar", "row-major"], default=None)
     parser.add_argument(
+        "--wire-codec", choices=["raw", "delta-varint", "bitmap", "adaptive"],
+        default=None,
+        help="frontier compression codec on the wire (default: the system "
+             "preset's codec, 'raw' unless the preset says otherwise)",
+    )
+    parser.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="fault-injection spec: a preset (mild, harsh) or e.g. "
              "'drop=0.05,degrade=0.25x4,straggler=0.1x3,down=2,seed=7'",
@@ -128,6 +134,7 @@ def cmd_bfs(args) -> int:
         machine=args.machine,
         mapping=args.mapping,
         layout=args.layout,
+        wire=args.wire_codec,
         faults=_faults_from(args),
     )
     print(result.summary())
@@ -136,6 +143,11 @@ def cmd_bfs(args) -> int:
         f"compute {result.compute_time:.6f}s"
     )
     print(f"messages {result.stats.total_messages}, bytes {result.stats.total_bytes}")
+    if result.stats.total_encoded_bytes != result.stats.total_bytes:
+        print(
+            f"encoded bytes {result.stats.total_encoded_bytes} "
+            f"(compression x{result.stats.compression_ratio:.2f})"
+        )
     if result.faults is not None:
         print(result.faults.summary())
     print(format_series(
@@ -156,7 +168,8 @@ def cmd_bidir(args) -> int:
     result = bidirectional_bfs(
         graph, args.grid, args.source, args.target,
         opts=_options_from(args), system=args.system, machine=args.machine,
-        mapping=args.mapping, layout=args.layout, faults=_faults_from(args),
+        mapping=args.mapping, layout=args.layout, wire=args.wire_codec,
+        faults=_faults_from(args),
     )
     print(result.summary())
     if result.faults is not None:

@@ -33,6 +33,15 @@ class BufferOverflowError(CommunicationError):
     """
 
 
+class CodecError(CommunicationError):
+    """A wire codec (`repro.wire`) was misused or fed malformed bytes.
+
+    Raised for unknown codec names, payloads outside a codec's domain
+    (e.g. an unsorted array handed to the bitmap codec), and truncated or
+    corrupt encoded buffers.
+    """
+
+
 class FaultError(CommunicationError):
     """The fault-recovery machinery could not restore a consistent state.
 

@@ -21,10 +21,11 @@ class ExperimentConfig:
     """A fully pinned experiment instance (deterministic given the seed).
 
     ``system`` (a :class:`SystemSpec` or preset name) describes the
-    machine/mapping/layout/faults in one value.  The per-axis string fields
-    are kept so ``dataclasses.replace``-based sweeps keep working unchanged;
-    because they carry concrete defaults, they only apply when ``system`` is
-    ``None`` (``faults`` always applies — its default is ``None``).
+    machine/mapping/layout/wire/faults in one value.  The per-axis string
+    fields are kept so ``dataclasses.replace``-based sweeps keep working
+    unchanged; because they carry concrete defaults, they only apply when
+    ``system`` is ``None`` (``wire`` and ``faults`` always apply — their
+    defaults are ``None``).
     """
 
     name: str
@@ -35,6 +36,7 @@ class ExperimentConfig:
     opts: BfsOptions = field(default_factory=BfsOptions)
     machine: str | None = "bluegene"
     mapping: str | None = "planar"
+    wire: str | None = None
     faults: FaultSpec | None = None
     source: int | None = None
     target: int | None = None
@@ -77,6 +79,16 @@ class ExperimentResult:
         """Mean union-fold redundancy ratio across searches (Figure 7 metric)."""
         return float(np.mean([r.stats.redundancy_ratio for r in self.runs]))
 
+    @property
+    def mean_wire_bytes(self) -> float:
+        """Mean encoded bytes on the wire per search (what the codec shipped)."""
+        return float(np.mean([r.stats.total_encoded_bytes for r in self.runs]))
+
+    @property
+    def mean_compression(self) -> float:
+        """Mean raw-over-encoded compression ratio (1.0 under the raw codec)."""
+        return float(np.mean([r.stats.compression_ratio for r in self.runs]))
+
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Generate the graph, run the configured searches, aggregate.
@@ -110,6 +122,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             config.grid,
             opts=config.opts,
             system=config.system,
+            wire=config.wire,
             faults=config.faults,
             **axes,
         )

@@ -26,6 +26,7 @@ def results_to_rows(results: list[ExperimentResult]) -> list[dict[str, object]]:
                 "expand": config.opts.expand_collective,
                 "fold": config.opts.fold_collective,
                 "machine": config.machine,
+                "wire": config.wire or "raw",
                 "searches": len(result.runs),
                 "mean_time_s": result.mean_time,
                 "mean_comm_s": result.mean_comm_time,
@@ -33,6 +34,8 @@ def results_to_rows(results: list[ExperimentResult]) -> list[dict[str, object]]:
                 "expand_msg_len": result.mean_message_length("expand"),
                 "fold_msg_len": result.mean_message_length("fold"),
                 "redundancy": result.mean_redundancy,
+                "wire_bytes": result.mean_wire_bytes,
+                "compression": result.mean_compression,
             }
         )
     return rows

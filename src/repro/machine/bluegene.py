@@ -68,7 +68,21 @@ class MachineModel:
         """
         if num_vertices < 0:
             raise ValueError("message length must be non-negative")
-        nbytes = num_vertices * self.bytes_per_vertex
+        return self.message_time_bytes(
+            num_vertices * self.bytes_per_vertex, hops=hops, contention=contention
+        )
+
+    def message_time_bytes(
+        self, nbytes: int, hops: int = 1, contention: float = 1.0
+    ) -> float:
+        """Time to move ``nbytes`` wire bytes over ``hops`` links.
+
+        The byte-level entry point used when a :mod:`repro.wire` codec has
+        already determined the encoded message size; :meth:`message_time`
+        is the uncompressed (``bytes_per_vertex``) special case.
+        """
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
         return self.alpha + hops * self.per_hop + contention * nbytes / self.bandwidth
 
     # ------------------------------------------------------------------ #

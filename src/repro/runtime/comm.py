@@ -13,6 +13,12 @@ collective algorithms talk to it exclusively through:
 Time is charged through the :class:`~repro.runtime.network.Network`
 contention model and the per-rank :class:`~repro.runtime.clock.SimClock`.
 
+A :mod:`repro.wire` codec (``wire=``) compresses every chunk: the network
+is charged for the *encoded* bytes, a calibrated per-vertex encode/decode
+CPU cost lands on the clock's compute bucket, and the statistics carry
+both raw and encoded byte counts.  The default ``"raw"`` codec reproduces
+the uncompressed runtime byte-for-byte.
+
 When a :class:`~repro.faults.FaultSchedule` is attached, every wire chunk
 consults it: transient drops are retried with exponential backoff (each
 wasted transmission and timeout charges simulated *fault* time), degraded
@@ -38,6 +44,7 @@ from repro.runtime.message import chunk_payload
 from repro.runtime.network import Network, Transfer
 from repro.runtime.stats import CommStats
 from repro.types import as_vertex_array
+from repro.wire import WireCodec, resolve_wire
 
 #: payload type of one round: {src_rank: {dst_rank: vertex-array}}
 Outbox = dict[int, dict[int, np.ndarray]]
@@ -55,6 +62,7 @@ class Communicator:
         *,
         buffer_capacity: int | None = None,
         faults: FaultSpec | FaultSchedule | None = None,
+        wire: WireCodec | str | None = None,
     ) -> None:
         self.mapping = mapping
         self.model = model
@@ -62,6 +70,8 @@ class Communicator:
         self.nranks = mapping.grid.size
         self.grid = mapping.grid
         self.buffer_capacity = buffer_capacity
+        #: frontier compression codec applied to every wire chunk
+        self.wire: WireCodec = resolve_wire(wire)
         self.clock = SimClock(self.nranks)
         self.stats = CommStats(self.nranks)
         if isinstance(faults, FaultSpec):
@@ -93,6 +103,9 @@ class Communicator:
         failed.
         """
         faults = self.faults
+        wire = self.wire
+        raw_wire = wire.name == "raw"
+        codec_seconds: np.ndarray | None = None
         transfers: list[Transfer] = []
         endpoints: list[tuple[int, int]] = []
         plans: list[tuple[int, bool]] = []
@@ -103,7 +116,14 @@ class Communicator:
                 self._check_rank(dst)
                 payload = as_vertex_array(payload)
                 for chunk in chunk_payload(payload, self.buffer_capacity):
-                    transfers.append(Transfer(src, dst, int(chunk.size)))
+                    size = int(chunk.size)
+                    raw_nbytes = size * self.model.bytes_per_vertex
+                    # self-sends are local hand-offs — never encoded
+                    if raw_wire or src == dst:
+                        enc_nbytes = raw_nbytes
+                    else:
+                        enc_nbytes = wire.encoded_nbytes(chunk)
+                    transfers.append(Transfer(src, dst, size, nbytes=enc_nbytes))
                     endpoints.append((src, dst))
                     delivered = True
                     if faults is not None and src != dst:
@@ -118,9 +138,16 @@ class Communicator:
                         plans.append((1, True))
                     if delivered:
                         inbox.setdefault(dst, []).append((src, chunk))
+                    if not raw_wire and src != dst:
+                        if codec_seconds is None:
+                            codec_seconds = np.zeros(self.nranks, dtype=np.float64)
+                        # one encode per chunk (retransmissions reuse the
+                        # buffer); decode only where the chunk arrived
+                        codec_seconds[src] += wire.encode_seconds(chunk)
+                        if delivered:
+                            codec_seconds[dst] += wire.decode_seconds(chunk)
                     self.stats.record_message(
-                        dst, int(chunk.size), int(chunk.size) * self.model.bytes_per_vertex,
-                        phase,
+                        dst, size, raw_nbytes, phase, encoded_nbytes=enc_nbytes
                     )
 
         if faults is None:
@@ -149,6 +176,8 @@ class Communicator:
             total = np.maximum(send_time + fault_send, recv_time + fault_recv)
             self.clock.advance_many(base, kind="comm")
             self.clock.advance_many(total - base, kind="fault")
+        if codec_seconds is not None and codec_seconds.any():
+            self.clock.advance_many(codec_seconds, kind="compute")
         if sync:
             self.barrier(participants)
         return inbox

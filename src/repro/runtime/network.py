@@ -21,11 +21,17 @@ from repro.machine.mapping import TaskMapping
 
 @dataclass(frozen=True, slots=True)
 class Transfer:
-    """One point-to-point message within a round (lengths in vertices)."""
+    """One point-to-point message within a round (lengths in vertices).
+
+    ``nbytes`` is the encoded on-wire size when a :mod:`repro.wire` codec
+    is in play; ``None`` means the uncompressed default
+    (``num_vertices * bytes_per_vertex``).
+    """
 
     src: int
     dst: int
     num_vertices: int
+    nbytes: int | None = None
 
 
 class Network:
@@ -87,8 +93,13 @@ class Network:
 
         for (i, t), route in zip(wire, routes):
             contention = max((link_load[link] for link in route), default=1)
-            seconds = self.model.message_time(t.num_vertices, hops=len(route),
-                                              contention=float(contention))
+            nbytes = (
+                t.num_vertices * self.model.bytes_per_vertex
+                if t.nbytes is None
+                else t.nbytes
+            )
+            seconds = self.model.message_time_bytes(nbytes, hops=len(route),
+                                                    contention=float(contention))
             if multipliers is not None:
                 seconds *= multipliers[i]
             per_transfer[i] = seconds

@@ -35,6 +35,10 @@ class LevelStats:
     duplicates_eliminated: int = 0
     #: point-to-point messages sent this level
     messages: int = 0
+    #: payload bytes before wire encoding (vertices * bytes_per_vertex)
+    raw_bytes: int = 0
+    #: bytes actually put on the wire by the configured codec
+    encoded_bytes: int = 0
     #: new vertices labelled at this level
     frontier_size: int = 0
     #: simulated communication seconds this level (slowest rank's delta)
@@ -53,6 +57,11 @@ class LevelStats:
         """All vertices delivered this level (expand + fold)."""
         return self.expand_received + self.fold_received
 
+    @property
+    def compression_ratio(self) -> float:
+        """Raw-to-encoded byte ratio this level (1.0 for the raw codec)."""
+        return self.raw_bytes / self.encoded_bytes if self.encoded_bytes else 1.0
+
 
 class CommStats:
     """Mutable per-run statistics collected by the communicator and collectives."""
@@ -62,6 +71,8 @@ class CommStats:
         self.levels: list[LevelStats] = []
         self.total_messages = 0
         self.total_bytes = 0
+        #: bytes on the wire after codec encoding (== total_bytes for "raw")
+        self.total_encoded_bytes = 0
         self.total_processed = 0
         #: transmissions lost to injected faults (whole run)
         self.total_drops = 0
@@ -117,13 +128,29 @@ class CommStats:
     # ------------------------------------------------------------------ #
     # recording
     # ------------------------------------------------------------------ #
-    def record_message(self, dst: int, num_vertices: int, nbytes: int, phase: str) -> None:
-        """Record one wire message (called by the communicator on every hop)."""
+    def record_message(
+        self,
+        dst: int,
+        num_vertices: int,
+        nbytes: int,
+        phase: str,
+        encoded_nbytes: int | None = None,
+    ) -> None:
+        """Record one wire message (called by the communicator on every hop).
+
+        ``nbytes`` is the raw payload size; ``encoded_nbytes`` is what the
+        wire codec actually shipped (defaults to ``nbytes`` — the raw
+        codec and legacy callers).
+        """
+        encoded = int(nbytes) if encoded_nbytes is None else int(encoded_nbytes)
         self.total_messages += 1
         self.total_bytes += int(nbytes)
+        self.total_encoded_bytes += encoded
         self.total_processed += int(num_vertices)
         if self._current is not None:
             self._current.messages += 1
+            self._current.raw_bytes += int(nbytes)
+            self._current.encoded_bytes += encoded
             self._current.processed += int(num_vertices)
 
     def record_delivery(self, dst: int, num_vertices: int, phase: str) -> None:
@@ -160,6 +187,15 @@ class CommStats:
             return np.array([s.fold_received for s in self.levels], dtype=np.int64)
         return np.array([s.total_received for s in self.levels], dtype=np.int64)
 
+    def bytes_per_level(self, kind: str = "raw") -> np.ndarray:
+        """Per-level wire bytes: ``kind`` is ``"raw"`` (pre-codec) or
+        ``"encoded"`` (what the configured codec shipped)."""
+        if kind == "raw":
+            return np.array([s.raw_bytes for s in self.levels], dtype=np.int64)
+        if kind == "encoded":
+            return np.array([s.encoded_bytes for s in self.levels], dtype=np.int64)
+        raise ValueError(f"kind must be 'raw' or 'encoded', got {kind!r}")
+
     def time_per_level(self, kind: str = "comm") -> np.ndarray:
         """Per-level simulated seconds: ``kind`` is ``"comm"``, ``"compute"``,
         or ``"fault"``."""
@@ -177,6 +213,13 @@ class CommStats:
             return 0.0
         per_level = self.volume_per_level(phase)
         return float(per_level.mean() / nranks_receiving)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Whole-run raw-to-encoded byte ratio (1.0 for the raw codec)."""
+        if not self.total_encoded_bytes:
+            return 1.0
+        return self.total_bytes / self.total_encoded_bytes
 
     @property
     def total_duplicates(self) -> int:

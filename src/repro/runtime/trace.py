@@ -1,10 +1,18 @@
 """Message-level event tracing.
 
 A :class:`TraceRecorder` attached to a communicator captures one event per
-wire message — (simulated send time, src, dst, vertices, phase) — enabling
-timeline analysis beyond the aggregate counters in
-:class:`~repro.runtime.stats.CommStats`: per-rank load profiles, busiest
-links, phase overlap.  Export to CSV/JSON for external tooling.
+wire message — (simulated send time, src, dst, vertices, raw payload
+bytes, encoded payload bytes, phase) — enabling timeline analysis beyond
+the aggregate counters in :class:`~repro.runtime.stats.CommStats`:
+per-rank load profiles, busiest links, phase overlap, per-link
+compression.  Export to CSV/JSON for external tooling.
+
+Events mirror the communicator's accounting one-for-one: payloads are
+chunked to the buffer capacity exactly as :meth:`Communicator.exchange`
+does, ``raw_bytes`` is ``num_vertices * bytes_per_vertex``, and
+``encoded_bytes`` is what the attached :mod:`repro.wire` codec puts on
+the wire for that chunk (equal to ``raw_bytes`` under the ``"raw"``
+codec and for self-sends, which are local hand-offs).
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.runtime.comm import Communicator
+from repro.runtime.message import chunk_payload
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,6 +36,10 @@ class MessageEvent:
     src: int
     dst: int
     num_vertices: int
+    #: payload size before wire encoding (``num_vertices * bytes_per_vertex``)
+    raw_bytes: int
+    #: bytes actually on the wire after the communicator's codec
+    encoded_bytes: int
     phase: str
 
 
@@ -52,12 +65,24 @@ class TraceRecorder:
         original = self.comm.exchange
 
         def traced_exchange(outbox, phase, participants=None, *, sync=True):
+            comm = self.comm
+            wire = comm.wire
+            raw_wire = wire.name == "raw"
+            bytes_per_vertex = comm.model.bytes_per_vertex
             for src, dests in outbox.items():
-                stamp = float(self.comm.clock.time[src])
+                stamp = float(comm.clock.time[src])
                 for dst, payload in dests.items():
-                    size = int(np.size(payload))
-                    if size:
-                        self.events.append(MessageEvent(stamp, src, dst, size, phase))
+                    payload = np.asarray(payload)
+                    for chunk in chunk_payload(payload, comm.buffer_capacity):
+                        size = int(chunk.size)
+                        raw_nbytes = size * bytes_per_vertex
+                        if raw_wire or src == dst:
+                            enc_nbytes = raw_nbytes
+                        else:
+                            enc_nbytes = wire.encoded_nbytes(chunk)
+                        self.events.append(MessageEvent(
+                            stamp, src, dst, size, raw_nbytes, enc_nbytes, phase
+                        ))
             return original(outbox, phase, participants, sync=sync)
 
         self.comm.exchange = traced_exchange  # type: ignore[method-assign]
@@ -112,11 +137,14 @@ class TraceRecorder:
         path = Path(path)
         with path.open("w", newline="", encoding="utf-8") as fh:
             writer = csv.writer(fh)
-            writer.writerow(["time", "src", "dst", "num_vertices", "phase"])
+            writer.writerow(
+                ["time", "src", "dst", "num_vertices",
+                 "raw_bytes", "encoded_bytes", "phase"]
+            )
             for event in self.events:
                 writer.writerow(
-                    [f"{event.time:.9f}", event.src, event.dst,
-                     event.num_vertices, event.phase]
+                    [f"{event.time:.9f}", event.src, event.dst, event.num_vertices,
+                     event.raw_bytes, event.encoded_bytes, event.phase]
                 )
 
     def to_json(self, path: str | Path) -> None:

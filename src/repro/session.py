@@ -35,8 +35,8 @@ class BfsSession:
     """A reusable query context over one graph and one layout.
 
     The target system is a :class:`SystemSpec` (or preset name) passed as
-    ``system=``; the legacy ``machine``/``mapping``/``layout``/``faults``
-    keywords override its fields, as everywhere else in the API.
+    ``system=``; the legacy ``machine``/``mapping``/``layout``/``wire``/
+    ``faults`` keywords override its fields, as everywhere else in the API.
     """
 
     def __init__(
@@ -49,6 +49,7 @@ class BfsSession:
         machine: str | MachineModel | None = None,
         mapping: str | None = None,
         layout: str | None = None,
+        wire: str | None = None,
         faults: FaultSpec | None = None,
     ) -> None:
         if not isinstance(grid, GridShape):
@@ -58,11 +59,13 @@ class BfsSession:
         self.opts = opts or BfsOptions()
         #: the resolved system description this session simulates
         self.system = resolve_system(
-            system, machine=machine, mapping=mapping, layout=layout, faults=faults
+            system, machine=machine, mapping=mapping, layout=layout, wire=wire,
+            faults=faults,
         )
         self.machine = self.system.machine
         self.mapping = self.system.mapping
         self.layout = self.system.layout
+        self.wire = self.system.wire
         if self.layout == "2d":
             self.partition = TwoDPartition(graph, grid)
         else:

@@ -104,16 +104,20 @@ class GridShape:
 _KNOWN_MACHINES = frozenset({"bluegene", "mcr"})
 _KNOWN_MAPPINGS = frozenset({"planar", "row-major"})
 _KNOWN_LAYOUTS = frozenset({"1d", "2d"})
+#: wire-codec preset names (see ``repro.wire``); kept as a literal set so
+#: this module stays import-cycle-free (``repro.wire`` imports it).
+_KNOWN_WIRES = frozenset({"raw", "delta-varint", "bitmap", "adaptive"})
 
 
 @dataclass(frozen=True, slots=True)
 class SystemSpec:
     """The simulated system a search runs on, as one value object.
 
-    Bundles the four axes that used to travel as separate
+    Bundles the axes that used to travel as separate
     ``machine=``/``mapping=``/``layout=`` (and fault) keyword arguments
     through every entry point: the machine cost model, the task mapping
-    onto the physical topology, the partition layout, and the optional
+    onto the physical topology, the partition layout, the wire codec
+    compressing frontier messages (``repro.wire``), and the optional
     fault-injection workload.  Pass it as ``system=SystemSpec(...)`` — or
     as a preset name such as ``"bluegene-2d"`` — to
     :func:`repro.api.build_communicator`, :func:`repro.api.build_engine`,
@@ -129,6 +133,9 @@ class SystemSpec:
     mapping: str | TaskMapping = "planar"
     #: ``"2d"`` (Algorithm 2) or ``"1d"`` (Algorithm 1)
     layout: str = "2d"
+    #: frontier compression codec on the wire (``repro.wire``): ``"raw"``,
+    #: ``"delta-varint"``, ``"bitmap"``, ``"adaptive"``, or a ``WireCodec``
+    wire: str | Any = "raw"
     #: optional fault-injection workload (``repro.faults``)
     faults: FaultSpec | None = None
 
@@ -147,6 +154,18 @@ class SystemSpec:
             raise ConfigurationError(
                 f"unknown layout {self.layout!r}; use one of {sorted(_KNOWN_LAYOUTS)}"
             )
+        if isinstance(self.wire, str):
+            if self.wire not in _KNOWN_WIRES:
+                raise ConfigurationError(
+                    f"unknown wire codec {self.wire!r}; use one of "
+                    f"{sorted(_KNOWN_WIRES)} or a WireCodec"
+                )
+        elif not (callable(getattr(self.wire, "encode", None))
+                  and callable(getattr(self.wire, "decode", None))):
+            raise ConfigurationError(
+                f"wire must be a codec name or a WireCodec, "
+                f"got {type(self.wire).__name__}"
+            )
         if self.faults is not None and not isinstance(self.faults, FaultSpec):
             raise ConfigurationError(
                 f"faults must be a FaultSpec or None, got {type(self.faults).__name__}"
@@ -160,6 +179,9 @@ SYSTEM_PRESETS: dict[str, SystemSpec] = {
     "bluegene-row-major": SystemSpec(mapping="row-major"),
     "mcr-2d": SystemSpec(machine="mcr"),
     "mcr-1d": SystemSpec(machine="mcr", layout="1d"),
+    "bluegene-2d-varint": SystemSpec(wire="delta-varint"),
+    "bluegene-2d-bitmap": SystemSpec(wire="bitmap"),
+    "bluegene-2d-adaptive": SystemSpec(wire="adaptive"),
 }
 
 
@@ -169,6 +191,7 @@ def resolve_system(
     machine: str | Any | None = None,
     mapping: str | Any | None = None,
     layout: str | None = None,
+    wire: str | Any | None = None,
     faults: FaultSpec | None = None,
 ) -> SystemSpec:
     """The single shared resolver behind every ``system=`` entry point.
@@ -200,7 +223,7 @@ def resolve_system(
         key: value
         for key, value in (
             ("machine", machine), ("mapping", mapping),
-            ("layout", layout), ("faults", faults),
+            ("layout", layout), ("wire", wire), ("faults", faults),
         )
         if value is not None
     }

@@ -1,0 +1,47 @@
+"""repro.wire — pluggable frontier compression codecs.
+
+``WireCodec`` implementations turn vertex-id payloads into wire bytes and
+back; the simulated runtime charges the network for the *encoded* size
+(plus per-vertex encode/decode CPU), and the SPMD backend round-trips the
+real buffers.  Select one via ``SystemSpec(wire=...)``, the ``wire=``
+keyword on the API entry points, or the CLI ``--wire-codec`` flag:
+
+========== ====================================================== =========
+name       encoding                                               best for
+========== ====================================================== =========
+raw        little-endian int64 ids (the paper's format)           baseline
+delta-varint  sorted deltas, zigzag + LEB128                      sparse
+bitmap     dense bitset over the message's vertex range           saturated
+adaptive   per-message bitmap-vs-varint choice by density         everything
+========== ====================================================== =========
+"""
+
+from repro.wire.base import (
+    WIRE_CODECS,
+    WireCodec,
+    get_codec,
+    register_codec,
+    resolve_wire,
+)
+from repro.wire.codecs import (
+    AdaptiveCodec,
+    BitmapCodec,
+    DeltaVarintCodec,
+    RawCodec,
+    varint_nbytes,
+    zigzag,
+)
+
+__all__ = [
+    "WIRE_CODECS",
+    "WireCodec",
+    "get_codec",
+    "register_codec",
+    "resolve_wire",
+    "RawCodec",
+    "DeltaVarintCodec",
+    "BitmapCodec",
+    "AdaptiveCodec",
+    "varint_nbytes",
+    "zigzag",
+]

@@ -83,6 +83,11 @@ class TestTraceRecorder:
         assert len(trace.events) == comm.stats.total_messages
         total = sum(e.num_vertices for e in trace.events)
         assert total == comm.stats.total_processed
+        assert sum(e.raw_bytes for e in trace.events) == comm.stats.total_bytes
+        assert (
+            sum(e.encoded_bytes for e in trace.events)
+            == comm.stats.total_encoded_bytes
+        )
 
     def test_event_fields_valid(self, small_graph):
         comm, trace = self._run_traced(small_graph)
@@ -90,8 +95,22 @@ class TestTraceRecorder:
             assert 0 <= event.src < comm.nranks
             assert 0 <= event.dst < comm.nranks
             assert event.num_vertices > 0
+            assert event.raw_bytes == event.num_vertices * comm.model.bytes_per_vertex
+            assert event.encoded_bytes == event.raw_bytes  # raw codec default
             assert event.phase in ("expand", "fold")
             assert event.time >= 0
+
+    def test_encoded_bytes_match_stats_under_codec(self, small_graph):
+        grid = GridShape(2, 2)
+        comm = build_communicator(grid, wire="adaptive")
+        engine = build_engine(small_graph, grid, comm=comm)
+        with TraceRecorder(comm) as trace:
+            run_bfs(engine, 0)
+        assert (
+            sum(e.encoded_bytes for e in trace.events)
+            == comm.stats.total_encoded_bytes
+        )
+        assert any(e.encoded_bytes < e.raw_bytes for e in trace.events)
 
     def test_analysis_helpers(self, small_graph):
         comm, trace = self._run_traced(small_graph)
@@ -123,7 +142,10 @@ class TestTraceRecorder:
         with path.open() as fh:
             rows = list(csv.DictReader(fh))
         assert len(rows) == len(trace.events)
-        assert set(rows[0]) == {"time", "src", "dst", "num_vertices", "phase"}
+        assert set(rows[0]) == {
+            "time", "src", "dst", "num_vertices",
+            "raw_bytes", "encoded_bytes", "phase",
+        }
 
     def test_json_export(self, small_graph, tmp_path):
         _comm, trace = self._run_traced(small_graph)
