@@ -41,7 +41,7 @@ def build_communicator(
     mapping: str | TaskMapping | None = None,
     buffer_capacity: int | None = None,
     wire: str | None = None,
-    faults: FaultSpec | None = None,
+    faults: FaultSpec | str | None = None,
 ) -> Communicator:
     """Create a virtual communicator for ``grid`` on the requested system.
 
@@ -97,7 +97,7 @@ def build_engine(
     mapping: str | TaskMapping | None = None,
     layout: str | None = None,
     wire: str | None = None,
-    faults: FaultSpec | None = None,
+    faults: FaultSpec | str | None = None,
     comm: Communicator | None = None,
 ) -> LevelSyncEngine:
     """Partition ``graph`` over ``grid`` and build a ready-to-run engine.
@@ -138,7 +138,7 @@ def distributed_bfs(
     mapping: str | TaskMapping | None = None,
     layout: str | None = None,
     wire: str | None = None,
-    faults: FaultSpec | None = None,
+    faults: FaultSpec | str | None = None,
     max_levels: int | None = None,
 ) -> BfsResult:
     """One-call distributed BFS: partition, simulate, return the result."""
@@ -161,7 +161,7 @@ def bidirectional_bfs(
     mapping: str | TaskMapping | None = None,
     layout: str | None = None,
     wire: str | None = None,
-    faults: FaultSpec | None = None,
+    faults: FaultSpec | str | None = None,
 ) -> BidirectionalResult:
     """One-call bi-directional s-t search (Section 2.3)."""
     if not isinstance(grid, GridShape):

@@ -6,6 +6,12 @@ neighbour to its owner (the fold — the only communication step of the 1D
 algorithm), and label the freshly received vertices.  All ``P`` ranks take
 part in the fold collective, which is exactly the scalability weakness the
 2D layout attacks.
+
+The per-level work of all P virtual ranks is executed as batched NumPy
+kernels: one CSR gather over the concatenated frontiers, one segmented
+unique for the per-rank neighbour sets, and one fresh-mask pass over the
+flat level array — numerically identical to looping over ranks, but
+without P Python iterations per level.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from repro.partition.indexing import VertexIndexMap
 from repro.partition.one_d import OneDPartition
 from repro.runtime.comm import Communicator
 from repro.types import UNREACHED, VERTEX_DTYPE
+from repro.utils.segmented import segmented_unique
 
 
 class Bfs1DEngine(LevelSyncEngine):
@@ -50,6 +57,25 @@ class Bfs1DEngine(LevelSyncEngine):
             for r in range(partition.nranks)
         ]
         self._sent_caches: list[SentCache] = []
+        # Concatenated CSR over every rank's local block (the blocks tile
+        # [0, n) in rank order, so this is the global CSR re-assembled) —
+        # one gather expands all P frontiers at once.
+        cat_indptr = np.zeros(partition.n + 1, dtype=np.int64)
+        adjacency_parts: list[np.ndarray] = []
+        edge_base = 0
+        for r in range(partition.nranks):
+            loc = partition.local(r)
+            cat_indptr[loc.vertex_lo + 1 : loc.vertex_hi + 1] = (
+                loc.indptr[1:].astype(np.int64) + edge_base
+            )
+            adjacency_parts.append(loc.adjacency)
+            edge_base += loc.adjacency.shape[0]
+        self._cat_indptr = cat_indptr
+        self._cat_adjacency = (
+            np.concatenate(adjacency_parts)
+            if adjacency_parts
+            else np.empty(0, dtype=VERTEX_DTYPE)
+        )
 
     # ------------------------------------------------------------------ #
     # layout hooks
@@ -75,50 +101,78 @@ class Bfs1DEngine(LevelSyncEngine):
     # ------------------------------------------------------------------ #
     def _expand_level(self) -> list[np.ndarray]:
         nranks = self.comm.nranks
+        n = self.n
         offsets = self.partition.dist.offsets
 
-        # Steps 7-10: local discovery + bucketing by owner.
-        outboxes: list[dict[int, np.ndarray]] = []
-        for rank in range(nranks):
-            loc = self.partition.local(rank)
-            raw = loc.neighbors_of_frontier(self.frontier[rank])
-            neighbors = np.unique(raw)
-            self.comm.charge_compute(
-                rank, edges_scanned=int(raw.size), hash_lookups=int(raw.size)
+        # Steps 7-10: local discovery — one CSR gather over the concatenated
+        # frontiers, one segmented unique, then owner bucketing.
+        fsizes = np.array([f.size for f in self.frontier], dtype=np.int64)
+        frontier_cat = np.concatenate(self.frontier)
+        starts = self._cat_indptr[frontier_cat]
+        lengths = self._cat_indptr[frontier_cat + 1] - starts
+        total = int(lengths.sum())
+        if total:
+            out_offsets = np.concatenate(([0], np.cumsum(lengths)))
+            gather = np.arange(total, dtype=np.int64)
+            gather += np.repeat(starts - out_offsets[:-1], lengths)
+            raw = self._cat_adjacency[gather]
+            raw_segs = np.repeat(
+                np.repeat(np.arange(nranks, dtype=np.int64), fsizes), lengths
             )
-            if self.opts.use_sent_cache:
-                self.comm.charge_compute(rank, hash_lookups=int(neighbors.size))
-                neighbors = self._sent_caches[rank].filter_unsent(neighbors)
+        else:
+            raw = np.empty(0, dtype=VERTEX_DTYPE)
+            raw_segs = np.empty(0, dtype=np.int64)
+        raw_sizes = np.bincount(raw_segs, minlength=nranks)
+        self.comm.charge_compute_many(edges_scanned=raw_sizes, hash_lookups=raw_sizes)
+        uniq_flat, uniq_bounds, _ = segmented_unique(raw, raw_segs, nranks, n)
+        per_rank = [uniq_flat[uniq_bounds[r] : uniq_bounds[r + 1]] for r in range(nranks)]
+        if self.opts.use_sent_cache:
+            self.comm.charge_compute_many(hash_lookups=np.diff(uniq_bounds))
+            per_rank = [
+                self._sent_caches[r].filter_unsent(neighbors)
+                for r, neighbors in enumerate(per_rank)
+            ]
+        outboxes: list[dict[int, np.ndarray]] = []
+        for r in range(nranks):
+            neighbors = per_rank[r]
             # Owners are monotone in vertex id (block distribution), so one
             # searchsorted splits the sorted neighbour array into buckets.
             bounds = np.searchsorted(neighbors, offsets)
+            nonempty = np.flatnonzero(bounds[1:] > bounds[:-1])
             outboxes.append(
-                {
-                    q: neighbors[bounds[q] : bounds[q + 1]]
-                    for q in range(nranks)
-                    if bounds[q + 1] > bounds[q]
-                }
+                {int(q): neighbors[bounds[q] : bounds[q + 1]] for q in nonempty}
             )
 
         # Steps 8-13: the fold — neighbours travel to their owners.
         received = self._fold.fold(self.comm, self._group, outboxes, phase="fold")
 
-        # Steps 14-16: label newly reached vertices.
-        new_frontiers: list[np.ndarray] = []
-        for rank in range(nranks):
-            arrays = received[rank]
-            if arrays:
-                incoming = np.concatenate(arrays)
-                self.comm.charge_compute(rank, hash_lookups=int(incoming.size))
-                candidates = np.unique(incoming)
-            else:
-                candidates = np.empty(0, dtype=VERTEX_DTYPE)
-            lo, _hi = self.owned_slice(rank)
-            local = candidates - lo
-            fresh_mask = self.owned_levels[rank][local] == UNREACHED if local.size else None
-            fresh = candidates[fresh_mask] if local.size else candidates
-            if fresh.size:
-                self.owned_levels[rank][fresh - lo] = self.level + 1
-                self.comm.charge_compute(rank, updates=int(fresh.size))
-            new_frontiers.append(fresh)
-        return new_frontiers
+        # Steps 14-16: label newly reached vertices — one segmented unique
+        # plus one fresh-mask pass over the flat level array.
+        parts: list[np.ndarray] = []
+        part_segs: list[int] = []
+        for r in range(nranks):
+            for arr in received[r]:
+                if arr.size:
+                    parts.append(arr)
+                    part_segs.append(r)
+        if parts:
+            incoming = np.concatenate(parts)
+            inc_segs = np.repeat(
+                np.array(part_segs, dtype=np.int64),
+                np.array([p.size for p in parts], dtype=np.int64),
+            )
+        else:
+            incoming = np.empty(0, dtype=VERTEX_DTYPE)
+            inc_segs = np.empty(0, dtype=np.int64)
+        self.comm.charge_compute_many(
+            hash_lookups=np.bincount(inc_segs, minlength=nranks)
+        )
+        cand_flat, cand_bounds, _ = segmented_unique(incoming, inc_segs, nranks, n)
+        cand_segs = np.repeat(np.arange(nranks, dtype=np.int64), np.diff(cand_bounds))
+        fresh_mask = self._levels_flat[cand_flat] == UNREACHED
+        fresh_flat = cand_flat[fresh_mask]
+        self._levels_flat[fresh_flat] = self.level + 1
+        fresh_counts = np.bincount(cand_segs[fresh_mask], minlength=nranks)
+        self.comm.charge_compute_many(updates=fresh_counts)
+        fresh_bounds = np.concatenate(([0], np.cumsum(fresh_counts)))
+        return [fresh_flat[fresh_bounds[r] : fresh_bounds[r + 1]] for r in range(nranks)]

@@ -9,6 +9,12 @@ Each level has two communication steps:
 
 Only ``R`` (resp. ``C``) ranks take part in each collective instead of all
 ``P`` — the paper's key communication-scalability argument.
+
+All per-rank work of a level runs as batched NumPy kernels over
+concatenated per-rank data (one keyed lookup into the concatenated
+column-CSR for discovery, segmented uniques for the per-rank merges, one
+fresh-mask pass over the flat level array for labelling) — numerically
+identical to iterating the P virtual ranks in Python, but vectorised.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.partition.two_d import TwoDPartition
 from repro.runtime.comm import Communicator
 from repro.types import UNREACHED, VERTEX_DTYPE
 from repro.utils.arrays import in_sorted
+from repro.utils.segmented import segmented_unique
 
 
 class Bfs2DEngine(LevelSyncEngine):
@@ -59,7 +66,31 @@ class Bfs2DEngine(LevelSyncEngine):
         self._col_groups = [self.grid.col_members(j) for j in range(self.grid.cols)]
         self._row_groups = [self.grid.row_members(i) for i in range(self.grid.rows)]
         self._expand_filters = self._build_expand_filters() if opts.use_expand_filter else None
+        self._expand_filter_cat = (
+            self._build_expand_filter_cat() if self._expand_filters is not None else None
+        )
         self._sent_caches: list[SentCache] = []
+        # Concatenated column-CSR of every rank, keyed by rank * n + column
+        # id (ascending: ranks ascend, ids are sorted per rank) — one
+        # searchsorted resolves all ranks' partial-edge-list lookups.
+        n = partition.n
+        key_parts: list[np.ndarray] = []
+        start_parts: list[np.ndarray] = []
+        stop_parts: list[np.ndarray] = []
+        row_parts: list[np.ndarray] = []
+        rows_base = 0
+        for r in range(partition.nranks):
+            loc = partition.local(r)
+            key_parts.append(r * n + loc.col_map.ids)
+            indptr = loc.col_indptr.astype(np.int64)
+            start_parts.append(indptr[:-1] + rows_base)
+            stop_parts.append(indptr[1:] + rows_base)
+            row_parts.append(loc.rows)
+            rows_base += loc.rows.shape[0]
+        self._col_keys = np.concatenate(key_parts)
+        self._col_starts = np.concatenate(start_parts)
+        self._col_stops = np.concatenate(stop_parts)
+        self._rows_cat = np.concatenate(row_parts)
 
     def _build_expand_filters(self) -> dict[tuple[int, int], np.ndarray]:
         """Owner-side knowledge of peers' non-empty partial edge lists.
@@ -71,16 +102,46 @@ class Bfs2DEngine(LevelSyncEngine):
         """
         filters: dict[tuple[int, int], np.ndarray] = {}
         for group in self._col_groups:
-            for src in group:
-                src_loc = self.partition.local(src)
-                lo, hi = src_loc.vertex_lo, src_loc.vertex_hi
-                for dst in group:
-                    if dst == src:
-                        continue
-                    ids = self.partition.local(dst).col_map.ids
-                    seg = ids[np.searchsorted(ids, lo) : np.searchsorted(ids, hi)]
-                    filters[(src, dst)] = seg
+            # One searchsorted of each dst's column ids against all the
+            # group's owned ranges replaces a probe per (src, dst) pair.
+            los = np.array(
+                [self.partition.local(src).vertex_lo for src in group],
+                dtype=np.int64,
+            )
+            his = np.array(
+                [self.partition.local(src).vertex_hi for src in group],
+                dtype=np.int64,
+            )
+            for dst in group:
+                ids = self.partition.local(dst).col_map.ids
+                b_lo = np.searchsorted(ids, los)
+                b_hi = np.searchsorted(ids, his)
+                for k, src in enumerate(group):
+                    if src != dst:
+                        filters[(src, dst)] = ids[b_lo[k] : b_hi[k]]
         return filters
+
+    def _build_expand_filter_cat(
+        self,
+    ) -> dict[int, tuple[list[int], np.ndarray, np.ndarray]]:
+        """Per-source concatenation of the expand filters.
+
+        One membership test of the concatenated filters against the
+        source's frontier replaces one test per (src, dst) pair; the
+        per-destination results are slices of the concatenation.
+        """
+        cat: dict[int, tuple[list[int], np.ndarray, np.ndarray]] = {}
+        for group in self._col_groups:
+            for src in group:
+                dsts = [d for d in group if d != src]
+                segs = [self._expand_filters[(src, d)] for d in dsts]
+                sizes = np.array([s.size for s in segs], dtype=np.int64)
+                bounds = np.concatenate(([0], np.cumsum(sizes)))
+                merged = (
+                    np.concatenate(segs) if segs else np.empty(0, dtype=VERTEX_DTYPE)
+                )
+                cat[src] = (dsts, merged, bounds)
+        return cat
 
     # ------------------------------------------------------------------ #
     # layout hooks
@@ -119,19 +180,43 @@ class Bfs2DEngine(LevelSyncEngine):
         (``expand_many``), so their messages contend for the torus in the
         same simulated round — as they would on the real machine.
         """
+        if (
+            self._expand.name == "direct"
+            and self._expand_filter_cat is not None
+            and self.comm.faults is None
+        ):
+            return self._expand_step_direct()
         contributions_per_group = [
             [self.frontier[rank] for rank in group] for group in self._col_groups
         ]
         dest_filters = None
         if self._expand_filters is not None and self._expand.name == "direct":
-            filters = self._expand_filters
+            filter_cat = self._expand_filter_cat
 
             def make_filter(group, contributions):
-                def dest_filter(g: int, d: int):
+                # All destinations of one source share a single membership
+                # test of the concatenated filters against its frontier;
+                # each (src, dst) result is the intersection the scalar
+                # per-pair test produced.
+                cache: dict[int, dict[int, np.ndarray]] = {}
+
+                def dest_filter(g: int, d: int) -> np.ndarray:
                     payload = contributions[g]
                     if payload.size == 0:
                         return payload
-                    return payload[in_sorted(payload, filters[(group[g], group[d])])]
+                    src = group[g]
+                    per_dst = cache.get(src)
+                    if per_dst is None:
+                        dsts, merged, bounds = filter_cat[src]
+                        mask = in_sorted(merged, payload)
+                        per_dst = {
+                            dst: merged[bounds[k] : bounds[k + 1]][
+                                mask[bounds[k] : bounds[k + 1]]
+                            ]
+                            for k, dst in enumerate(dsts)
+                        }
+                        cache[src] = per_dst
+                    return per_dst[group[d]]
 
                 return dest_filter
 
@@ -147,45 +232,176 @@ class Bfs2DEngine(LevelSyncEngine):
             phase="expand",
             dest_filters=dest_filters,
         )
-        fbar: list[np.ndarray] = [None] * self.comm.nranks  # type: ignore[list-item]
+        nranks = self.comm.nranks
+        fbar: list[np.ndarray] = [None] * nranks  # type: ignore[list-item]
+        inc_sizes = np.zeros(nranks, dtype=np.int64)
+        parts: list[np.ndarray] = []
+        part_segs: list[int] = []
         for group, received in zip(self._col_groups, received_per_group):
             for idx, rank in enumerate(group):
-                arrays = [self.frontier[rank], *received[idx]]
                 incoming = sum(int(a.size) for a in received[idx])
+                inc_sizes[rank] = incoming
                 if incoming:
-                    self.comm.charge_compute(rank, hash_lookups=incoming)
-                fbar[rank] = (
-                    np.unique(np.concatenate(arrays)) if incoming else self.frontier[rank]
-                )
+                    parts.append(self.frontier[rank])
+                    part_segs.append(rank)
+                    for a in received[idx]:
+                        if a.size:
+                            parts.append(a)
+                            part_segs.append(rank)
+                else:
+                    fbar[rank] = self.frontier[rank]
+        self.comm.charge_compute_many(hash_lookups=inc_sizes)
+        if parts:
+            values = np.concatenate(parts)
+            segs = np.repeat(
+                np.array(part_segs, dtype=np.int64),
+                np.array([p.size for p in parts], dtype=np.int64),
+            )
+            flat, bounds, _ = segmented_unique(values, segs, nranks, self.n)
+            for rank in range(nranks):
+                if fbar[rank] is None:
+                    fbar[rank] = flat[bounds[rank] : bounds[rank + 1]]
+        return fbar
+
+    def _expand_step_direct(self) -> list[np.ndarray]:
+        """The filtered single-round expand as one batched exchange.
+
+        Equivalent to ``DirectExpand.expand_many`` with the per-destination
+        filters, but built directly as message arrays: one membership test
+        per source over its concatenated filters, message payloads as
+        slices of the filtered result, one array exchange, one segmented
+        union for the per-rank merges.  Fault injection decides deliveries
+        per chunk, so faulted runs keep the collective path.
+        """
+        nranks = self.comm.nranks
+        filter_cat = self._expand_filter_cat
+        src_parts: list[np.ndarray] = []
+        dst_parts: list[np.ndarray] = []
+        size_parts: list[np.ndarray] = []
+        flat_parts: list[np.ndarray] = []
+        # Iterate groups then members — the merged-outbox message order of
+        # the lockstep driver.
+        for group in self._col_groups:
+            for src in group:
+                payload = self.frontier[src]
+                if payload.size == 0:
+                    continue
+                dsts, merged, bounds = filter_cat[src]
+                if merged.size == 0:
+                    continue
+                mask = in_sorted(merged, payload)
+                cum = np.concatenate(([0], np.cumsum(mask)))
+                sizes = cum[bounds[1:]] - cum[bounds[:-1]]
+                nonempty = np.flatnonzero(sizes)
+                if nonempty.size == 0:
+                    continue
+                src_parts.append(np.full(nonempty.size, src, dtype=np.int64))
+                dst_parts.append(np.asarray(dsts, dtype=np.int64)[nonempty])
+                size_parts.append(sizes[nonempty])
+                # filtered is ordered by destination, so it is exactly the
+                # non-empty message payloads back to back
+                flat_parts.append(merged[mask])
+        if src_parts:
+            src_arr = np.concatenate(src_parts)
+            dst_arr = np.concatenate(dst_parts)
+            msg_sizes = np.concatenate(size_parts)
+            flat = np.concatenate(flat_parts)
+        else:
+            src_arr = np.empty(0, dtype=np.int64)
+            dst_arr = np.empty(0, dtype=np.int64)
+            msg_sizes = np.empty(0, dtype=np.int64)
+            flat = np.empty(0, dtype=VERTEX_DTYPE)
+        msg_bounds = np.concatenate(([0], np.cumsum(msg_sizes)))
+        self.comm.exchange_arrays(
+            src_arr,
+            dst_arr,
+            flat,
+            msg_bounds[:-1],
+            msg_bounds[1:],
+            "expand",
+            participants=list(range(nranks)),
+        )
+        self.comm.stats.record_delivery_bulk(dst_arr, msg_sizes, "expand")
+
+        inc_sizes = np.zeros(nranks, dtype=np.int64)
+        np.add.at(inc_sizes, dst_arr, msg_sizes)
+        self.comm.charge_compute_many(hash_lookups=inc_sizes)
+        fbar: list[np.ndarray] = [None] * nranks  # type: ignore[list-item]
+        with_inc = np.flatnonzero(inc_sizes)
+        if with_inc.size:
+            front_parts = [self.frontier[int(r)] for r in with_inc]
+            front_sizes = np.array([p.size for p in front_parts], dtype=np.int64)
+            values = np.concatenate(front_parts + [flat])
+            segs = np.concatenate(
+                (np.repeat(with_inc, front_sizes), np.repeat(dst_arr, msg_sizes))
+            )
+            uniq, bounds, _ = segmented_unique(values, segs, nranks, self.n)
+            for rank in range(nranks):
+                if inc_sizes[rank]:
+                    fbar[rank] = uniq[bounds[rank] : bounds[rank + 1]]
+                else:
+                    fbar[rank] = self.frontier[rank]
+        else:
+            for rank in range(nranks):
+                fbar[rank] = self.frontier[rank]
         return fbar
 
     def _discover_step(self, fbar: list[np.ndarray]) -> list[dict[int, np.ndarray]]:
         """Step 12 + bucketing: merge partial edge lists, route neighbours to owners."""
+        nranks = self.comm.nranks
+        n = self.n
         R = self.grid.rows
         offsets = self.partition.dist.offsets
         # Destination buckets within a processor-row are contiguous vertex
         # ranges: row member m (mesh column m) owns block rows [m*R, (m+1)*R).
-        col_bounds = offsets[:: R]
+        col_bounds = offsets[::R]
+
+        # One keyed lookup into the concatenated column-CSR resolves every
+        # rank's partial edge lists; one gather merges them.
+        fb_sizes = np.array([f.size for f in fbar], dtype=np.int64)
+        fbar_cat = np.concatenate(fbar)
+        qsegs = np.repeat(np.arange(nranks, dtype=np.int64), fb_sizes)
+        qkeys = qsegs * n + fbar_cat
+        pos = np.searchsorted(self._col_keys, qkeys)
+        pos_c = np.minimum(pos, max(self._col_keys.size - 1, 0))
+        hit = (
+            self._col_keys[pos_c] == qkeys
+            if self._col_keys.size
+            else np.zeros(qkeys.shape, dtype=bool)
+        )
+        starts = self._col_starts[pos_c[hit]]
+        lengths = self._col_stops[pos_c[hit]] - starts
+        total = int(lengths.sum())
+        if total:
+            out_offsets = np.concatenate(([0], np.cumsum(lengths)))
+            gather = np.arange(total, dtype=np.int64)
+            gather += np.repeat(starts - out_offsets[:-1], lengths)
+            raw = self._rows_cat[gather]
+            raw_segs = np.repeat(qsegs[hit], lengths)
+        else:
+            raw = np.empty(0, dtype=VERTEX_DTYPE)
+            raw_segs = np.empty(0, dtype=np.int64)
+        raw_sizes = np.bincount(raw_segs, minlength=nranks)
+        self.comm.charge_compute_many(
+            edges_scanned=raw_sizes, hash_lookups=raw_sizes + fb_sizes
+        )
+        uniq_flat, uniq_bounds, _ = segmented_unique(raw, raw_segs, nranks, n)
+        per_rank = [
+            uniq_flat[uniq_bounds[r] : uniq_bounds[r + 1]] for r in range(nranks)
+        ]
+        if self.opts.use_sent_cache:
+            self.comm.charge_compute_many(hash_lookups=np.diff(uniq_bounds))
+            per_rank = [
+                self._sent_caches[r].filter_unsent(neighbors)
+                for r, neighbors in enumerate(per_rank)
+            ]
         outboxes: list[dict[int, np.ndarray]] = []
-        for rank in range(self.comm.nranks):
-            loc = self.partition.local(rank)
-            raw = loc.partial_neighbors(fbar[rank])
-            neighbors = np.unique(raw)
-            self.comm.charge_compute(
-                rank,
-                edges_scanned=int(raw.size),
-                hash_lookups=int(raw.size) + int(fbar[rank].size),
-            )
-            if self.opts.use_sent_cache:
-                self.comm.charge_compute(rank, hash_lookups=int(neighbors.size))
-                neighbors = self._sent_caches[rank].filter_unsent(neighbors)
+        for r in range(nranks):
+            neighbors = per_rank[r]
             bounds = np.searchsorted(neighbors, col_bounds)
+            nonempty = np.flatnonzero(bounds[1:] > bounds[:-1])
             outboxes.append(
-                {
-                    m: neighbors[bounds[m] : bounds[m + 1]]
-                    for m in range(self.grid.cols)
-                    if bounds[m + 1] > bounds[m]
-                }
+                {int(m): neighbors[bounds[m] : bounds[m + 1]] for m in nonempty}
             )
         return outboxes
 
@@ -201,27 +417,35 @@ class Bfs2DEngine(LevelSyncEngine):
         received_per_group = self._fold.fold_many(
             self.comm, self._row_groups, outboxes_per_group, phase="fold"
         )
-        received: list[list[np.ndarray]] = [None] * self.comm.nranks  # type: ignore[list-item]
+        nranks = self.comm.nranks
+        parts: list[np.ndarray] = []
+        part_segs: list[int] = []
         for group, group_received in zip(self._row_groups, received_per_group):
             for idx, rank in enumerate(group):
-                received[rank] = group_received[idx]
-
-        new_frontiers: list[np.ndarray] = []
-        for rank in range(self.comm.nranks):
-            arrays = received[rank]
-            if arrays:
-                incoming = np.concatenate(arrays)
-                self.comm.charge_compute(rank, hash_lookups=int(incoming.size))
-                candidates = np.unique(incoming)
-            else:
-                candidates = np.empty(0, dtype=VERTEX_DTYPE)
-            lo, _hi = self.owned_slice(rank)
-            if candidates.size:
-                fresh = candidates[self.owned_levels[rank][candidates - lo] == UNREACHED]
-            else:
-                fresh = candidates
-            if fresh.size:
-                self.owned_levels[rank][fresh - lo] = self.level + 1
-                self.comm.charge_compute(rank, updates=int(fresh.size))
-            new_frontiers.append(fresh)
-        return new_frontiers
+                for arr in group_received[idx]:
+                    if arr.size:
+                        parts.append(arr)
+                        part_segs.append(rank)
+        if parts:
+            incoming = np.concatenate(parts)
+            inc_segs = np.repeat(
+                np.array(part_segs, dtype=np.int64),
+                np.array([p.size for p in parts], dtype=np.int64),
+            )
+        else:
+            incoming = np.empty(0, dtype=VERTEX_DTYPE)
+            inc_segs = np.empty(0, dtype=np.int64)
+        self.comm.charge_compute_many(
+            hash_lookups=np.bincount(inc_segs, minlength=nranks)
+        )
+        cand_flat, cand_bounds, _ = segmented_unique(incoming, inc_segs, nranks, self.n)
+        cand_segs = np.repeat(np.arange(nranks, dtype=np.int64), np.diff(cand_bounds))
+        fresh_mask = self._levels_flat[cand_flat] == UNREACHED
+        fresh_flat = cand_flat[fresh_mask]
+        self._levels_flat[fresh_flat] = self.level + 1
+        fresh_counts = np.bincount(cand_segs[fresh_mask], minlength=nranks)
+        self.comm.charge_compute_many(updates=fresh_counts)
+        fresh_bounds = np.concatenate(([0], np.cumsum(fresh_counts)))
+        return [
+            fresh_flat[fresh_bounds[r] : fresh_bounds[r + 1]] for r in range(nranks)
+        ]

@@ -99,15 +99,19 @@ def _meet_candidate(stepped: LevelSyncEngine, other: LevelSyncEngine) -> float:
     the per-level "have the searches met?" test of a real implementation.
     """
     comm = stepped.comm
-    candidates = np.full(comm.nranks, _INF)
-    for rank in range(comm.nranks):
-        fresh = stepped.frontier[rank]
-        if fresh.size == 0:
-            continue
-        lo, _hi = stepped.owned_slice(rank)
-        lb = other.owned_levels[rank][fresh - lo]
+    nranks = comm.nranks
+    candidates = np.full(nranks, _INF)
+    sizes = np.array([f.size for f in stepped.frontier], dtype=np.int64)
+    comm.charge_compute_many(hash_lookups=sizes)
+    fresh_cat = np.concatenate(stepped.frontier)
+    if fresh_cat.size:
+        segs = np.repeat(np.arange(nranks, dtype=np.int64), sizes)
+        lb = other._levels_flat[fresh_cat]
         met = lb != UNREACHED
-        comm.charge_compute(rank, hash_lookups=int(fresh.size))
         if met.any():
-            candidates[rank] = float(stepped.level + lb[met].min())
+            sentinel = np.iinfo(np.int64).max
+            mins = np.full(nranks, sentinel, dtype=np.int64)
+            np.minimum.at(mins, segs[met], lb[met])
+            touched = mins != sentinel
+            candidates[touched] = (stepped.level + mins[touched]).astype(np.float64)
     return comm.allreduce_min(candidates)

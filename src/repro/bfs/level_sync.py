@@ -32,7 +32,9 @@ class LevelSyncEngine(abc.ABC):
         self.n = int(n)
         self.opts = opts
         self.level = 0
-        #: per-rank level arrays over each rank's owned vertices
+        #: global level array indexed by vertex id (backing storage)
+        self._levels_flat: np.ndarray = np.empty(0, dtype=LEVEL_DTYPE)
+        #: per-rank level views over each rank's owned slice of ``_levels_flat``
         self.owned_levels: list[np.ndarray] = []
         #: per-rank current frontier (global vertex ids, sorted)
         self.frontier: list[np.ndarray] = []
@@ -82,15 +84,18 @@ class LevelSyncEngine(abc.ABC):
         if not (0 <= source < self.n):
             raise SearchError(f"source {source} out of range [0, {self.n})")
         nranks = self.comm.nranks
+        # One flat global array; each rank's owned_levels entry is a view of
+        # its owned slice, so per-rank writes and whole-search reads (the
+        # batched kernels, assemble_levels) share the same storage.
+        self._levels_flat = np.full(self.n, UNREACHED, dtype=LEVEL_DTYPE)
         self.owned_levels = []
         self.frontier = []
         for rank in range(nranks):
             lo, hi = self.owned_slice(rank)
-            self.owned_levels.append(np.full(hi - lo, UNREACHED, dtype=LEVEL_DTYPE))
+            self.owned_levels.append(self._levels_flat[lo:hi])
             self.frontier.append(np.empty(0, dtype=VERTEX_DTYPE))
         owner = self.owner_rank(source)
-        lo, _ = self.owned_slice(owner)
-        self.owned_levels[owner][source - lo] = 0
+        self._levels_flat[source] = 0
         self.frontier[owner] = np.array([source], dtype=VERTEX_DTYPE)
         self.level = 0
         self._reset_layout_state()
@@ -168,15 +173,19 @@ class LevelSyncEngine(abc.ABC):
     def _checkpoint(self):
         """Snapshot every mutable per-search structure at a level boundary."""
         return (
-            [arr.copy() for arr in self.owned_levels],
+            self._levels_flat.copy(),
             [f.copy() for f in self.frontier],
             self._snapshot_layout_state(),
         )
 
     def _restore(self, snapshot) -> None:
-        """Roll the search back to a :meth:`_checkpoint` snapshot."""
-        owned_levels, frontier, layout = snapshot
-        self.owned_levels = owned_levels
+        """Roll the search back to a :meth:`_checkpoint` snapshot.
+
+        The flat level array is restored *in place* so the per-rank
+        ``owned_levels`` views stay valid.
+        """
+        levels_flat, frontier, layout = snapshot
+        self._levels_flat[:] = levels_flat
         self.frontier = frontier
         self._restore_layout_state(layout)
 
@@ -185,11 +194,7 @@ class LevelSyncEngine(abc.ABC):
     # ------------------------------------------------------------------ #
     def assemble_levels(self) -> np.ndarray:
         """Gather the distributed level arrays into one global array."""
-        levels = np.full(self.n, UNREACHED, dtype=LEVEL_DTYPE)
-        for rank in range(self.comm.nranks):
-            lo, hi = self.owned_slice(rank)
-            levels[lo:hi] = self.owned_levels[rank]
-        return levels
+        return self._levels_flat.copy()
 
     def level_of(self, vertex: int) -> int:
         """Current label of ``vertex`` (``UNREACHED`` if not labelled yet)."""

@@ -11,8 +11,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.collectives.base import ExpandCollective, Schedule, register_expand
+from repro.collectives.base import (
+    ExpandCollective,
+    Schedule,
+    _validate_disjoint,
+    _validate_group,
+    register_expand,
+)
+from repro.runtime.comm import Communicator, _as_payload
 from repro.runtime.stats import CommStats
+from repro.types import VERTEX_DTYPE
 
 
 @register_expand
@@ -46,4 +54,61 @@ class DirectExpand(ExpandCollective):
             for _src, payload in deliveries:
                 received[rank_to_index[dst_rank]].append(payload)
                 stats.record_delivery(dst_rank, int(payload.size), phase)
+        return received
+
+    def expand_many(
+        self,
+        comm: Communicator,
+        groups: list[list[int]],
+        contributions_per_group: list[list[np.ndarray]],
+        phase: str = "expand",
+        dest_filters: list | None = None,
+    ) -> list[list[list[np.ndarray]]]:
+        # Single-round collective: the whole lockstep run is one merged
+        # exchange, so build its message arrays directly.  Fault injection
+        # decides deliveries per chunk — that needs the generator path.
+        if comm.faults is not None:
+            return super().expand_many(
+                comm, groups, contributions_per_group, phase, dest_filters
+            )
+        _validate_disjoint(groups, len(contributions_per_group))
+        received: list[list[list[np.ndarray]]] = []
+        srcs: list[int] = []
+        dsts: list[int] = []
+        payloads: list[np.ndarray] = []
+        for idx, (group, contributions) in enumerate(
+            zip(groups, contributions_per_group)
+        ):
+            _validate_group(group, len(contributions))
+            dest_filter = dest_filters[idx] if dest_filters is not None else None
+            size = len(group)
+            group_received: list[list[np.ndarray]] = [[] for _ in range(size)]
+            for g in range(size):
+                payload = contributions[g]
+                for d in range(size):
+                    if d == g:
+                        continue
+                    to_send = payload if dest_filter is None else dest_filter(g, d)
+                    if np.size(to_send) == 0:
+                        continue
+                    to_send = _as_payload(to_send)
+                    srcs.append(group[g])
+                    dsts.append(group[d])
+                    payloads.append(to_send)
+                    group_received[d].append(to_send)
+            received.append(group_received)
+        sizes = np.array([p.size for p in payloads], dtype=np.int64)
+        bounds = np.concatenate(([0], np.cumsum(sizes)))
+        flat = np.concatenate(payloads) if payloads else np.empty(0, VERTEX_DTYPE)
+        dst_arr = np.array(dsts, dtype=np.int64)
+        comm.exchange_arrays(
+            np.array(srcs, dtype=np.int64),
+            dst_arr,
+            flat,
+            bounds[:-1],
+            bounds[1:],
+            phase,
+            participants=sorted(rank for group in groups for rank in group),
+        )
+        comm.stats.record_delivery_bulk(dst_arr, sizes, phase)
         return received

@@ -46,6 +46,8 @@ def _run_lockstep(
     pending: dict[int, Schedule] = {}
     current: dict[int, RoundOutbox] = {}
     members: list[set[int]] = [set(g) for g in groups]
+    #: rank -> schedule index (groups are disjoint across lockstep runs)
+    owner_schedule = {rank: i for i, g in enumerate(groups) for rank in g}
     for i, schedule in enumerate(schedules):
         try:
             current[i] = schedule.send(None)
@@ -60,12 +62,18 @@ def _run_lockstep(
                 merged.setdefault(src, {}).update(dests)
         participants = sorted({rank for i in pending for rank in members[i]})
         inbox = comm.exchange(merged, phase, participants=participants)
+        # Split the inbox per schedule in one pass (not one inbox scan per
+        # schedule), preserving delivery order within each sub-inbox.
+        sub_inboxes: dict[int, RoundInbox] = {i: {} for i in pending}
+        for dst, msgs in inbox.items():
+            i = owner_schedule.get(dst)
+            if i in sub_inboxes:
+                sub_inboxes[i][dst] = msgs
         advanced: dict[int, RoundOutbox] = {}
         finished: list[int] = []
         for i, schedule in pending.items():
-            sub_inbox = {dst: msgs for dst, msgs in inbox.items() if dst in members[i]}
             try:
-                advanced[i] = schedule.send(sub_inbox)
+                advanced[i] = schedule.send(sub_inboxes[i])
             except StopIteration as stop:
                 results[i] = stop.value
                 finished.append(i)

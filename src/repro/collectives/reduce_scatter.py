@@ -6,15 +6,32 @@ contribution in, eliminating duplicate vertex ids while the message is in
 flight (Section 2.2 "reduce-scatter ... the reduction operation is a
 set-union" and Section 3.2.2).  Each rank sends exactly one chunk per
 round, so the load is perfectly balanced: G-1 rounds of one message each.
+
+Equal-size groups (the engines' row groups, and the 1D all-ranks group)
+run through a *batched* driver: all groups' per-round set-unions collapse
+into one segmented unique, and each round issues one merged exchange with
+the same message order, payloads, and statistics as the generator
+schedule — the hot path of every union-fold BFS level without a Python
+loop per (group, member, round).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.collectives.base import FoldCollective, Schedule, _empty, register_fold
+from repro.collectives.base import (
+    FoldCollective,
+    Schedule,
+    _empty,
+    _validate_disjoint,
+    _validate_group,
+    register_fold,
+)
 from repro.collectives.union import union_merge
+from repro.runtime.comm import Communicator
 from repro.runtime.stats import CommStats
+from repro.types import as_vertex_array
+from repro.utils.segmented import gather_segments, segmented_unique
 
 
 @register_fold
@@ -76,4 +93,125 @@ class UnionRingFold(FoldCollective):
                     stats.record_duplicates(dups)
                     nxt_hand[g] = (d, merged)
             in_hand = nxt_hand
+        return received
+
+    # ------------------------------------------------------------------ #
+    # batched driver (equal-size groups)
+    # ------------------------------------------------------------------ #
+    def fold(
+        self,
+        comm: Communicator,
+        group: list[int],
+        outboxes: list[dict[int, np.ndarray]],
+        phase: str = "fold",
+    ) -> list[list[np.ndarray]]:
+        return self.fold_many(comm, [group], [outboxes], phase)[0]
+
+    def fold_many(
+        self,
+        comm: Communicator,
+        groups: list[list[int]],
+        outboxes_per_group: list[list[dict[int, np.ndarray]]],
+        phase: str = "fold",
+    ) -> list[list[list[np.ndarray]]]:
+        sizes = {len(g) for g in groups}
+        if len(sizes) != 1 or sizes == {1}:
+            return super().fold_many(comm, groups, outboxes_per_group, phase)
+        _validate_disjoint(groups, len(outboxes_per_group))
+        for group, outboxes in zip(groups, outboxes_per_group):
+            _validate_group(group, len(outboxes))
+        size = sizes.pop()
+        num_groups = len(groups)
+        nseg = num_groups * size
+        stats = comm.stats
+        participants = sorted(rank for group in groups for rank in group)
+
+        # Segment layout: seg = i * size + g for member g of group i.
+        member_rank = np.array(groups, dtype=np.int64).ravel()
+        seg_ids = np.arange(nseg, dtype=np.int64)
+        g_of = seg_ids % size
+        seg_base = seg_ids - g_of
+        succ_rank = member_rank[seg_base + (g_of + 1) % size]
+        # The chunk member g receives each round is the one its ring
+        # predecessor held before the exchange.
+        pred_seg = seg_base + (g_of - 1) % size
+
+        # Pack every contribution into one CSR indexed slot = seg * size + d
+        # (member seg's payload for in-group destination d).
+        slot_parts: list[tuple[int, np.ndarray]] = []
+        for i, outboxes in enumerate(outboxes_per_group):
+            for g, member_outbox in enumerate(outboxes):
+                base_slot = (i * size + g) * size
+                for d, a in member_outbox.items():
+                    arr = as_vertex_array(a)
+                    if arr.size:
+                        slot_parts.append((base_slot + d, arr))
+        slot_parts.sort(key=lambda p: p[0])
+        csizes = np.zeros(nseg * size, dtype=np.int64)
+        if slot_parts:
+            cflat = np.concatenate([a for _slot, a in slot_parts])
+            for slot, a in slot_parts:
+                csizes[slot] = a.size
+        else:
+            cflat = _empty()
+        cbounds = np.concatenate(([0], np.cumsum(csizes)))
+        if cflat.size and int(cflat.min()) < 0:
+            # The offset-key segmented union needs non-negative values.
+            return super().fold_many(comm, groups, outboxes_per_group, phase)
+        domain = int(cflat.max()) + 1 if cflat.size else 1
+
+        def batched_union(parts_values, parts_segs):
+            values = (
+                np.concatenate(parts_values) if parts_values else _empty()
+            )
+            segs = (
+                np.concatenate(parts_segs)
+                if parts_segs
+                else np.empty(0, dtype=np.int64)
+            )
+            flat, bounds, dups = segmented_unique(values, segs, nseg, domain)
+            stats.record_duplicates(int(dups.sum()))
+            return flat, bounds
+
+        # Priming: the chunk for destination d starts at member (d+1) % size,
+        # reduced with the starter's own contribution — i.e. member g starts
+        # out holding its payload for destination (g-1) % size.
+        prime_vals, prime_segs, _ = gather_segments(
+            cflat, cbounds, seg_ids * size + (g_of - 1) % size
+        )
+        flat, bounds = batched_union([prime_vals], [prime_segs])
+
+        received: list[list[list[np.ndarray]]] = [
+            [[] for _ in range(size)] for _ in range(num_groups)
+        ]
+        for round_idx in range(size - 1):
+            # Message order matches the lockstep driver's merged outbox:
+            # groups in order, members ascending, empty chunks skipped.
+            chunk_sizes = np.diff(bounds)
+            nonempty = np.flatnonzero(chunk_sizes)
+            comm.exchange_arrays(
+                member_rank[nonempty],
+                succ_rank[nonempty],
+                flat,
+                bounds[nonempty],
+                bounds[nonempty + 1],
+                phase,
+                participants=participants,
+            )
+            final = round_idx == size - 2
+            if final:
+                stats.record_delivery_bulk(member_rank, chunk_sizes[pred_seg], phase)
+            in_vals, in_segs, _ = gather_segments(flat, bounds, pred_seg)
+            d_vec = g_of if final else (g_of - 2 - round_idx) % size
+            own_vals, own_segs, _ = gather_segments(
+                cflat, cbounds, seg_ids * size + d_vec
+            )
+            flat, bounds = batched_union([in_vals, own_vals], [in_segs, own_segs])
+            if final:
+                for i in range(num_groups):
+                    base = i * size
+                    for g in range(size):
+                        merged = flat[bounds[base + g] : bounds[base + g + 1]]
+                        if merged.size:
+                            received[i][g].append(merged)
         return received

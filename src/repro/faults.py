@@ -138,7 +138,7 @@ class FaultSpec:
             if "=" not in part:
                 raise ConfigurationError(
                     f"bad fault token {part!r}; expected key=value or a preset "
-                    f"name from {sorted(FAULT_PRESETS)}"
+                    f"name from {list(FAULT_PRESETS)}"
                 )
             key, _, value = part.partition("=")
             key = key.strip()
@@ -299,6 +299,11 @@ class FaultSchedule:
     def compute_multiplier(self, rank: int) -> float:
         """Compute-time multiplier of ``rank`` (> 1 for stragglers)."""
         return float(self._compute_multipliers[rank])
+
+    @property
+    def compute_multipliers(self) -> np.ndarray:
+        """Per-rank compute-time multipliers (read-only view for bulk charging)."""
+        return self._compute_multipliers
 
     def transmission_plan(self, src: int, dst: int) -> tuple[int, bool]:
         """Decide the fate of one chunk ``src -> dst``.

@@ -30,7 +30,11 @@ class VertexIndexMap:
 
     def __init__(self, global_ids) -> None:
         ids = as_vertex_array(global_ids)
-        ids = np.unique(ids)  # sorted + deduplicated
+        # sorted + deduplicated (np.unique semantics via sort + mask,
+        # which is cheaper on the mostly-sorted inputs partitions produce)
+        if ids.size:
+            ids = np.sort(ids)
+            ids = ids[np.concatenate(([True], ids[1:] != ids[:-1]))]
         self.ids = ids
 
     def __len__(self) -> int:

@@ -160,8 +160,18 @@ class TwoDPartition(Partition):
             lo_entry, hi_entry = int(boundaries[rank]), int(boundaries[rank + 1])
             cols = dst[lo_entry:hi_entry]  # sorted (by dst, then src)
             rows = src[lo_entry:hi_entry]
-            col_ids, col_counts = np.unique(cols, return_counts=True)
-            col_indptr = np.concatenate(([0], np.cumsum(col_counts))).astype(VERTEX_DTYPE)
+            # cols is sorted, so unique + counts fall out of the run
+            # boundaries (identical to np.unique with return_counts).
+            if cols.size:
+                change = np.concatenate(([True], cols[1:] != cols[:-1]))
+                col_ids = cols[change]
+                col_starts = np.flatnonzero(change)
+                col_indptr = np.concatenate(
+                    (col_starts, [cols.size])
+                ).astype(VERTEX_DTYPE)
+            else:
+                col_ids = cols
+                col_indptr = np.zeros(1, dtype=VERTEX_DTYPE)
             own_block = j * R + i
             lo, hi = self.dist.range_of(own_block)
             locals_.append(
@@ -174,7 +184,7 @@ class TwoDPartition(Partition):
                     col_map=VertexIndexMap(col_ids),
                     col_indptr=col_indptr,
                     rows=rows.copy(),
-                    row_map=VertexIndexMap(np.unique(rows)),
+                    row_map=VertexIndexMap(rows),
                 )
             )
         return locals_

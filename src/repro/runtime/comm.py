@@ -41,10 +41,22 @@ from repro.machine.bluegene import MachineModel
 from repro.machine.mapping import TaskMapping
 from repro.runtime.clock import SimClock
 from repro.runtime.message import chunk_payload
-from repro.runtime.network import Network, Transfer
+from repro.runtime.network import Network
 from repro.runtime.stats import CommStats
-from repro.types import as_vertex_array
+from repro.types import VERTEX_DTYPE, as_vertex_array
 from repro.wire import WireCodec, resolve_wire
+
+
+def _as_payload(values) -> np.ndarray:
+    """Cheap :func:`as_vertex_array` for the common already-conforming case."""
+    if (
+        type(values) is np.ndarray
+        and values.dtype == VERTEX_DTYPE
+        and values.ndim == 1
+        and values.flags.c_contiguous
+    ):
+        return values
+    return as_vertex_array(values)
 
 #: payload type of one round: {src_rank: {dst_rank: vertex-array}}
 Outbox = dict[int, dict[int, np.ndarray]]
@@ -105,26 +117,39 @@ class Communicator:
         faults = self.faults
         wire = self.wire
         raw_wire = wire.name == "raw"
+        bpv = self.model.bytes_per_vertex
+        capacity = self.buffer_capacity
         codec_seconds: np.ndarray | None = None
-        transfers: list[Transfer] = []
-        endpoints: list[tuple[int, int]] = []
+        src_list: list[int] = []
+        dst_list: list[int] = []
+        nbytes_list: list[int] = []
         plans: list[tuple[int, bool]] = []
         inbox: Inbox = {}
+        msg_count = msg_vertices = msg_raw_bytes = msg_enc_bytes = 0
         for src, dests in outbox.items():
             self._check_rank(src)
             for dst, payload in dests.items():
                 self._check_rank(dst)
-                payload = as_vertex_array(payload)
-                for chunk in chunk_payload(payload, self.buffer_capacity):
-                    size = int(chunk.size)
-                    raw_nbytes = size * self.model.bytes_per_vertex
+                payload = _as_payload(payload)
+                if capacity is None:
+                    chunks = (payload,) if payload.size else ()
+                else:
+                    chunks = chunk_payload(payload, capacity)
+                for chunk in chunks:
+                    size = chunk.size
+                    raw_nbytes = size * bpv
                     # self-sends are local hand-offs — never encoded
                     if raw_wire or src == dst:
                         enc_nbytes = raw_nbytes
                     else:
                         enc_nbytes = wire.encoded_nbytes(chunk)
-                    transfers.append(Transfer(src, dst, size, nbytes=enc_nbytes))
-                    endpoints.append((src, dst))
+                    src_list.append(src)
+                    dst_list.append(dst)
+                    nbytes_list.append(enc_nbytes)
+                    msg_count += 1
+                    msg_vertices += size
+                    msg_raw_bytes += raw_nbytes
+                    msg_enc_bytes += enc_nbytes
                     delivered = True
                     if faults is not None and src != dst:
                         transmissions, delivered = faults.transmission_plan(src, dst)
@@ -146,22 +171,32 @@ class Communicator:
                         codec_seconds[src] += wire.encode_seconds(chunk)
                         if delivered:
                             codec_seconds[dst] += wire.decode_seconds(chunk)
-                    self.stats.record_message(
-                        dst, size, raw_nbytes, phase, encoded_nbytes=enc_nbytes
-                    )
+        self.stats.record_message_bulk(
+            msg_count, msg_vertices, msg_raw_bytes, msg_enc_bytes
+        )
 
+        count = len(src_list)
+        src_arr = np.array(src_list, dtype=np.int64)
+        dst_arr = np.array(dst_list, dtype=np.int64)
+        nbytes_arr = np.array(nbytes_list, dtype=np.int64)
         if faults is None:
-            send_time, recv_time = self.network.round_times(transfers)
+            send_time, recv_time, _ = self.network.round_times_arrays(
+                src_arr, dst_arr, nbytes_arr
+            )
             self.clock.advance_many(np.maximum(send_time, recv_time), kind="comm")
         else:
-            multipliers = [faults.link_multiplier(s, d) for s, d in endpoints]
-            send_time, recv_time, per_transfer = self.network.round_times_detailed(
-                transfers, multipliers
+            multipliers = np.fromiter(
+                (faults.link_multiplier(s, d) for s, d in zip(src_list, dst_list)),
+                dtype=np.float64,
+                count=count,
+            )
+            send_time, recv_time, per_transfer = self.network.round_times_arrays(
+                src_arr, dst_arr, nbytes_arr, multipliers
             )
             fault_send = np.zeros(self.nranks, dtype=np.float64)
             fault_recv = np.zeros(self.nranks, dtype=np.float64)
-            for (src, dst), (transmissions, delivered), seconds in zip(
-                endpoints, plans, per_transfer
+            for src, dst, (transmissions, delivered), seconds in zip(
+                src_list, dst_list, plans, per_transfer
             ):
                 drops = transmissions - 1 if delivered else transmissions
                 if drops == 0:
@@ -181,6 +216,51 @@ class Communicator:
         if sync:
             self.barrier(participants)
         return inbox
+
+    def exchange_arrays(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        flat: np.ndarray,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        phase: str,
+        participants: list[int] | None = None,
+    ) -> None:
+        """Array form of :meth:`exchange` for batched collectives (no inbox).
+
+        Message ``k`` carries ``flat[starts[k]:stops[k]]`` from ``src[k]``
+        to ``dst[k]``; messages must be non-empty, in the order the
+        equivalent outbox dict would iterate, with each ``(src, dst)``
+        pair appearing at most once.  With chunking, a non-raw wire codec,
+        or fault injection active, this rebuilds the outbox and defers to
+        :meth:`exchange` — the fast path below is reserved for the
+        byte-identical plain case.
+        """
+        if (
+            self.faults is not None
+            or self.buffer_capacity is not None
+            or self.wire.name != "raw"
+            # an instance-level exchange override (e.g. an installed
+            # TraceRecorder) must see every message
+            or "exchange" in self.__dict__
+        ):
+            outbox: Outbox = {}
+            for k in range(src.size):
+                outbox.setdefault(int(src[k]), {})[int(dst[k])] = flat[
+                    starts[k] : stops[k]
+                ]
+            self.exchange(outbox, phase, participants)
+            return
+        sizes = stops - starts
+        nbytes = sizes * self.model.bytes_per_vertex
+        total_bytes = int(nbytes.sum())
+        self.stats.record_message_bulk(
+            src.size, int(sizes.sum()), total_bytes, total_bytes
+        )
+        send_time, recv_time, _ = self.network.round_times_arrays(src, dst, nbytes)
+        self.clock.advance_many(np.maximum(send_time, recv_time), kind="comm")
+        self.barrier(participants)
 
     def barrier(self, participants: list[int] | None = None) -> None:
         """Synchronise ``participants`` (default: all ranks)."""
@@ -271,6 +351,37 @@ class Communicator:
             extra = seconds * (self.faults.compute_multiplier(rank) - 1.0)
             if extra > 0.0:
                 self.clock.advance(rank, extra, kind="fault")
+
+    def charge_compute_many(
+        self,
+        *,
+        edges_scanned: np.ndarray | None = None,
+        hash_lookups: np.ndarray | None = None,
+        updates: np.ndarray | None = None,
+    ) -> None:
+        """Per-rank vector form of :meth:`charge_compute`.
+
+        Each argument is one value per rank (``None`` means all zeros).
+        Every rank receives exactly one compute advance (zero-work ranks
+        advance by 0.0, which leaves their clocks bit-identical), so one
+        bulk call replaces a loop of per-rank :meth:`charge_compute` calls
+        without changing any simulated time.
+        """
+        model = self.model
+        zeros = np.zeros(self.nranks, dtype=np.int64)
+        e = zeros if edges_scanned is None else np.asarray(edges_scanned)
+        h = zeros if hash_lookups is None else np.asarray(hash_lookups)
+        u = zeros if updates is None else np.asarray(updates)
+        # Mirrors MachineModel.compute_time term by term (float identity).
+        seconds = (
+            e * model.edge_scan_cost
+            + h * model.hash_lookup_cost
+            + u * model.update_cost
+        )
+        self.clock.advance_many(seconds, kind="compute")
+        if self.faults is not None:
+            extra = seconds * (self.faults.compute_multipliers - 1.0)
+            self.clock.advance_many(extra, kind="fault")
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.nranks):

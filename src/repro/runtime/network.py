@@ -6,11 +6,19 @@ transfer we route through the task mapping onto the physical topology,
 count how many transfers cross each directed link, and slow each transfer
 down by the maximum load along its path — a first-order store-and-share
 contention model for the BlueGene/L torus.
+
+The analysis is fully vectorised: each (src, dst) pair's route is interned
+once as an array of small integer *link ids* (at most ``6 * num_nodes``
+directed links exist, so ids stay dense), a round's link loads come from a
+single ``bincount`` over every link the round crosses, and whole transfer
+*patterns* — the (src, dst) sequence of a round, which recurs every BFS
+level for a given collective — are memoised with their per-transfer hop
+counts and contention factors.  Only the byte counts change level to
+level, so a repeated pattern costs one fused array expression.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,12 +45,27 @@ class Transfer:
 class Network:
     """Charges simulated time for rounds of transfers over a mapped topology."""
 
-    __slots__ = ("mapping", "model", "_route_cache")
+    __slots__ = ("mapping", "model", "_route_cache", "_link_ids",
+                 "_route_id_cache", "_pattern_cache",
+                 "_pair_keys", "_pair_starts", "_pair_lens", "_pair_links")
 
     def __init__(self, mapping: TaskMapping, model: MachineModel) -> None:
         self.mapping = mapping
         self.model = model
+        #: lazy tuple-list routes, kept for inspection/debugging callers only
         self._route_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        #: directed physical link -> dense id, interned on first traversal
+        self._link_ids: dict[tuple[int, int], int] = {}
+        #: (src, dst) -> int-encoded link-id route array
+        self._route_id_cache: dict[tuple[int, int], np.ndarray] = {}
+        #: (src-seq, dst-seq) -> (hops, contention) per-transfer arrays
+        self._pattern_cache: dict[tuple[bytes, bytes], tuple[np.ndarray, np.ndarray]] = {}
+        #: interned (src * P + dst) pair table: sorted keys with parallel
+        #: CSR (start, length) views into one concatenated link-id array
+        self._pair_keys = np.empty(0, dtype=np.int64)
+        self._pair_starts = np.empty(0, dtype=np.int64)
+        self._pair_lens = np.empty(0, dtype=np.int64)
+        self._pair_links = np.empty(0, dtype=np.int64)
 
     def hops(self, src: int, dst: int) -> int:
         """Physical hop distance between logical ranks."""
@@ -71,41 +94,175 @@ class Network:
         """Like :meth:`round_times`, plus each transfer's own seconds.
 
         The third element is parallel to ``transfers`` (self-sends get
-        0.0) — the communicator uses it to price retransmissions of a
-        specific transfer without re-running contention analysis.
+        0.0) — callers use it to price retransmissions of a specific
+        transfer without re-running contention analysis.
+        """
+        if multipliers is not None and len(multipliers) != len(transfers):
+            raise ValueError("multipliers must be parallel to transfers")
+        count = len(transfers)
+        src = np.fromiter((t.src for t in transfers), dtype=np.int64, count=count)
+        dst = np.fromiter((t.dst for t in transfers), dtype=np.int64, count=count)
+        bpv = self.model.bytes_per_vertex
+        nbytes = np.fromiter(
+            (
+                t.num_vertices * bpv if t.nbytes is None else t.nbytes
+                for t in transfers
+            ),
+            dtype=np.int64,
+            count=count,
+        )
+        mult = None if multipliers is None else np.asarray(multipliers, dtype=np.float64)
+        send_time, recv_time, per_transfer = self.round_times_arrays(
+            src, dst, nbytes, mult
+        )
+        return send_time, recv_time, per_transfer.tolist()
+
+    def round_times_arrays(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        nbytes: np.ndarray,
+        multipliers: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array-native round analysis: per-rank times + per-transfer seconds.
+
+        ``src``/``dst``/``nbytes`` are parallel arrays (``nbytes`` is the
+        on-wire byte count of each transfer); ``multipliers``, when given,
+        is parallel too.  Self-sends (``src == dst``) cost 0.0.
         """
         nranks = self.mapping.grid.size
         send_time = np.zeros(nranks, dtype=np.float64)
         recv_time = np.zeros(nranks, dtype=np.float64)
-        per_transfer = [0.0] * len(transfers)
-        if multipliers is not None and len(multipliers) != len(transfers):
-            raise ValueError("multipliers must be parallel to transfers")
-        wire = [(i, t) for i, t in enumerate(transfers) if t.src != t.dst]
-        if not wire:
+        per_transfer = np.zeros(src.shape[0], dtype=np.float64)
+        wire_mask = src != dst
+        if not wire_mask.any():
             return send_time, recv_time, per_transfer
+        if wire_mask.all():
+            wsrc, wdst, wbytes = src, dst, nbytes
+            wmult = multipliers
+        else:
+            wsrc, wdst, wbytes = src[wire_mask], dst[wire_mask], nbytes[wire_mask]
+            wmult = None if multipliers is None else multipliers[wire_mask]
 
-        link_load: Counter[tuple[int, int]] = Counter()
-        routes: list[list[tuple[int, int]]] = []
-        for _, t in wire:
-            route = self._route(t.src, t.dst)
-            routes.append(route)
-            link_load.update(route)
-
-        for (i, t), route in zip(wire, routes):
-            contention = max((link_load[link] for link in route), default=1)
-            nbytes = (
-                t.num_vertices * self.model.bytes_per_vertex
-                if t.nbytes is None
-                else t.nbytes
-            )
-            seconds = self.model.message_time_bytes(nbytes, hops=len(route),
-                                                    contention=float(contention))
-            if multipliers is not None:
-                seconds *= multipliers[i]
-            per_transfer[i] = seconds
-            send_time[t.src] += seconds
-            recv_time[t.dst] += seconds
+        hops, contention = self._pattern(
+            np.ascontiguousarray(wsrc, dtype=np.int64),
+            np.ascontiguousarray(wdst, dtype=np.int64),
+        )
+        model = self.model
+        # Mirrors MachineModel.message_time_bytes term by term so the
+        # vectorised floats match the scalar path bit for bit.
+        seconds = (
+            model.alpha
+            + hops * model.per_hop
+            + contention * wbytes.astype(np.float64) / model.bandwidth
+        )
+        if wmult is not None:
+            seconds = seconds * wmult
+        per_transfer[wire_mask] = seconds
+        np.add.at(send_time, wsrc, seconds)
+        np.add.at(recv_time, wdst, seconds)
         return send_time, recv_time, per_transfer
+
+    # ------------------------------------------------------------------ #
+    # pattern analysis
+    # ------------------------------------------------------------------ #
+    def _pattern(
+        self, wsrc: np.ndarray, wdst: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-transfer (hops, contention) for one round's wire transfers.
+
+        Contention depends only on the round's (src, dst) multiset, not on
+        message sizes, so the result is memoised on the pair sequence.
+        """
+        key = (wsrc.tobytes(), wdst.tobytes())
+        cached = self._pattern_cache.get(key)
+        if cached is not None:
+            return cached
+        # Resolve every pair against the interned pair table (one
+        # searchsorted), routing only pairs seen for the first time.
+        nranks = self.mapping.grid.size
+        pair_keys = wsrc * nranks + wdst
+        idx = np.searchsorted(self._pair_keys, pair_keys)
+        idx_c = np.minimum(idx, max(self._pair_keys.size - 1, 0))
+        known = (
+            self._pair_keys[idx_c] == pair_keys
+            if self._pair_keys.size
+            else np.zeros(pair_keys.shape, dtype=bool)
+        )
+        if not known.all():
+            self._intern_pairs(np.unique(pair_keys[~known]))
+            idx = np.searchsorted(self._pair_keys, pair_keys)
+        starts = self._pair_starts[idx]
+        lengths = self._pair_lens[idx]
+        total = int(lengths.sum())
+        if total:
+            out_offsets = np.concatenate(([0], np.cumsum(lengths)))
+            gather = np.arange(total, dtype=np.int64)
+            gather += np.repeat(starts - out_offsets[:-1], lengths)
+            all_links = self._pair_links[gather]
+        else:
+            all_links = np.empty(0, dtype=np.int64)
+        loads = np.bincount(all_links, minlength=len(self._link_ids))
+        contention = np.ones(lengths.size, dtype=np.float64)
+        nonempty = lengths > 0
+        if nonempty.all() and all_links.size:
+            row_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+            contention = np.maximum.reduceat(
+                loads[all_links], row_starts
+            ).astype(np.float64)
+        elif all_links.size:
+            # Degenerate: some route is empty (ranks sharing a node).
+            offset = 0
+            for i, length in enumerate(lengths):
+                if length:
+                    contention[i] = float(
+                        loads[all_links[offset : offset + length]].max()
+                    )
+                    offset += length
+        cached = (lengths.astype(np.float64), contention)
+        self._pattern_cache[key] = cached
+        return cached
+
+    def _intern_pairs(self, new_keys: np.ndarray) -> None:
+        """Route ``new_keys`` (sorted unique ``src * P + dst``, none interned
+        yet) and rebuild the key-sorted pair table once."""
+        nranks = self.mapping.grid.size
+        routes = [
+            self._route_ids(int(k // nranks), int(k % nranks)) for k in new_keys
+        ]
+        new_lens = np.fromiter(
+            (r.size for r in routes), dtype=np.int64, count=len(routes)
+        )
+        new_starts = self._pair_links.size + np.concatenate(
+            ([0], np.cumsum(new_lens)[:-1])
+        )
+        keys = np.concatenate((self._pair_keys, new_keys))
+        starts = np.concatenate((self._pair_starts, new_starts))
+        lens = np.concatenate((self._pair_lens, new_lens))
+        order = np.argsort(keys, kind="stable")
+        self._pair_keys = keys[order]
+        self._pair_starts = starts[order]
+        self._pair_lens = lens[order]
+        self._pair_links = np.concatenate([self._pair_links, *routes])
+
+    def _route_ids(self, src: int, dst: int) -> np.ndarray:
+        """Int-encoded link-id route of one (src, dst) pair (cached)."""
+        key = (src, dst)
+        cached = self._route_id_cache.get(key)
+        if cached is None:
+            route = self.mapping.torus.route(
+                self.mapping.node_of(src), self.mapping.node_of(dst)
+            )
+            link_ids = self._link_ids
+            cached = np.empty(len(route), dtype=np.int64)
+            for k, link in enumerate(route):
+                lid = link_ids.get(link)
+                if lid is None:
+                    lid = len(link_ids)
+                    link_ids[link] = lid
+                cached[k] = lid
+            self._route_id_cache[key] = cached
+        return cached
 
     def _route(self, src: int, dst: int) -> list[tuple[int, int]]:
         key = (src, dst)

@@ -153,6 +153,28 @@ class CommStats:
             self._current.encoded_bytes += encoded
             self._current.processed += int(num_vertices)
 
+    def record_message_bulk(
+        self,
+        count: int,
+        num_vertices: int,
+        nbytes: int,
+        encoded_nbytes: int,
+    ) -> None:
+        """Record ``count`` wire messages' totals in one call.
+
+        Integer-sum equivalent of ``count`` :meth:`record_message` calls
+        (the communicator's batched accounting path).
+        """
+        self.total_messages += int(count)
+        self.total_bytes += int(nbytes)
+        self.total_encoded_bytes += int(encoded_nbytes)
+        self.total_processed += int(num_vertices)
+        if self._current is not None:
+            self._current.messages += int(count)
+            self._current.raw_bytes += int(nbytes)
+            self._current.encoded_bytes += int(encoded_nbytes)
+            self._current.processed += int(num_vertices)
+
     def record_delivery(self, dst: int, num_vertices: int, phase: str) -> None:
         """Record vertices arriving at their final consumer (called by collectives)."""
         per_rank = self.recv_by_rank.setdefault(phase, np.zeros(self.nranks, dtype=np.int64))
@@ -162,6 +184,19 @@ class CommStats:
                 self._current.expand_received += int(num_vertices)
             elif phase == "fold":
                 self._current.fold_received += int(num_vertices)
+
+    def record_delivery_bulk(
+        self, dsts: np.ndarray, counts: np.ndarray, phase: str
+    ) -> None:
+        """Record many final-consumer arrivals at once (batched collectives)."""
+        per_rank = self.recv_by_rank.setdefault(phase, np.zeros(self.nranks, dtype=np.int64))
+        np.add.at(per_rank, dsts, counts)
+        if self._current is not None:
+            total = int(np.sum(counts))
+            if phase == "expand":
+                self._current.expand_received += total
+            elif phase == "fold":
+                self._current.fold_received += total
 
     def record_fault(self, drops: int, retries: int) -> None:
         """Record one chunk's injected drops and retransmissions."""

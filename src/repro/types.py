@@ -136,8 +136,11 @@ class SystemSpec:
     #: frontier compression codec on the wire (``repro.wire``): ``"raw"``,
     #: ``"delta-varint"``, ``"bitmap"``, ``"adaptive"``, or a ``WireCodec``
     wire: str | Any = "raw"
-    #: optional fault-injection workload (``repro.faults``)
-    faults: FaultSpec | None = None
+    #: optional fault-injection workload (``repro.faults``): a
+    #: :class:`FaultSpec`, a preset name (``"none"``, ``"mild"``,
+    #: ``"harsh"``), or a ``key=value,...`` string for
+    #: :meth:`FaultSpec.parse`
+    faults: FaultSpec | str | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.machine, str) and self.machine not in _KNOWN_MACHINES:
@@ -166,9 +169,14 @@ class SystemSpec:
                 f"wire must be a codec name or a WireCodec, "
                 f"got {type(self.wire).__name__}"
             )
-        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+        if isinstance(self.faults, str):
+            # preset name ("none", "mild", "harsh") or a key=value,...
+            # string; frozen dataclass, so assign via object.__setattr__
+            object.__setattr__(self, "faults", FaultSpec.parse(self.faults))
+        elif self.faults is not None and not isinstance(self.faults, FaultSpec):
             raise ConfigurationError(
-                f"faults must be a FaultSpec or None, got {type(self.faults).__name__}"
+                f"faults must be a FaultSpec, a preset name, or None, "
+                f"got {type(self.faults).__name__}"
             )
 
 
@@ -192,7 +200,7 @@ def resolve_system(
     mapping: str | Any | None = None,
     layout: str | None = None,
     wire: str | Any | None = None,
-    faults: FaultSpec | None = None,
+    faults: FaultSpec | str | None = None,
 ) -> SystemSpec:
     """The single shared resolver behind every ``system=`` entry point.
 

@@ -1,0 +1,92 @@
+"""Segmented (per-virtual-rank) NumPy kernels for the batched BFS hot paths.
+
+The simulator advances P virtual ranks in one process, and the scalar
+engines paid one Python iteration — and one small ``np.unique`` — per
+rank per level.  These helpers collapse such loops into single fused
+array operations over *concatenated* per-rank data: values from every
+segment are packed into one array, each element tagged with its segment
+id, and a segment-offset key (``seg * domain + value``) makes one global
+``np.unique`` equivalent to a per-segment unique.  Each segment's result
+is byte-identical to ``np.unique`` over that segment alone (same sorted
+order, same int64 dtype), which is what lets the batched engines keep
+simulated clocks and statistics bit-for-bit equal to the scalar loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import VERTEX_DTYPE
+
+
+def segmented_unique(
+    values: np.ndarray, segs: np.ndarray, nseg: int, domain: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment sorted unique of ``values`` tagged with segment ids.
+
+    ``values`` must be non-negative and < ``domain``; ``segs`` is parallel
+    to ``values`` with entries in ``[0, nseg)``.  Returns ``(flat, bounds,
+    dups)``: segment ``s``'s unique values are ``flat[bounds[s]:bounds[s+1]]``
+    (equal to ``np.unique`` of that segment's values) and ``dups[s]`` is
+    the number of entries the unique eliminated within segment ``s`` — the
+    union-fold's duplicate tally.
+    """
+    if values.size == 0:
+        return (
+            np.empty(0, dtype=VERTEX_DTYPE),
+            np.zeros(nseg + 1, dtype=np.int64),
+            np.zeros(nseg, dtype=np.int64),
+        )
+    keys = segs * domain + values
+    # Sorted-unique via sort + mask: identical output to np.unique, and
+    # much faster here because fold payloads are concatenations of already
+    # sorted runs (timsort exploits them; the hash path cannot).
+    keys.sort(kind="stable")
+    uk = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
+    bounds = np.searchsorted(uk, np.arange(nseg + 1, dtype=np.int64) * domain)
+    out_counts = np.diff(bounds)
+    in_counts = np.bincount(segs, minlength=nseg)
+    seg_of = np.repeat(np.arange(nseg, dtype=np.int64), out_counts)
+    flat = uk - seg_of * domain
+    return flat, bounds, in_counts - out_counts
+
+
+def gather_segments(
+    flat: np.ndarray, bounds: np.ndarray, select: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather one source segment per output segment from a CSR-packed array.
+
+    ``select[s]`` names the segment of ``(flat, bounds)`` whose values
+    become output segment ``s``.  Returns ``(values, segs, sizes)`` where
+    ``segs`` tags each gathered value with its output segment id.
+    """
+    starts = bounds[select]
+    sizes = bounds[select + 1] - starts
+    total = int(sizes.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=flat.dtype),
+            np.empty(0, dtype=np.int64),
+            sizes,
+        )
+    out_offsets = np.concatenate(([0], np.cumsum(sizes)))
+    idx = np.arange(total, dtype=np.int64)
+    idx += np.repeat(starts - out_offsets[:-1], sizes)
+    segs = np.repeat(np.arange(select.size, dtype=np.int64), sizes)
+    return flat[idx], segs, sizes
+
+
+def pack_segments(
+    parts: list[tuple[int, np.ndarray]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``(segment id, array)`` parts into parallel arrays.
+
+    Empty arrays are skipped; returns ``(values, segs)`` ready for
+    :func:`segmented_unique`.
+    """
+    arrs = [a for _s, a in parts if a.size]
+    if not arrs:
+        return np.empty(0, dtype=VERTEX_DTYPE), np.empty(0, dtype=np.int64)
+    seg_ids = np.array([s for s, a in parts if a.size], dtype=np.int64)
+    sizes = np.array([a.size for a in arrs], dtype=np.int64)
+    return np.concatenate(arrs), np.repeat(seg_ids, sizes)

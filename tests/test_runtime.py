@@ -54,6 +54,18 @@ class TestSimClock:
         clock.sync([1, 2])
         assert clock.time[1] == 0.0  # untouched by rank 0
 
+    def test_sync_duplicate_ranks(self):
+        # Fancy-index += applies each duplicate's (identical) wait once, so
+        # a rank listed twice behaves exactly like a rank listed once.
+        clock = SimClock(3)
+        clock.advance(1, 4.0)
+        horizon = clock.sync([0, 0, 1])
+        assert horizon == 4.0
+        assert clock.time[0] == 4.0 and clock.time[1] == 4.0
+        assert clock.comm_time[0] == 4.0  # waited once, not twice
+        assert clock.comm_time[1] == 0.0
+        assert clock.time[2] == 0.0  # not in the barrier
+
     def test_advance_many(self):
         clock = SimClock(3)
         clock.advance_many(np.array([1.0, 2.0, 3.0]), "comm")

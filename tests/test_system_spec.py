@@ -49,7 +49,26 @@ class TestSystemSpec:
 
     def test_bad_faults_rejected(self):
         with pytest.raises(ConfigurationError):
-            SystemSpec(faults="harsh")  # type: ignore[arg-type]
+            SystemSpec(faults=3.14)  # type: ignore[arg-type]
+
+    def test_faults_preset_string(self):
+        # Regression: SystemSpec used to reject the documented preset names.
+        from repro.faults import FAULT_PRESETS
+
+        spec = SystemSpec(faults="harsh")
+        assert spec.faults == FAULT_PRESETS["harsh"]
+        assert SystemSpec(faults="none").faults == FAULT_PRESETS["none"]
+        assert SystemSpec(faults="mild").faults == FAULT_PRESETS["mild"]
+
+    def test_faults_keyvalue_string(self):
+        spec = SystemSpec(faults="drop=0.05,seed=7")
+        assert isinstance(spec.faults, FaultSpec)
+        assert spec.faults.drop_rate == 0.05
+        assert spec.faults.seed == 7
+
+    def test_unknown_faults_preset_lists_names(self):
+        with pytest.raises(ConfigurationError, match=r"\['none', 'mild', 'harsh'\]"):
+            SystemSpec(faults="extreme")
 
     def test_custom_machine_object_allowed(self):
         model = BLUEGENE_L.with_overrides(alpha=1e-5)
@@ -78,6 +97,12 @@ class TestResolveSystem:
         faults = FaultSpec(drop_rate=0.01)
         assert resolve_system("mcr-2d", faults=faults).faults is faults
 
+    def test_faults_preset_string_merge(self):
+        from repro.faults import FAULT_PRESETS
+
+        spec = resolve_system("bluegene-2d", faults="mild")
+        assert spec.faults == FAULT_PRESETS["mild"]
+
     def test_unknown_preset_rejected(self):
         with pytest.raises(ConfigurationError):
             resolve_system("bluegene-3d")
@@ -103,6 +128,17 @@ class TestEntryPoints:
         assert isinstance(engine, Bfs1DEngine)
         engine = build_engine(small_graph, (2, 2), system="bluegene-2d")
         assert isinstance(engine, Bfs2DEngine)
+
+    def test_distributed_bfs_faults_preset_string(self, small_graph):
+        from repro.faults import FAULT_PRESETS
+
+        by_name = distributed_bfs(small_graph, (2, 2), 0, faults="mild")
+        by_spec = distributed_bfs(
+            small_graph, (2, 2), 0, faults=FAULT_PRESETS["mild"]
+        )
+        assert np.array_equal(by_name.levels, by_spec.levels)
+        assert by_name.elapsed == by_spec.elapsed
+        assert by_name.faults is not None
 
     def test_spec_object_accepted(self, small_graph):
         spec = SystemSpec(machine="mcr", layout="1d")
