@@ -35,6 +35,14 @@ from repro.wire import (
     get_codec,
     resolve_wire,
 )
+from repro.observability import (
+    OBSERVE_PRESETS,
+    MetricsRegistry,
+    ObservabilityData,
+    ObserveSpec,
+    export_artifacts,
+    result_digests,
+)
 from repro.graph import CsrGraph, poisson_random_graph
 from repro.partition import OneDPartition, TwoDPartition
 from repro.machine import BLUEGENE_L, MCR_CLUSTER, MachineModel, Torus3D
@@ -78,6 +86,12 @@ __all__ = [
     "AdaptiveCodec",
     "get_codec",
     "resolve_wire",
+    "ObserveSpec",
+    "OBSERVE_PRESETS",
+    "ObservabilityData",
+    "MetricsRegistry",
+    "export_artifacts",
+    "result_digests",
     "CsrGraph",
     "poisson_random_graph",
     "OneDPartition",

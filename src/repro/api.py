@@ -42,6 +42,7 @@ def build_communicator(
     buffer_capacity: int | None = None,
     wire: str | None = None,
     faults: FaultSpec | str | None = None,
+    observe: str | None = None,
 ) -> Communicator:
     """Create a virtual communicator for ``grid`` on the requested system.
 
@@ -52,10 +53,13 @@ def build_communicator(
     Figure 1 scheme), ``"row-major"`` (naive baseline), or a prebuilt
     :class:`TaskMapping`; ``wire`` to a :mod:`repro.wire` codec name
     (``"raw"``, ``"delta-varint"``, ``"bitmap"``, ``"adaptive"``) or
-    instance.  The MCR machine always uses its flat network.
+    instance; ``observe`` to an observability preset (``"off"``,
+    ``"spans"``, ``"messages"``, ``"full"``).  The MCR machine always
+    uses its flat network.
     """
     spec = resolve_system(
-        system, machine=machine, mapping=mapping, wire=wire, faults=faults
+        system, machine=machine, mapping=mapping, wire=wire, faults=faults,
+        observe=observe,
     )
 
     if isinstance(spec.machine, MachineModel):
@@ -83,7 +87,7 @@ def build_communicator(
     schedule = FaultSchedule(spec.faults, grid.size) if spec.faults is not None else None
     return Communicator(
         task_mapping, model, buffer_capacity=buffer_capacity, faults=schedule,
-        wire=spec.wire,
+        wire=spec.wire, observe=spec.observe,
     )
 
 
@@ -98,6 +102,7 @@ def build_engine(
     layout: str | None = None,
     wire: str | None = None,
     faults: FaultSpec | str | None = None,
+    observe: str | None = None,
     comm: Communicator | None = None,
 ) -> LevelSyncEngine:
     """Partition ``graph`` over ``grid`` and build a ready-to-run engine.
@@ -111,7 +116,7 @@ def build_engine(
         grid = GridShape(*grid)
     spec = resolve_system(
         system, machine=machine, mapping=mapping, layout=layout, wire=wire,
-        faults=faults,
+        faults=faults, observe=observe,
     )
     opts = opts or BfsOptions()
     if comm is None:
@@ -139,12 +144,13 @@ def distributed_bfs(
     layout: str | None = None,
     wire: str | None = None,
     faults: FaultSpec | str | None = None,
+    observe: str | None = None,
     max_levels: int | None = None,
 ) -> BfsResult:
     """One-call distributed BFS: partition, simulate, return the result."""
     engine = build_engine(
         graph, grid, opts=opts, system=system, machine=machine, mapping=mapping,
-        layout=layout, wire=wire, faults=faults,
+        layout=layout, wire=wire, faults=faults, observe=observe,
     )
     return run_bfs(engine, source, target=target, max_levels=max_levels)
 
@@ -162,13 +168,14 @@ def bidirectional_bfs(
     layout: str | None = None,
     wire: str | None = None,
     faults: FaultSpec | str | None = None,
+    observe: str | None = None,
 ) -> BidirectionalResult:
     """One-call bi-directional s-t search (Section 2.3)."""
     if not isinstance(grid, GridShape):
         grid = GridShape(*grid)
     spec = resolve_system(
         system, machine=machine, mapping=mapping, layout=layout, wire=wire,
-        faults=faults,
+        faults=faults, observe=observe,
     )
     opts = opts or BfsOptions()
     comm = build_communicator(grid, system=spec, buffer_capacity=opts.buffer_capacity)

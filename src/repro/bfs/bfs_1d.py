@@ -102,10 +102,12 @@ class Bfs1DEngine(LevelSyncEngine):
     def _expand_level(self) -> list[np.ndarray]:
         nranks = self.comm.nranks
         n = self.n
+        obs = self.comm.obs
         offsets = self.partition.dist.offsets
 
         # Steps 7-10: local discovery — one CSR gather over the concatenated
         # frontiers, one segmented unique, then owner bucketing.
+        discover_span = obs.begin("compute", cat="phase") if obs.enabled else None
         fsizes = np.array([f.size for f in self.frontier], dtype=np.int64)
         frontier_cat = np.concatenate(self.frontier)
         starts = self._cat_indptr[frontier_cat]
@@ -143,11 +145,16 @@ class Bfs1DEngine(LevelSyncEngine):
                 {int(q): neighbors[bounds[q] : bounds[q + 1]] for q in nonempty}
             )
 
+        if discover_span is not None:
+            obs.end(discover_span)
+
         # Steps 8-13: the fold — neighbours travel to their owners.
-        received = self._fold.fold(self.comm, self._group, outboxes, phase="fold")
+        with obs.span("fold", cat="phase"):
+            received = self._fold.fold(self.comm, self._group, outboxes, phase="fold")
 
         # Steps 14-16: label newly reached vertices — one segmented unique
         # plus one fresh-mask pass over the flat level array.
+        label_span = obs.begin("compute", cat="phase") if obs.enabled else None
         parts: list[np.ndarray] = []
         part_segs: list[int] = []
         for r in range(nranks):
@@ -175,4 +182,6 @@ class Bfs1DEngine(LevelSyncEngine):
         fresh_counts = np.bincount(cand_segs[fresh_mask], minlength=nranks)
         self.comm.charge_compute_many(updates=fresh_counts)
         fresh_bounds = np.concatenate(([0], np.cumsum(fresh_counts)))
+        if label_span is not None:
+            obs.end(label_span)
         return [fresh_flat[fresh_bounds[r] : fresh_bounds[r + 1]] for r in range(nranks)]

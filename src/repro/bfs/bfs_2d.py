@@ -169,9 +169,13 @@ class Bfs2DEngine(LevelSyncEngine):
     # one level (Algorithm 2, steps 7-21)
     # ------------------------------------------------------------------ #
     def _expand_level(self) -> list[np.ndarray]:
-        expanded = self._expand_step()
-        neighbor_outboxes = self._discover_step(expanded)
-        return self._fold_step(neighbor_outboxes)
+        obs = self.comm.obs
+        with obs.span("expand", cat="phase"):
+            expanded = self._expand_step()
+        with obs.span("compute", cat="phase"):
+            neighbor_outboxes = self._discover_step(expanded)
+        with obs.span("fold", cat="phase"):
+            return self._fold_step(neighbor_outboxes)
 
     def _expand_step(self) -> list[np.ndarray]:
         """Steps 7-11: share frontiers within processor-columns; return F-bar per rank.

@@ -21,6 +21,7 @@ import numpy as np
 from repro.bfs.level_sync import LevelSyncEngine
 from repro.bfs.result import BidirectionalResult
 from repro.errors import ConfigurationError, SearchError
+from repro.observability.artifacts import collect_observability
 from repro.types import UNREACHED
 
 _INF = float("inf")
@@ -49,6 +50,12 @@ def run_bidirectional_bfs(
         raise SearchError(f"source/target out of range [0, {forward.n})")
 
     comm = forward.comm
+    obs = comm.obs
+    run_span = (
+        obs.begin("bidirectional bfs", cat="run", source=source, target=target)
+        if obs.enabled
+        else None
+    )
     forward.start(source)
     backward.start(target)
 
@@ -73,6 +80,13 @@ def run_bidirectional_bfs(
         if max_levels is not None and forward.level + backward.level >= max_levels:
             break
 
+    if run_span is not None:
+        obs.end(
+            run_span,
+            forward_levels=forward.level,
+            backward_levels=backward.level,
+            path_length=int(best) if best < _INF else None,
+        )
     clock = comm.clock
     return BidirectionalResult(
         source=source,
@@ -85,6 +99,7 @@ def run_bidirectional_bfs(
         compute_time=clock.max_compute_time,
         stats=comm.stats,
         faults=comm.fault_report(),
+        observability=collect_observability(comm),
     )
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.bfs.options import BfsOptions
 from repro.bfs.result import BfsResult
 from repro.errors import FaultError, SearchError
+from repro.observability.artifacts import collect_observability
 from repro.runtime.comm import Communicator
 from repro.types import LEVEL_DTYPE, UNREACHED, VERTEX_DTYPE
 from repro.utils.logging import get_logger
@@ -118,6 +119,12 @@ class LevelSyncEngine(abc.ABC):
             raise SearchError("engine not started; call start(source) first")
         stats = self.comm.stats
         clock = self.comm.clock
+        obs = self.comm.obs
+        level_span = (
+            obs.begin(f"level {self.level}", cat="level", level=self.level)
+            if obs.enabled
+            else None
+        )
         comm_before = clock.max_comm_time
         compute_before = clock.max_compute_time
         fault_before = clock.max_fault_time
@@ -126,6 +133,7 @@ class LevelSyncEngine(abc.ABC):
         if checkpointing is None:
             checkpointing = faults is not None and faults.spec.drop_rate > 0
         attempts_left = faults.spec.max_level_retries if faults is not None else 0
+        rollbacks = 0
         while True:
             snapshot = self._checkpoint() if checkpointing else None
             elapsed_before = clock.elapsed
@@ -146,9 +154,11 @@ class LevelSyncEngine(abc.ABC):
                     f"{faults.spec.max_level_retries} rollbacks"
                 )
             attempts_left -= 1
-            stats.abort_level()
-            self._restore(snapshot)
-            faults.record_rollback(clock.elapsed - elapsed_before)
+            rollbacks += 1
+            with obs.span("fault-recovery", cat="phase", level=self.level):
+                stats.abort_level()
+                self._restore(snapshot)
+                faults.record_rollback(clock.elapsed - elapsed_before)
             logger.debug("level %d rolled back after an unrecovered loss", self.level)
         self.frontier = new_frontiers
         level_stats = stats.end_level(
@@ -157,6 +167,8 @@ class LevelSyncEngine(abc.ABC):
             compute_seconds=clock.max_compute_time - compute_before,
             fault_seconds=clock.max_fault_time - fault_before,
         )
+        if level_span is not None:
+            obs.end(level_span, frontier=total_new, rollbacks=rollbacks)
         logger.debug(
             "level %d: frontier=%d delivered=%d messages=%d",
             self.level,
@@ -218,6 +230,12 @@ def run_bfs(
     """
     if target is not None and not (0 <= target < engine.n):
         raise SearchError(f"target {target} out of range [0, {engine.n})")
+    obs = engine.comm.obs
+    run_span = (
+        obs.begin("bfs", cat="run", source=source, target=target)
+        if obs.enabled
+        else None
+    )
     engine.start(source)
     target_level: int | None = 0 if target == source else None
     while True:
@@ -233,6 +251,8 @@ def run_bfs(
             break
         if max_levels is not None and engine.level >= max_levels:
             break
+    if run_span is not None:
+        obs.end(run_span, levels=engine.level)
     clock = engine.comm.clock
     return BfsResult(
         source=source,
@@ -245,4 +265,5 @@ def run_bfs(
         target=target,
         target_level=target_level,
         faults=engine.comm.fault_report(),
+        observability=collect_observability(engine.comm),
     )

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faults import FaultReport
+from repro.observability.artifacts import ObservabilityData
 from repro.runtime.stats import CommStats
 from repro.types import UNREACHED
 
@@ -31,6 +32,8 @@ class BfsResult:
     target_level: int | None = None
     #: fault-injection summary; None when the fault layer was disabled
     faults: FaultReport | None = None
+    #: spans + message events; None when the run was not observed
+    observability: ObservabilityData | None = None
 
     @property
     def reached(self) -> np.ndarray:
@@ -78,6 +81,8 @@ class BidirectionalResult:
     stats: CommStats
     #: fault-injection summary; None when the fault layer was disabled
     faults: FaultReport | None = None
+    #: spans + message events; None when the run was not observed
+    observability: ObservabilityData | None = None
 
     @property
     def found(self) -> bool:

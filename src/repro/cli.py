@@ -5,6 +5,7 @@ Subcommands::
     repro-bfs generate   --out graph.npz --n 20000 --k 10 [--rmat --scale 14]
     repro-bfs bfs        --graph graph.npz --grid 4x4 --source 0 [--target T]
     repro-bfs bidir      --graph graph.npz --grid 4x4 --source S --target T
+    repro-bfs digest     --n 20000 --k 8 --seed 7 --grid 4x4
     repro-bfs crossover  --n 4e7 --p 400
     repro-bfs figure     --name fig4a|fig4b|fig4c|fig5|fig6|fig7
 
@@ -30,6 +31,7 @@ from repro.faults import FaultSpec
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.harness import figures as figs
 from repro.harness.report import format_series, format_table
+from repro.observability import OBSERVE_PRESETS, export_artifacts, result_digests
 from repro.types import SYSTEM_PRESETS, GraphSpec, GridShape
 from repro.utils.logging import configure_logging
 from repro.utils.rng import RngFactory
@@ -86,6 +88,19 @@ def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--no-sent-cache", action="store_true")
     parser.add_argument("--buffer-capacity", type=int, default=None)
+    parser.add_argument(
+        "--observe", choices=sorted(OBSERVE_PRESETS), default=None,
+        help="observability preset: spans, messages, full, or off (default). "
+             "--trace-out implies 'full' unless set explicitly",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace-event / Perfetto JSON timeline here",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the unified metrics registry here (.json for JSON, else CSV)",
+    )
 
 
 def _options_from(args) -> BfsOptions:
@@ -102,6 +117,21 @@ def _faults_from(args) -> FaultSpec | None:
         return None
     spec = FaultSpec.parse(args.faults)
     return spec if spec.active else None
+
+
+def _observe_from(args) -> str | None:
+    if args.observe is not None:
+        return args.observe
+    # A requested trace needs spans + messages recorded.
+    return "full" if args.trace_out else None
+
+
+def _export_from(args, result) -> None:
+    written = export_artifacts(
+        result, trace_out=args.trace_out, metrics_out=args.metrics_out
+    )
+    for path in written:
+        print(f"wrote {path}")
 
 
 # ---------------------------------------------------------------------- #
@@ -136,7 +166,9 @@ def cmd_bfs(args) -> int:
         layout=args.layout,
         wire=args.wire_codec,
         faults=_faults_from(args),
+        observe=_observe_from(args),
     )
+    _export_from(args, result)
     print(result.summary())
     print(
         f"simulated: total {result.elapsed:.6f}s, comm {result.comm_time:.6f}s, "
@@ -169,11 +201,32 @@ def cmd_bidir(args) -> int:
         graph, args.grid, args.source, args.target,
         opts=_options_from(args), system=args.system, machine=args.machine,
         mapping=args.mapping, layout=args.layout, wire=args.wire_codec,
-        faults=_faults_from(args),
+        faults=_faults_from(args), observe=_observe_from(args),
     )
+    _export_from(args, result)
     print(result.summary())
     if result.faults is not None:
         print(result.faults.summary())
+    return 0
+
+
+def cmd_digest(args) -> int:
+    graph = _load_graph(args)
+    result = distributed_bfs(
+        graph,
+        args.grid,
+        args.source,
+        opts=_options_from(args),
+        system=args.system,
+        machine=args.machine,
+        mapping=args.mapping,
+        layout=args.layout,
+        wire=args.wire_codec,
+        faults=_faults_from(args),
+        observe=args.observe,
+    )
+    for name, digest in sorted(result_digests(result).items()):
+        print(f"{name} {digest}")
     return 0
 
 
@@ -259,6 +312,16 @@ def build_parser() -> argparse.ArgumentParser:
     bid.add_argument("--source", type=int, required=True)
     bid.add_argument("--target", type=int, required=True)
     bid.set_defaults(func=cmd_bidir)
+
+    dig = sub.add_parser(
+        "digest",
+        help="print deterministic sha256 digests of a BFS run "
+             "(levels/stats/clock, plus trace when observed)",
+    )
+    _add_graph_source_args(dig)
+    _add_bfs_option_args(dig)
+    dig.add_argument("--source", type=int, default=0)
+    dig.set_defaults(func=cmd_digest)
 
     cross = sub.add_parser("crossover", help="solve the 1D/2D crossover degree")
     cross.add_argument("--n", type=float, required=True)

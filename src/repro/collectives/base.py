@@ -55,13 +55,25 @@ def _run_lockstep(
         except StopIteration as stop:
             results[i] = stop.value
 
+    obs = comm.obs
+    round_idx = 0
     while pending:
         merged: RoundOutbox = {}
         for i in pending:
             for src, dests in current[i].items():
                 merged.setdefault(src, {}).update(dests)
         participants = sorted({rank for i in pending for rank in members[i]})
+        round_span = (
+            obs.begin(
+                f"round {round_idx}", cat="round", phase=phase, groups=len(pending)
+            )
+            if obs.enabled
+            else None
+        )
         inbox = comm.exchange(merged, phase, participants=participants)
+        if round_span is not None:
+            obs.end(round_span)
+        round_idx += 1
         # Split the inbox per schedule in one pass (not one inbox scan per
         # schedule), preserving delivery order within each sub-inbox.
         sub_inboxes: dict[int, RoundInbox] = {i: {} for i in pending}

@@ -184,11 +184,19 @@ class UnionRingFold(FoldCollective):
         received: list[list[list[np.ndarray]]] = [
             [[] for _ in range(size)] for _ in range(num_groups)
         ]
+        obs = comm.obs
         for round_idx in range(size - 1):
             # Message order matches the lockstep driver's merged outbox:
             # groups in order, members ascending, empty chunks skipped.
             chunk_sizes = np.diff(bounds)
             nonempty = np.flatnonzero(chunk_sizes)
+            round_span = (
+                obs.begin(
+                    f"round {round_idx}", cat="round", phase=phase, groups=num_groups
+                )
+                if obs.enabled
+                else None
+            )
             comm.exchange_arrays(
                 member_rank[nonempty],
                 succ_rank[nonempty],
@@ -198,6 +206,8 @@ class UnionRingFold(FoldCollective):
                 phase,
                 participants=participants,
             )
+            if round_span is not None:
+                obs.end(round_span)
             final = round_idx == size - 2
             if final:
                 stats.record_delivery_bulk(member_rank, chunk_sizes[pred_seg], phase)
@@ -206,7 +216,10 @@ class UnionRingFold(FoldCollective):
             own_vals, own_segs, _ = gather_segments(
                 cflat, cbounds, seg_ids * size + d_vec
             )
+            union_span = obs.begin("union", cat="phase") if obs.enabled else None
             flat, bounds = batched_union([in_vals, own_vals], [in_segs, own_segs])
+            if union_span is not None:
+                obs.end(union_span)
             if final:
                 for i in range(num_groups):
                     base = i * size

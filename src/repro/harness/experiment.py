@@ -38,6 +38,7 @@ class ExperimentConfig:
     mapping: str | None = "planar"
     wire: str | None = None
     faults: FaultSpec | None = None
+    observe: str | None = None
     source: int | None = None
     target: int | None = None
     #: pick this many random (source, target) pairs and average
@@ -124,6 +125,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             system=config.system,
             wire=config.wire,
             faults=config.faults,
+            observe=config.observe,
             **axes,
         )
         runs.append(run_bfs(engine, source, target=target, max_levels=config.max_levels))

@@ -27,6 +27,7 @@ def results_to_rows(results: list[ExperimentResult]) -> list[dict[str, object]]:
                 "fold": config.opts.fold_collective,
                 "machine": config.machine,
                 "wire": config.wire or "raw",
+                "observe": config.observe or "off",
                 "searches": len(result.runs),
                 "mean_time_s": result.mean_time,
                 "mean_comm_s": result.mean_comm_time,

@@ -1,0 +1,66 @@
+"""repro.observability — spans, Perfetto export, metrics, digests.
+
+The unified observability layer over the simulated runtime (see
+``docs/OBSERVABILITY.md``):
+
+* :mod:`~repro.observability.spans` — hierarchical span timelines
+  (run → level → phase → collective round → exchange), stamped with the
+  simulated clock and the host wall clock, recorded near-zero-cost via a
+  no-op recorder when disabled;
+* :mod:`~repro.observability.perfetto` — Chrome trace-event / Perfetto
+  JSON export rendering spans and per-message events on one timeline;
+* :mod:`~repro.observability.metrics` — a registry flattening
+  CommStats / LevelStats / fault / codec counters into named samples with
+  labels, exported as CSV or JSON;
+* :mod:`~repro.observability.digest` — deterministic digests of run
+  outputs (the cross-version determinism contract CI enforces);
+* :mod:`~repro.observability.artifacts` — the per-run bundle attached to
+  ``BfsResult.observability`` plus the shared artifact writer.
+"""
+
+from repro.observability.artifacts import (
+    ObservabilityData,
+    collect_observability,
+    export_artifacts,
+)
+from repro.observability.digest import (
+    levels_digest,
+    result_digests,
+    stats_digest,
+    trace_digest,
+)
+from repro.observability.metrics import MetricSample, MetricsRegistry
+from repro.observability.perfetto import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.observability.spans import (
+    NULL_RECORDER,
+    OBSERVE_PRESETS,
+    NullRecorder,
+    ObserveSpec,
+    Span,
+    SpanRecorder,
+)
+
+__all__ = [
+    "ObserveSpec",
+    "OBSERVE_PRESETS",
+    "Span",
+    "SpanRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MetricSample",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "ObservabilityData",
+    "collect_observability",
+    "export_artifacts",
+    "levels_digest",
+    "stats_digest",
+    "trace_digest",
+    "result_digests",
+]

@@ -1,0 +1,108 @@
+"""Deterministic digests of run outputs — the cross-version CI contract.
+
+The simulator guarantees bit-identical simulated clocks, level arrays, and
+message traces for a given (graph, system, source) across platforms and
+Python versions.  These helpers reduce a run to short hex digests so CI
+can run the reference workload under Python 3.10 and 3.12 and fail if any
+of them differ.
+
+Floats are hashed through ``float.hex()`` (exact, locale-free); NumPy
+arrays through their C-contiguous little-endian bytes.  Host wall-clock
+values are deliberately excluded everywhere — only simulated quantities
+take part.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bfs.result import BfsResult
+    from repro.runtime.stats import CommStats
+    from repro.runtime.trace import MessageEvent
+
+
+def _hasher() -> "hashlib._Hash":
+    return hashlib.sha256()
+
+
+def _feed_array(h, arr: np.ndarray) -> None:
+    arr = np.ascontiguousarray(arr)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        arr = arr.astype(arr.dtype.newbyteorder("<"))
+    h.update(arr.dtype.str.encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+
+
+def _feed_float(h, value: float) -> None:
+    h.update(float(value).hex().encode())
+
+
+def levels_digest(levels: np.ndarray) -> str:
+    """Digest of an assembled level array."""
+    h = _hasher()
+    _feed_array(h, np.asarray(levels))
+    return h.hexdigest()
+
+
+def stats_digest(stats: "CommStats") -> str:
+    """Digest of the run's counters and per-level simulated-time series."""
+    h = _hasher()
+    for total in (
+        stats.total_messages, stats.total_bytes, stats.total_encoded_bytes,
+        stats.total_processed, stats.total_drops, stats.total_retries,
+        stats.total_rollbacks,
+    ):
+        h.update(str(int(total)).encode())
+    for s in stats.levels:
+        h.update(
+            f"{s.level},{s.expand_received},{s.fold_received},{s.processed},"
+            f"{s.duplicates_eliminated},{s.messages},{s.raw_bytes},"
+            f"{s.encoded_bytes},{s.frontier_size},{s.drops},{s.retries}".encode()
+        )
+        _feed_float(h, s.comm_seconds)
+        _feed_float(h, s.compute_seconds)
+        _feed_float(h, s.fault_seconds)
+    return h.hexdigest()
+
+
+def trace_digest(events: Iterable["MessageEvent"]) -> str:
+    """Digest of a message trace (simulated timestamps, no wall clock)."""
+    h = _hasher()
+    for e in events:
+        _feed_float(h, e.time)
+        h.update(
+            f"{e.src},{e.dst},{e.num_vertices},{e.raw_bytes},"
+            f"{e.encoded_bytes},{e.phase}".encode()
+        )
+    return h.hexdigest()
+
+
+def result_digests(result: "BfsResult") -> dict[str, str]:
+    """All component digests of one run, plus their combination.
+
+    Keys: ``levels``, ``stats``, ``trace`` (only when the run captured
+    message events), ``clock`` (elapsed/comm/compute/fault seconds), and
+    ``combined`` (a digest over the other digests, in key order).
+    """
+    digests: dict[str, str] = {
+        "levels": levels_digest(result.levels),
+        "stats": stats_digest(result.stats),
+    }
+    h = _hasher()
+    for value in (result.elapsed, result.comm_time, result.compute_time):
+        _feed_float(h, value)
+    digests["clock"] = h.hexdigest()
+    obs = getattr(result, "observability", None)
+    if obs is not None and obs.messages:
+        digests["trace"] = trace_digest(obs.messages)
+    combined = _hasher()
+    for key in sorted(digests):
+        combined.update(f"{key}:{digests[key]}".encode())
+    digests["combined"] = combined.hexdigest()
+    return digests

@@ -1,0 +1,203 @@
+"""Unified metrics registry over the runtime's counters.
+
+:class:`CommStats`/:class:`LevelStats`, the fault report, and the wire
+codec counters each grew up as their own ad-hoc objects.  The registry
+flattens all of them into one schema — named samples with string labels,
+Prometheus-style — so external tooling gets a single CSV/JSON surface
+instead of four bespoke ones:
+
+========================  =============================  =================
+name                      labels                         source
+========================  =============================  =================
+bfs_messages_total        —                              CommStats
+bfs_vertices_processed    —                              CommStats
+bfs_bytes_total           kind=raw|encoded               CommStats / codec
+bfs_compression_ratio     —                              codec counters
+bfs_drops_total           —                              fault layer
+bfs_retries_total         —                              fault layer
+bfs_rollbacks_total       —                              fault layer
+bfs_seconds_total         bucket=total|comm|compute|...  SimClock
+bfs_levels_total          —                              CommStats
+bfs_level_delivered       level, phase=expand|fold       LevelStats
+bfs_level_bytes           level, kind=raw|encoded        LevelStats
+bfs_level_seconds         level, bucket=comm|compute|..  LevelStats
+bfs_level_frontier        level                          LevelStats
+bfs_level_duplicates      level                          LevelStats
+bfs_level_messages        level                          LevelStats
+========================  =============================  =================
+
+The CSV and JSON exports carry identical content (one row/object per
+sample; labels serialised as sorted ``k=v`` pairs in CSV), and
+:meth:`MetricsRegistry.from_rows` parses either back, so round-trips are
+loss-free — a property the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.stats import CommStats
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSample:
+    """One named measurement with string labels."""
+
+    name: str
+    value: float
+    labels: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+    def label_string(self) -> str:
+        """Sorted ``k=v;k2=v2`` form (the CSV cell encoding)."""
+        return ";".join(f"{k}={v}" for k, v in sorted(self.labels))
+
+
+def _labels(**kwargs) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in kwargs.items()))
+
+
+class MetricsRegistry:
+    """An append-only collection of :class:`MetricSample` values."""
+
+    def __init__(self) -> None:
+        self.samples: list[MetricSample] = []
+
+    def record(self, name: str, value: float, **labels) -> MetricSample:
+        """Append one sample; labels are coerced to sorted string pairs."""
+        sample = MetricSample(str(name), float(value), _labels(**labels))
+        self.samples.append(sample)
+        return sample
+
+    def value(self, name: str, **labels) -> float:
+        """Sum of every sample matching ``name`` and the given labels."""
+        want = dict(_labels(**labels))
+        return sum(
+            s.value
+            for s in self.samples
+            if s.name == name and all(s.labels_dict.get(k) == v for k, v in want.items())
+        )
+
+    def names(self) -> list[str]:
+        """Distinct sample names, sorted."""
+        return sorted({s.name for s in self.samples})
+
+    # ------------------------------------------------------------------ #
+    # construction from the runtime's counters
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_stats(
+        cls,
+        stats: "CommStats",
+        *,
+        clock=None,
+        faults=None,
+    ) -> "MetricsRegistry":
+        """Flatten a run's counters into the unified schema.
+
+        ``clock`` (a :class:`~repro.runtime.clock.SimClock`) adds the
+        simulated-seconds buckets; ``faults`` (a
+        :class:`~repro.faults.FaultReport`) adds the fault layer's view.
+        """
+        reg = cls()
+        reg.record("bfs_messages_total", stats.total_messages)
+        reg.record("bfs_vertices_processed", stats.total_processed)
+        reg.record("bfs_bytes_total", stats.total_bytes, kind="raw")
+        reg.record("bfs_bytes_total", stats.total_encoded_bytes, kind="encoded")
+        reg.record("bfs_compression_ratio", stats.compression_ratio)
+        reg.record("bfs_drops_total", stats.total_drops)
+        reg.record("bfs_retries_total", stats.total_retries)
+        reg.record("bfs_rollbacks_total", stats.total_rollbacks)
+        reg.record("bfs_levels_total", len(stats.levels))
+        if clock is not None:
+            reg.record("bfs_seconds_total", clock.elapsed, bucket="total")
+            reg.record("bfs_seconds_total", clock.max_comm_time, bucket="comm")
+            reg.record("bfs_seconds_total", clock.max_compute_time, bucket="compute")
+            reg.record("bfs_seconds_total", clock.max_fault_time, bucket="fault")
+        for s in stats.levels:
+            lvl = s.level
+            reg.record("bfs_level_delivered", s.expand_received, level=lvl, phase="expand")
+            reg.record("bfs_level_delivered", s.fold_received, level=lvl, phase="fold")
+            reg.record("bfs_level_bytes", s.raw_bytes, level=lvl, kind="raw")
+            reg.record("bfs_level_bytes", s.encoded_bytes, level=lvl, kind="encoded")
+            reg.record("bfs_level_seconds", s.comm_seconds, level=lvl, bucket="comm")
+            reg.record("bfs_level_seconds", s.compute_seconds, level=lvl, bucket="compute")
+            reg.record("bfs_level_seconds", s.fault_seconds, level=lvl, bucket="fault")
+            reg.record("bfs_level_frontier", s.frontier_size, level=lvl)
+            reg.record("bfs_level_duplicates", s.duplicates_eliminated, level=lvl)
+            reg.record("bfs_level_messages", s.messages, level=lvl)
+        if faults is not None:
+            reg.record("bfs_fault_injected_total", faults.injected)
+            reg.record("bfs_fault_retries_total", faults.retries)
+            reg.record("bfs_fault_recovered_total", faults.recovered)
+            reg.record("bfs_fault_unrecovered_total", faults.unrecovered)
+            reg.record("bfs_fault_rollbacks_total", faults.rollbacks)
+            reg.record("bfs_fault_seconds_total", faults.added_seconds)
+        return reg
+
+    @classmethod
+    def from_result(cls, result) -> "MetricsRegistry":
+        """Registry for one :class:`~repro.bfs.result.BfsResult`-like object."""
+        reg = cls.from_stats(result.stats, faults=getattr(result, "faults", None))
+        reg.record("bfs_seconds_total", result.elapsed, bucket="total")
+        reg.record("bfs_seconds_total", result.comm_time, bucket="comm")
+        reg.record("bfs_seconds_total", result.compute_time, bucket="compute")
+        return reg
+
+    # ------------------------------------------------------------------ #
+    # export / import
+    # ------------------------------------------------------------------ #
+    def rows(self) -> list[dict[str, object]]:
+        """One plain dict per sample (the JSON export shape)."""
+        return [
+            {"name": s.name, "value": s.value, "labels": s.labels_dict}
+            for s in self.samples
+        ]
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write ``name,value,labels`` rows (labels as sorted ``k=v;...``)."""
+        path = Path(path)
+        with path.open("w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["name", "value", "labels"])
+            for s in self.samples:
+                writer.writerow([s.name, repr(s.value), s.label_string()])
+
+    def to_json(self, path: str | Path) -> None:
+        """Write the samples as a JSON array of objects."""
+        Path(path).write_text(json.dumps(self.rows(), indent=1), encoding="utf-8")
+
+    @classmethod
+    def from_rows(cls, rows: list[dict]) -> "MetricsRegistry":
+        """Rebuild a registry from parsed JSON rows (inverse of :meth:`rows`)."""
+        reg = cls()
+        for row in rows:
+            reg.record(row["name"], float(row["value"]), **row.get("labels", {}))
+        return reg
+
+    @classmethod
+    def read_csv(cls, path: str | Path) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_csv` file."""
+        reg = cls()
+        with Path(path).open(newline="", encoding="utf-8") as fh:
+            for row in csv.DictReader(fh):
+                labels = {}
+                if row["labels"]:
+                    for pair in row["labels"].split(";"):
+                        key, _, val = pair.partition("=")
+                        labels[key] = val
+                reg.record(row["name"], float(row["value"]), **labels)
+        return reg
+
+    @classmethod
+    def read_json(cls, path: str | Path) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_json` file."""
+        return cls.from_rows(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,219 @@
+"""Chrome trace-event / Perfetto JSON export of spans and message events.
+
+Produces one JSON object in the Chrome trace-event format (the
+``traceEvents`` array documented in the Trace Event Format spec, which
+Perfetto and ``chrome://tracing`` both load):
+
+* every :class:`~repro.observability.spans.Span` becomes one complete
+  (``"ph": "X"``) slice on the driver track, nested by begin/end times —
+  the run → level → phase → round → exchange hierarchy reads directly off
+  the timeline;
+* every :class:`~repro.runtime.trace.MessageEvent` becomes an instant
+  event on its sender's per-rank track plus a flow-event pair
+  (``"s"``/``"f"``) arrowing from the source rank's track to the
+  destination rank's track — one track per virtual rank, as the paper's
+  per-processor timers would show it.
+
+Timestamps are the **simulated** clock in microseconds (the trace renders
+the virtual machine's time, not the simulator's); each span's host
+wall-clock duration rides along in ``args.wall_us``.
+
+:func:`validate_chrome_trace` checks a document against the schema rules
+the viewers actually enforce (required keys per event phase); the test
+suite runs it over the reference workload's export.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.spans import Span
+    from repro.runtime.trace import MessageEvent
+
+#: process ids of the two track groups in the exported trace
+DRIVER_PID = 0
+RANKS_PID = 1
+
+_US = 1e6  # seconds -> microseconds (trace-event timestamps are in us)
+
+
+def _span_events(spans: Iterable["Span"]) -> list[dict]:
+    events: list[dict] = []
+    for span in spans:
+        args = {str(k): v for k, v in span.args.items()}
+        args["wall_us"] = round(span.wall_duration * _US, 3)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.sim_begin * _US,
+                "dur": max(span.sim_duration, 0.0) * _US,
+                "pid": DRIVER_PID,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return events
+
+
+def _message_events(messages: Iterable["MessageEvent"]) -> list[dict]:
+    events: list[dict] = []
+    for idx, event in enumerate(messages):
+        ts = event.time * _US
+        args = {
+            "vertices": event.num_vertices,
+            "raw_bytes": event.raw_bytes,
+            "encoded_bytes": event.encoded_bytes,
+            "dst": event.dst,
+        }
+        events.append(
+            {
+                "name": f"send {event.phase}",
+                "cat": "message",
+                "ph": "i",
+                "s": "t",
+                "ts": ts,
+                "pid": RANKS_PID,
+                "tid": event.src,
+                "args": args,
+            }
+        )
+        if event.src != event.dst:  # self-sends are local hand-offs, no arrow
+            flow = {"name": event.phase, "cat": "message", "id": idx, "ts": ts}
+            events.append(
+                {**flow, "ph": "s", "pid": RANKS_PID, "tid": event.src}
+            )
+            events.append(
+                {**flow, "ph": "f", "bp": "e", "pid": RANKS_PID, "tid": event.dst}
+            )
+    return events
+
+
+def _metadata_events(nranks: int, have_spans: bool, have_messages: bool) -> list[dict]:
+    events: list[dict] = []
+    if have_spans:
+        events.append(
+            {
+                "name": "process_name", "ph": "M", "pid": DRIVER_PID, "tid": 0,
+                "args": {"name": "driver (spans)"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name", "ph": "M", "pid": DRIVER_PID, "tid": 0,
+                "args": {"name": "timeline"},
+            }
+        )
+    if have_messages:
+        events.append(
+            {
+                "name": "process_name", "ph": "M", "pid": RANKS_PID, "tid": 0,
+                "args": {"name": "virtual ranks (messages)"},
+            }
+        )
+        for rank in range(nranks):
+            events.append(
+                {
+                    "name": "thread_name", "ph": "M", "pid": RANKS_PID, "tid": rank,
+                    "args": {"name": f"rank {rank}"},
+                }
+            )
+    return events
+
+
+def to_chrome_trace(
+    spans: Iterable["Span"] = (),
+    messages: Iterable["MessageEvent"] = (),
+    *,
+    nranks: int | None = None,
+) -> dict:
+    """Build the Chrome trace-event document (a plain JSON-able dict).
+
+    ``nranks`` names that many per-rank tracks up front; when omitted,
+    only ranks that actually sent or received a message get a track name.
+    """
+    spans = list(spans)
+    messages = list(messages)
+    if nranks is None:
+        touched = {e.src for e in messages} | {e.dst for e in messages}
+        nranks = max(touched) + 1 if touched else 0
+    events = _metadata_events(nranks, bool(spans), bool(messages))
+    events += _span_events(spans)
+    events += _message_events(messages)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Iterable["Span"] = (),
+    messages: Iterable["MessageEvent"] = (),
+    *,
+    nranks: int | None = None,
+) -> dict:
+    """Export to ``path`` (open it at https://ui.perfetto.dev); returns the doc."""
+    doc = to_chrome_trace(spans, messages, nranks=nranks)
+    Path(path).write_text(json.dumps(doc, indent=0), encoding="utf-8")
+    return doc
+
+
+# ---------------------------------------------------------------------- #
+# schema validation
+# ---------------------------------------------------------------------- #
+#: keys every trace event must carry, per the trace-event format spec
+_COMMON_REQUIRED = ("name", "ph", "pid", "tid")
+#: extra required keys per event phase (the phases this exporter emits)
+_PHASE_REQUIRED: dict[str, tuple[str, ...]] = {
+    "X": ("ts", "dur"),
+    "i": ("ts", "s"),
+    "s": ("ts", "id"),
+    "f": ("ts", "id"),
+    "M": ("args",),
+}
+
+
+def validate_chrome_trace(doc: dict) -> None:
+    """Raise ``ValueError`` if ``doc`` breaks the Chrome trace-event schema.
+
+    Checks the JSON-object container format (a ``traceEvents`` array),
+    per-phase required keys, timestamp/duration types and signs, and that
+    flow-event ``s``/``f`` pairs match up by id.  Passing this is what the
+    CI trace artifacts are gated on.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace must be a JSON object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be an array")
+    flow_starts: set = set()
+    flow_ends: set = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise ValueError(f"event {i} is missing its phase ('ph')")
+        required = _COMMON_REQUIRED + _PHASE_REQUIRED.get(ph, ("ts",))
+        for key in required:
+            if key not in event:
+                raise ValueError(f"event {i} (ph={ph!r}) is missing {key!r}")
+        if "ts" in event:
+            ts = event["ts"]
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"event {i} has invalid ts {ts!r}")
+        if ph == "X":
+            dur = event["dur"]
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i} has invalid dur {dur!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"event {i} has non-object args")
+        if ph == "s":
+            flow_starts.add(event["id"])
+        elif ph == "f":
+            flow_ends.add(event["id"])
+    unmatched = flow_starts ^ flow_ends
+    if unmatched:
+        raise ValueError(f"unmatched flow-event ids: {sorted(unmatched)[:5]}")

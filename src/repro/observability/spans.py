@@ -1,0 +1,266 @@
+"""Hierarchical span timelines over the simulated runtime.
+
+A *span* is one timed region of the simulation — the whole run, one BFS
+level, one phase inside a level (expand / fold / union / compute /
+fault-recovery), one collective round, or one communicator exchange —
+stamped with both the **simulated clock** (the makespan of the virtual
+machine, deterministic) and the **host wall clock** (where the simulator
+itself spends real time).  Spans nest: each records the id of the span
+that was open when it began, so the list reconstructs the full
+run → level → phase → round → exchange tree.
+
+Recording is controlled by an :class:`ObserveSpec` (the ``observe`` axis
+of :class:`repro.types.SystemSpec`).  When disabled, every instrumentation
+site talks to the shared :data:`NULL_RECORDER`, whose methods are no-ops —
+the cost of observability-off is a handful of attribute lookups per BFS
+level (see ``benchmarks/bench_observability_overhead.py`` for the proof).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ObserveSpec:
+    """What the observability layer captures for one run.
+
+    ``spans`` turns on the hierarchical span timeline; ``messages`` turns
+    on per-message event capture (a :class:`repro.runtime.trace.TraceRecorder`
+    installed on the communicator).  Presets: ``"off"`` (nothing, the
+    default), ``"spans"``, ``"messages"``, ``"full"`` (both).
+    """
+
+    #: record hierarchical spans (run / level / phase / round / exchange)
+    spans: bool = False
+    #: record one event per wire message (TraceRecorder on the communicator)
+    messages: bool = False
+
+    @property
+    def active(self) -> bool:
+        """Whether anything is being captured."""
+        return self.spans or self.messages
+
+    @classmethod
+    def parse(cls, value: "ObserveSpec | str | None") -> "ObserveSpec":
+        """Coerce a preset name / spec / None into an :class:`ObserveSpec`."""
+        if value is None:
+            return _OFF
+        if isinstance(value, ObserveSpec):
+            return value
+        if isinstance(value, str):
+            try:
+                return OBSERVE_PRESETS[value]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown observe preset {value!r}; use one of "
+                    f"{sorted(OBSERVE_PRESETS)} or an ObserveSpec"
+                ) from None
+        # duck-typed: anything carrying the two booleans (keeps types.py
+        # import-cycle-free, mirroring the wire-codec validation)
+        spans = getattr(value, "spans", None)
+        messages = getattr(value, "messages", None)
+        if isinstance(spans, bool) and isinstance(messages, bool):
+            return cls(spans=spans, messages=messages)
+        raise ConfigurationError(
+            f"observe must be a preset name, an ObserveSpec, or None, "
+            f"got {type(value).__name__}"
+        )
+
+
+_OFF = ObserveSpec()
+
+#: Named observability configurations accepted wherever ``observe=`` is.
+OBSERVE_PRESETS: dict[str, ObserveSpec] = {
+    "off": _OFF,
+    "spans": ObserveSpec(spans=True),
+    "messages": ObserveSpec(messages=True),
+    "full": ObserveSpec(spans=True, messages=True),
+}
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed region: simulated begin/end plus host wall begin/end."""
+
+    #: dense id (index into the recorder's span list)
+    sid: int
+    #: sid of the enclosing span, -1 for a root
+    parent: int
+    name: str
+    #: span kind: ``run`` / ``level`` / ``phase`` / ``round`` / ``exchange``
+    cat: str
+    #: simulated seconds (slowest rank's clock) when the span opened
+    sim_begin: float
+    #: host ``time.perf_counter()`` when the span opened
+    wall_begin: float
+    sim_end: float = 0.0
+    wall_end: float = 0.0
+    #: small free-form metadata (level number, message counts, ...)
+    args: dict = field(default_factory=dict)
+
+    @property
+    def sim_duration(self) -> float:
+        """Simulated seconds spanned (end - begin of the makespan clock)."""
+        return self.sim_end - self.sim_begin
+
+    @property
+    def wall_duration(self) -> float:
+        """Host seconds the simulator spent inside this span."""
+        return self.wall_end - self.wall_begin
+
+
+class _SpanHandle:
+    """Context manager closing one span on exit (what ``span()`` returns)."""
+
+    __slots__ = ("_recorder", "_span")
+
+    def __init__(self, recorder: "SpanRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._recorder.end(self._span)
+
+
+class _NullHandle:
+    """Shared do-nothing context manager for the disabled recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class SpanRecorder:
+    """Collects a tree of :class:`Span` objects for one run.
+
+    Simulated timestamps come from the bound
+    :class:`~repro.runtime.clock.SimClock` (the makespan, ``clock.elapsed``);
+    host timestamps from :func:`time.perf_counter`.  Spans nest through an
+    explicit stack, so ``begin``/``end`` pairs (or the :meth:`span` context
+    manager) reconstruct the hierarchy without any thread-local state.
+    """
+
+    __slots__ = ("clock", "spans", "_stack")
+
+    #: instrumentation sites may skip arg construction when this is False
+    enabled = True
+
+    def __init__(self, clock=None) -> None:
+        self.clock = clock
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    def bind_clock(self, clock) -> None:
+        """Attach the simulated clock that stamps ``sim_begin``/``sim_end``."""
+        self.clock = clock
+
+    def _now(self) -> float:
+        clock = self.clock
+        return float(clock.elapsed) if clock is not None else 0.0
+
+    def begin(self, name: str, cat: str = "phase", **args) -> Span:
+        """Open a span as a child of the innermost open span."""
+        span = Span(
+            sid=len(self.spans),
+            parent=self._stack[-1].sid if self._stack else -1,
+            name=name,
+            cat=cat,
+            sim_begin=self._now(),
+            wall_begin=time.perf_counter(),
+            args=args,
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, **args) -> Span:
+        """Close ``span`` (and any forgotten children still open inside it)."""
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        span.sim_end = self._now()
+        span.wall_end = time.perf_counter()
+        if args:
+            span.args.update(args)
+        return span
+
+    def span(self, name: str, cat: str = "phase", **args) -> _SpanHandle:
+        """Context-manager form of :meth:`begin`/:meth:`end`."""
+        return _SpanHandle(self, self.begin(name, cat, **args))
+
+    # ------------------------------------------------------------------ #
+    # analysis
+    # ------------------------------------------------------------------ #
+    def by_cat(self, cat: str) -> list[Span]:
+        """All closed spans of one kind, in begin order."""
+        return [s for s in self.spans if s.cat == cat]
+
+    def children_of(self, span: Span) -> list[Span]:
+        """Direct children of ``span``."""
+        return [s for s in self.spans if s.parent == span.sid]
+
+    def phase_totals(self, kind: str = "sim") -> dict[str, float]:
+        """Total seconds per phase-span name (``kind``: ``sim`` or ``wall``).
+
+        This is the per-phase breakdown the paper's Section 3 analysis
+        wants: simulated seconds attributed to expand vs fold vs compute
+        (vs fault-recovery), summed over every level.
+        """
+        if kind not in ("sim", "wall"):
+            raise ValueError(f"kind must be 'sim' or 'wall', got {kind!r}")
+        totals: dict[str, float] = {}
+        for span in self.by_cat("phase"):
+            dur = span.sim_duration if kind == "sim" else span.wall_duration
+            totals[span.name] = totals.get(span.name, 0.0) + dur
+        return totals
+
+
+class NullRecorder:
+    """Do-nothing recorder: the observability-off fast path.
+
+    Shares the :class:`SpanRecorder` interface; every method is a no-op
+    and :meth:`span` hands back one preallocated null context manager, so
+    an instrumentation site costs a method call and nothing else.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    #: immutable empty span list (so analysis code works unconditionally)
+    spans: tuple = ()
+
+    def bind_clock(self, clock) -> None:
+        return None
+
+    def begin(self, name: str, cat: str = "phase", **args) -> None:
+        return None
+
+    def end(self, span, **args) -> None:
+        return None
+
+    def span(self, name: str, cat: str = "phase", **args) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def by_cat(self, cat: str) -> list:
+        return []
+
+    def phase_totals(self, kind: str = "sim") -> dict:
+        return {}
+
+
+#: The shared disabled recorder every un-observed communicator uses.
+NULL_RECORDER = NullRecorder()

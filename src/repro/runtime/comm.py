@@ -39,6 +39,7 @@ from repro.errors import CommunicationError
 from repro.faults import FaultReport, FaultSchedule, FaultSpec
 from repro.machine.bluegene import MachineModel
 from repro.machine.mapping import TaskMapping
+from repro.observability.spans import NULL_RECORDER, ObserveSpec, SpanRecorder
 from repro.runtime.clock import SimClock
 from repro.runtime.message import chunk_payload
 from repro.runtime.network import Network
@@ -75,6 +76,7 @@ class Communicator:
         buffer_capacity: int | None = None,
         faults: FaultSpec | FaultSchedule | None = None,
         wire: WireCodec | str | None = None,
+        observe: ObserveSpec | str | None = None,
     ) -> None:
         self.mapping = mapping
         self.model = model
@@ -90,6 +92,16 @@ class Communicator:
             faults = FaultSchedule(faults, self.nranks)
         self.faults: FaultSchedule | None = faults
         self._level_failed = False
+        #: what the observability layer captures (``repro.observability``)
+        self.observe = ObserveSpec.parse(observe)
+        #: span recorder — the shared no-op singleton when spans are off
+        self.obs = SpanRecorder(self.clock) if self.observe.spans else NULL_RECORDER
+        #: per-message event capture (installed only for observe "messages"/"full")
+        self.obs_trace = None
+        if self.observe.messages:
+            from repro.runtime.trace import TraceRecorder
+
+            self.obs_trace = TraceRecorder(self).install()
 
     # ------------------------------------------------------------------ #
     # point-to-point rounds
@@ -114,6 +126,8 @@ class Communicator:
         withheld from the returned inbox and flags the current level as
         failed.
         """
+        obs = self.obs
+        span = obs.begin("exchange", cat="exchange", phase=phase) if obs.enabled else None
         faults = self.faults
         wire = self.wire
         raw_wire = wire.name == "raw"
@@ -215,6 +229,14 @@ class Communicator:
             self.clock.advance_many(codec_seconds, kind="compute")
         if sync:
             self.barrier(participants)
+        if span is not None:
+            obs.end(
+                span,
+                messages=msg_count,
+                vertices=msg_vertices,
+                raw_bytes=msg_raw_bytes,
+                encoded_bytes=msg_enc_bytes,
+            )
         return inbox
 
     def exchange_arrays(
@@ -252,6 +274,8 @@ class Communicator:
                 ]
             self.exchange(outbox, phase, participants)
             return
+        obs = self.obs
+        span = obs.begin("exchange", cat="exchange", phase=phase) if obs.enabled else None
         sizes = stops - starts
         nbytes = sizes * self.model.bytes_per_vertex
         total_bytes = int(nbytes.sum())
@@ -261,6 +285,14 @@ class Communicator:
         send_time, recv_time, _ = self.network.round_times_arrays(src, dst, nbytes)
         self.clock.advance_many(np.maximum(send_time, recv_time), kind="comm")
         self.barrier(participants)
+        if span is not None:
+            obs.end(
+                span,
+                messages=int(src.size),
+                vertices=int(sizes.sum()),
+                raw_bytes=total_bytes,
+                encoded_bytes=total_bytes,
+            )
 
     def barrier(self, participants: list[int] | None = None) -> None:
         """Synchronise ``participants`` (default: all ranks)."""

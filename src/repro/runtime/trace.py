@@ -21,11 +21,14 @@ import csv
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.runtime.comm import Communicator
 from repro.runtime.message import chunk_payload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runtime.comm import Communicator
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,7 +53,7 @@ class TraceRecorder:
     :meth:`uninstall`.  Usable as a context manager.
     """
 
-    def __init__(self, comm: Communicator) -> None:
+    def __init__(self, comm: "Communicator") -> None:
         self.comm = comm
         self.events: list[MessageEvent] = []
         self._original_exchange = None

@@ -51,6 +51,7 @@ class BfsSession:
         layout: str | None = None,
         wire: str | None = None,
         faults: FaultSpec | None = None,
+        observe: str | None = None,
     ) -> None:
         if not isinstance(grid, GridShape):
             grid = GridShape(*grid)
@@ -60,12 +61,13 @@ class BfsSession:
         #: the resolved system description this session simulates
         self.system = resolve_system(
             system, machine=machine, mapping=mapping, layout=layout, wire=wire,
-            faults=faults,
+            faults=faults, observe=observe,
         )
         self.machine = self.system.machine
         self.mapping = self.system.mapping
         self.layout = self.system.layout
         self.wire = self.system.wire
+        self.observe = self.system.observe
         if self.layout == "2d":
             self.partition = TwoDPartition(graph, grid)
         else:

@@ -107,6 +107,9 @@ _KNOWN_LAYOUTS = frozenset({"1d", "2d"})
 #: wire-codec preset names (see ``repro.wire``); kept as a literal set so
 #: this module stays import-cycle-free (``repro.wire`` imports it).
 _KNOWN_WIRES = frozenset({"raw", "delta-varint", "bitmap", "adaptive"})
+#: observability preset names (see ``repro.observability``); literal for the
+#: same import-cycle reason as ``_KNOWN_WIRES``.
+_KNOWN_OBSERVE = frozenset({"off", "spans", "messages", "full"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,6 +144,9 @@ class SystemSpec:
     #: ``"harsh"``), or a ``key=value,...`` string for
     #: :meth:`FaultSpec.parse`
     faults: FaultSpec | str | None = None
+    #: observability capture (``repro.observability``): ``"off"`` (default),
+    #: ``"spans"``, ``"messages"``, ``"full"``, or an ``ObserveSpec``
+    observe: str | Any = "off"
 
     def __post_init__(self) -> None:
         if isinstance(self.machine, str) and self.machine not in _KNOWN_MACHINES:
@@ -169,6 +175,20 @@ class SystemSpec:
                 f"wire must be a codec name or a WireCodec, "
                 f"got {type(self.wire).__name__}"
             )
+        if isinstance(self.observe, str):
+            if self.observe not in _KNOWN_OBSERVE:
+                raise ConfigurationError(
+                    f"unknown observe preset {self.observe!r}; use one of "
+                    f"{sorted(_KNOWN_OBSERVE)} or an ObserveSpec"
+                )
+        elif not (
+            isinstance(getattr(self.observe, "spans", None), bool)
+            and isinstance(getattr(self.observe, "messages", None), bool)
+        ):
+            raise ConfigurationError(
+                f"observe must be a preset name or an ObserveSpec, "
+                f"got {type(self.observe).__name__}"
+            )
         if isinstance(self.faults, str):
             # preset name ("none", "mild", "harsh") or a key=value,...
             # string; frozen dataclass, so assign via object.__setattr__
@@ -190,6 +210,7 @@ SYSTEM_PRESETS: dict[str, SystemSpec] = {
     "bluegene-2d-varint": SystemSpec(wire="delta-varint"),
     "bluegene-2d-bitmap": SystemSpec(wire="bitmap"),
     "bluegene-2d-adaptive": SystemSpec(wire="adaptive"),
+    "bluegene-2d-observed": SystemSpec(observe="full"),
 }
 
 
@@ -201,6 +222,7 @@ def resolve_system(
     layout: str | None = None,
     wire: str | Any | None = None,
     faults: FaultSpec | str | None = None,
+    observe: str | Any | None = None,
 ) -> SystemSpec:
     """The single shared resolver behind every ``system=`` entry point.
 
@@ -232,6 +254,7 @@ def resolve_system(
         for key, value in (
             ("machine", machine), ("mapping", mapping),
             ("layout", layout), ("wire", wire), ("faults", faults),
+            ("observe", observe),
         )
         if value is not None
     }
