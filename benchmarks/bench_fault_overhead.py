@@ -1,25 +1,50 @@
-"""Fault-injection overhead — graceful degradation under transient faults.
+"""Fault-injection overhead — graceful degradation under faults and crashes.
 
-Sweeps the transient message-drop probability on a pinned 2D search and
-reports the simulated-time overhead relative to the fault-free baseline.
-Expected shape: overhead grows monotonically-ish with the drop rate (more
-retries, occasionally a level rollback), every faulted run still produces
-exactly the baseline's level labels, and the zero-rate point is *free* —
-an empty schedule must not change the simulated time at all.
+Sweeps the transient message-drop probability and the rank-crash presets
+on a pinned 2D search and reports the simulated-time overhead relative to
+the fault-free baseline.  Expected shape: overhead grows monotonically-ish
+with the drop rate (more retries, occasionally a level rollback), crash
+recovery costs checkpoint traffic plus one level replay per failover,
+every faulted run still produces exactly the baseline's level labels, and
+the zero-rate point is *free* — an empty schedule must not change the
+simulated time at all.
+
+Also runnable as a plain script (the fault-resilience baseline for CI):
+
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py --tiny --check
+
+It writes ``BENCH_faults.json`` (repo root).  Because every quantity in
+the report is *simulated* (no wall clock), ``--check`` demands an exact
+match against the committed baseline — any drift is a determinism bug or
+an intentional cost-model change (refresh with ``--update-baseline``).
 """
 
 from __future__ import annotations
 
-from conftest import emit
-from repro.faults import FaultSpec
-from repro.graph.generators import poisson_random_graph
-from repro.harness.fault_sweep import fault_sweep, format_fault_sweep
-from repro.types import GraphSpec, GridShape
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from conftest import emit  # noqa: E402
+from repro.faults import FAULT_PRESETS, FaultSpec  # noqa: E402
+from repro.graph.generators import poisson_random_graph  # noqa: E402
+from repro.harness.fault_sweep import fault_sweep, format_fault_sweep  # noqa: E402
+from repro.types import GraphSpec, GridShape  # noqa: E402
 
 GRID = GridShape(4, 4)
 SPEC = GraphSpec(n=8_000, k=10, seed=3)
 
 DROP_RATES = [0.0, 0.01, 0.02, 0.05, 0.10]
+
+#: the named crash workloads, pinned to a seed that recovers on GRID
+CRASH_PRESETS = ("crash-spare", "crash-shrink", "crash-harsh")
+
+
+def _crash_specs(seed: int = 0) -> list[FaultSpec]:
+    return [replace(FAULT_PRESETS[name], seed=seed) for name in CRASH_PRESETS]
 
 
 def test_fault_overhead(once):
@@ -64,3 +89,141 @@ def test_straggler_overhead(once):
     assert mild.levels_match and harsh.levels_match
     # A slower straggler stretches the level barrier further.
     assert harsh.overhead_seconds > mild.overhead_seconds > 0
+
+
+def test_crash_recovery_overhead(once):
+    def run_all():
+        graph = poisson_random_graph(SPEC)
+        return fault_sweep(graph, GRID, 0, _crash_specs())
+
+    points = once(run_all)
+    emit(
+        "Fault overhead  rank crashes (buddy checkpoint + failover, 4x4 mesh)",
+        format_fault_sweep(points),
+    )
+    for point in points:
+        report = point.report
+        # Recovery is mandatory and observable: crashes fired, every one
+        # failed over, the lost levels were replayed, and the answer is
+        # still byte-identical to the fault-free baseline.
+        assert point.levels_match
+        assert report.crashes > 0
+        assert report.failovers == report.crashes
+        assert report.replayed_levels > 0
+        assert report.checkpoint_bytes > 0
+        assert point.overhead_seconds > 0
+    # The combined workload (drops + stragglers + more crashes) costs the
+    # most, but degradation stays graceful even there.
+    by_name = dict(zip(CRASH_PRESETS, points))
+    assert by_name["crash-harsh"].overhead_seconds == max(
+        p.overhead_seconds for p in points
+    )
+    assert all(p.overhead_ratio < 8.0 for p in points)
+
+
+# --------------------------------------------------------------------- #
+# script mode: the exact-match resilience baseline (BENCH_faults.json)
+# --------------------------------------------------------------------- #
+
+TINY_SPEC = GraphSpec(n=2_000, k=8.0, seed=3)
+
+
+def _rows(tiny: bool) -> list[dict]:
+    graph_spec = TINY_SPEC if tiny else SPEC
+    graph = poisson_random_graph(graph_spec)
+    drop_specs = [
+        FaultSpec(seed=11, drop_rate=rate, max_retries=4) for rate in DROP_RATES
+    ]
+    names = [f"drop={rate}" for rate in DROP_RATES] + list(CRASH_PRESETS)
+    points = fault_sweep(graph, GRID, 0, drop_specs + _crash_specs())
+    rows = []
+    for name, point in zip(names, points):
+        report = point.report
+        rows.append({
+            "scenario": name,
+            "drop_rate": point.spec.drop_rate,
+            "crash_rate": point.spec.crash_rate,
+            "baseline_s": point.baseline.elapsed.hex(),
+            "faulted_s": point.result.elapsed.hex(),
+            "injected": report.injected,
+            "retries": report.retries,
+            "rollbacks": report.rollbacks,
+            "crashes": report.crashes,
+            "spare_failovers": report.spare_failovers,
+            "shrink_failovers": report.shrink_failovers,
+            "replayed_levels": report.replayed_levels,
+            "checkpoint_bytes": report.checkpoint_bytes,
+            "levels_match": point.levels_match,
+        })
+        print(
+            f"  {name:>12}  overhead={100 * point.overhead_ratio:7.2f}%  "
+            f"rollbacks={report.rollbacks}  crashes={report.crashes}  "
+            f"replays={report.replayed_levels}  "
+            f"match={'yes' if point.levels_match else 'NO'}"
+        )
+    return rows
+
+
+def _check(report: dict, baseline_path: Path) -> int:
+    import json
+
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run with --update-baseline first")
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    key = "tiny" if report["tiny"] else "full"
+    expected = baseline.get(key)
+    if expected is None:
+        print(f"baseline has no {key!r} section; run with --update-baseline")
+        return 2
+    if expected != report["results"]:
+        print("fault-resilience report DIVERGED from the committed baseline:")
+        have = {row["scenario"]: row for row in report["results"]}
+        for row in expected:
+            got = have.get(row["scenario"])
+            if got != row:
+                print(f"  {row['scenario']}: expected {row}")
+                print(f"  {' ' * len(row['scenario'])}  got      {got}")
+        return 1
+    print("fault-resilience report matches the committed baseline exactly")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke size (n=2k) instead of n=8k")
+    parser.add_argument("--check", action="store_true",
+                        help="require an exact match with the committed baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="merge this run's section into the baseline file")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_faults.json")
+    args = parser.parse_args(argv)
+
+    size = "tiny" if args.tiny else "full"
+    print(f"fault-resilience sweep ({size}: drops {DROP_RATES} + {list(CRASH_PRESETS)})")
+    report = {"tiny": args.tiny, "results": _rows(args.tiny)}
+
+    if not all(row["levels_match"] for row in report["results"]):
+        print("FATAL: a faulted run diverged from the fault-free levels")
+        return 1
+    if args.update_baseline:
+        merged = (
+            json.loads(args.baseline.read_text(encoding="utf-8"))
+            if args.baseline.exists() else {}
+        )
+        merged[size] = report["results"]
+        args.baseline.write_text(json.dumps(merged, indent=1), encoding="utf-8")
+        print(f"baseline section {size!r} written to {args.baseline}")
+        return 0
+    if args.check:
+        return _check(report, args.baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

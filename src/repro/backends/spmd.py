@@ -14,15 +14,31 @@ the hub never deadlocks):
     repeat:
         ("xchg", {dst: buffer})  x expand rounds   # 1 direct / R-1 ring
         ("xchg", {dst: buffer})  x fold rounds     # 1 direct / C-1 union-ring
-        ("sum", count)            # termination allreduce
+        ("sum", (count, failed))  # termination allreduce + fault flag
     until the global sum is 0, then:
-        ("done", owned_levels)
+        ("done", (owned_levels, drop_counters))
 
 Supported collectives: ``expand_collective`` in {"direct", "ring"} and
 ``fold_collective`` in {"direct", "union-ring"} — the direct patterns and
 the paper's ring patterns, whose per-level round counts are identical on
 every rank (R-1 / C-1), keeping the lockstep protocol trivially
 deadlock-free.
+
+Fault injection (``faults=``) mirrors the simulator's transient-drop
+semantics chunk for chunk.  Each worker owns a
+:class:`~repro.faults.crash.KeyedDropStream` seeded like the simulator's
+schedule; because draws are keyed by ``(src, dst, transmission-index)``,
+the per-link decision sequences agree across backends regardless of
+execution order.  Loss semantics follow the simulated collectives
+exactly: *direct* expand/fold chunks are inbox-driven there, so an
+unrecovered drop withholds the payload; *ring* and *union-ring* chunks
+only account the drop (the simulated schedules compute their data flow
+locally), so the payload is delivered anyway.  Either way the level is
+flagged, every worker rolls back to its level-entry snapshot, and the
+level replays with fresh draws — the hub counts the rollback and raises
+:class:`~repro.errors.FaultError` after ``max_level_retries`` failures
+of one level.  Rank crashes (``crash_rate > 0``) are rejected: crash
+recovery needs the simulator's global clock and spare-rank model.
 """
 
 from __future__ import annotations
@@ -33,7 +49,9 @@ import numpy as np
 
 from repro.bfs.options import BfsOptions
 from repro.bfs.sent_cache import SentCache
-from repro.errors import CommunicationError, SearchError
+from repro.errors import CommunicationError, FaultError, SearchError
+from repro.faults import FaultReport, FaultSchedule, FaultSpec
+from repro.faults.crash import KeyedDropStream
 from repro.graph.csr import CsrGraph
 from repro.partition.two_d import TwoDPartition
 from repro.types import LEVEL_DTYPE, UNREACHED, VERTEX_DTYPE, GridShape
@@ -49,14 +67,19 @@ def spmd_bfs(
     *,
     opts: BfsOptions | None = None,
     wire: WireCodec | str | None = None,
+    faults: FaultSpec | str | None = None,
+    return_report: bool = False,
     timeout: float = 120.0,
-) -> np.ndarray:
+) -> np.ndarray | tuple[np.ndarray, FaultReport | None]:
     """Run a 2D-partitioned BFS with one OS process per rank.
 
     Returns the global level array (identical to the simulated engine and
     the serial oracle).  ``wire`` selects a :mod:`repro.wire` codec; every
     inter-rank payload is *really* encoded by the sender and decoded by
     the receiver, so the codecs are exercised under true parallelism.
+    ``faults`` injects seeded transient drops that agree chunk for chunk
+    with the simulator (see the module docstring); ``return_report=True``
+    returns ``(levels, FaultReport-or-None)`` instead of bare levels.
     ``timeout`` bounds the whole run; a hung or dead worker raises
     :class:`CommunicationError` instead of deadlocking.
     """
@@ -65,6 +88,14 @@ def spmd_bfs(
     if not (0 <= source < graph.n):
         raise SearchError(f"source {source} out of range [0, {graph.n})")
     opts = opts or BfsOptions()
+    if isinstance(faults, str):
+        faults = FaultSpec.parse(faults)
+    if faults is not None and faults.crash_rate > 0:
+        raise CommunicationError(
+            "spmd backend does not support rank crashes (crash recovery "
+            "needs the simulator's global clock and spare-rank model); "
+            "use the simulated engine for crash_rate > 0"
+        )
     if opts.expand_collective not in ("direct", "ring"):
         raise CommunicationError(
             f"spmd backend supports expand in {{'direct', 'ring'}}, "
@@ -80,14 +111,22 @@ def spmd_bfs(
     nranks = grid.size
 
     if nranks == 1:
-        return _single_rank_bfs(partition, source)
+        levels = _single_rank_bfs(partition, source)
+        if return_report:
+            report = (
+                FaultSchedule(faults, 1).snapshot_report(0.0)
+                if faults is not None
+                else None
+            )
+            return levels, report
+        return levels
 
     ctx = mp.get_context("fork")
     pipes = [ctx.Pipe(duplex=True) for _ in range(nranks)]
     workers = [
         ctx.Process(
             target=_worker_main,
-            args=(rank, partition, source, opts, codec, pipes[rank][1]),
+            args=(rank, partition, source, opts, codec, faults, pipes[rank][1]),
             daemon=True,
         )
         for rank in range(nranks)
@@ -96,7 +135,8 @@ def spmd_bfs(
         w.start()
     hub_ends = [p[0] for p in pipes]
     try:
-        return _run_hub(hub_ends, workers, partition, timeout)
+        levels, report = _run_hub(hub_ends, workers, partition, timeout, faults)
+        return (levels, report) if return_report else levels
     finally:
         for w in workers:
             if w.is_alive():
@@ -110,12 +150,25 @@ def spmd_bfs(
 # ---------------------------------------------------------------------- #
 # hub (parent process)
 # ---------------------------------------------------------------------- #
-def _run_hub(conns, workers, partition: TwoDPartition, timeout: float) -> np.ndarray:
+def _run_hub(
+    conns,
+    workers,
+    partition: TwoDPartition,
+    timeout: float,
+    spec: FaultSpec | None = None,
+) -> tuple[np.ndarray, FaultReport | None]:
     import time
 
     deadline = time.monotonic() + timeout
     nranks = len(conns)
     done_levels: dict[int, np.ndarray] = {}
+    done_counters: dict[int, tuple[int, int, int, int] | None] = {}
+    # the hub plays the engine's role in the fault lifecycle: it counts
+    # level rollbacks and enforces the per-level replay budget
+    rollbacks = 0
+    level = 0
+    level_attempts = 0
+    max_level_retries = spec.max_level_retries if spec is not None else 0
     while len(done_levels) < nranks:
         batch = [_recv(conns[r], workers[r], deadline, r) for r in range(nranks)]
         kinds = {kind for kind, _ in batch}
@@ -129,12 +182,31 @@ def _run_hub(conns, workers, partition: TwoDPartition, timeout: float) -> np.nda
             for rank in range(nranks):
                 conns[rank].send(inboxes[rank])
         elif kinds == {"sum"}:
-            total = sum(value for _kind, value in batch)
+            total = sum(count for _kind, (count, _failed) in batch)
+            failed = any(flag for _kind, (_count, flag) in batch)
+            if failed:
+                rollbacks += 1
+                level_attempts += 1
+                if spec is not None and level_attempts > max_level_retries:
+                    report = None
+                    if spec is not None:
+                        schedule = FaultSchedule(spec, nranks)
+                        schedule.report.rollbacks = rollbacks
+                        report = schedule.snapshot_report(0.0)
+                    raise FaultError(
+                        f"level {level} still failing after {max_level_retries} "
+                        "replays; raise max_retries or max_level_retries",
+                        report=report,
+                    )
+            else:
+                level += 1
+                level_attempts = 0
             for rank in range(nranks):
-                conns[rank].send(total)
+                conns[rank].send((total, int(failed)))
         elif kinds == {"done"}:
-            for rank, (_kind, levels) in enumerate(batch):
+            for rank, (_kind, (levels, counters)) in enumerate(batch):
                 done_levels[rank] = levels
+                done_counters[rank] = counters
         else:
             raise CommunicationError(f"workers desynchronised: saw kinds {sorted(kinds)}")
 
@@ -142,7 +214,25 @@ def _run_hub(conns, workers, partition: TwoDPartition, timeout: float) -> np.nda
     for rank in range(nranks):
         loc = partition.local(rank)
         global_levels[loc.vertex_lo : loc.vertex_hi] = done_levels[rank]
-    return global_levels
+
+    report: FaultReport | None = None
+    if spec is not None:
+        # reconstruct the construction-sampled fields (degraded links,
+        # stragglers, the down link) exactly as the simulator does, then
+        # fold in the drop counters the workers tallied on the wire
+        schedule = FaultSchedule(spec, nranks)
+        merged = schedule.report
+        for counters in done_counters.values():
+            if counters is None:
+                continue
+            injected, retries, recovered, unrecovered = counters
+            merged.injected += injected
+            merged.retries += retries
+            merged.recovered += recovered
+            merged.unrecovered += unrecovered
+        merged.rollbacks = rollbacks
+        report = schedule.snapshot_report(0.0)
+    return global_levels, report
 
 
 def _recv(conn, worker, deadline: float, rank: int):
@@ -159,12 +249,51 @@ def _recv(conn, worker, deadline: float, rank: int):
 # ---------------------------------------------------------------------- #
 # worker (one process per rank)
 # ---------------------------------------------------------------------- #
+class _WorkerFaults:
+    """Worker-side mirror of the schedule's transient-drop accounting.
+
+    Holds the same :class:`KeyedDropStream` the simulator's
+    :class:`FaultSchedule` would, plus the report counters this worker
+    contributes.  ``failed`` latches when a chunk exhausts its retries;
+    the flag rides the next ``("sum", ...)`` message so every worker
+    learns about the loss at the level's termination allreduce.
+    """
+
+    __slots__ = ("stream", "injected", "retries", "recovered", "unrecovered", "failed")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.stream = KeyedDropStream(spec.seed, spec.drop_rate, spec.max_retries)
+        self.injected = 0
+        self.retries = 0
+        self.recovered = 0
+        self.unrecovered = 0
+        self.failed = False
+
+    def plan_send(self, src: int, dst: int) -> bool:
+        """Decide one chunk's fate; tallies mirror FaultSchedule.transmission_plan."""
+        transmissions, delivered = self.stream.plan(src, dst)
+        drops = transmissions - 1 if delivered else transmissions
+        if drops:
+            self.injected += drops
+            self.retries += transmissions - 1
+            if delivered:
+                self.recovered += 1
+            else:
+                self.unrecovered += 1
+                self.failed = True
+        return delivered
+
+    def counters(self) -> tuple[int, int, int, int]:
+        return (self.injected, self.retries, self.recovered, self.unrecovered)
+
+
 def _worker_main(
     rank: int,
     partition: TwoDPartition,
     source: int,
     opts: BfsOptions,
     codec: WireCodec,
+    spec: FaultSpec | None,
     conn,
 ) -> None:
     grid = partition.grid
@@ -181,12 +310,22 @@ def _worker_main(
     R = grid.rows
     offsets = partition.dist.offsets
     col_bounds = offsets[::R]
+    faults = _WorkerFaults(spec) if spec is not None and spec.drop_rate > 0 else None
 
     level = 0
     while True:
+        if faults is not None:
+            # level-entry snapshot: frontier arrays are never mutated in
+            # place, so only the level labels and the sent-cache need copies
+            snapshot = (
+                levels.copy(),
+                frontier,
+                sent_cache.snapshot() if sent_cache is not None else None,
+            )
+
         # --- expand: share the frontier within the processor-column --- #
         fbar = _expand_phase(
-            conn, rank, col_group, frontier, opts.expand_collective, codec
+            conn, rank, col_group, frontier, opts.expand_collective, codec, faults
         )
 
         # --- local discovery on partial edge lists --- #
@@ -202,7 +341,7 @@ def _worker_main(
             if bounds[m + 1] > bounds[m]
         }
         candidates = _fold_phase(
-            conn, rank, row_group, contrib, opts.fold_collective, codec
+            conn, rank, row_group, contrib, opts.fold_collective, codec, faults
         )
 
         # --- label fresh vertices --- #
@@ -213,18 +352,35 @@ def _worker_main(
             fresh = candidates
         if fresh.size:
             levels[fresh - loc.vertex_lo] = level + 1
+
+        failed = int(faults.failed) if faults is not None else 0
+        conn.send(("sum", (int(fresh.size), failed)))
+        total, level_failed = conn.recv()
+        if level_failed:
+            # some rank lost a chunk for good: every worker rolls the
+            # level back and replays it (fresh keyed draws — the stream
+            # counters advanced, so the retry sees new coin flips)
+            levels[:] = snapshot[0]
+            frontier = snapshot[1]
+            if sent_cache is not None:
+                sent_cache.restore(snapshot[2])
+            faults.failed = False
+            continue
         frontier = fresh
         level += 1
-
-        conn.send(("sum", int(fresh.size)))
-        if conn.recv() == 0:
+        if total == 0:
             break
 
-    conn.send(("done", levels))
+    conn.send(("done", (levels, faults.counters() if faults is not None else None)))
 
 
 def _exchange(
-    conn, sends: dict[int, np.ndarray], codec: WireCodec
+    conn,
+    rank: int,
+    sends: dict[int, np.ndarray],
+    codec: WireCodec,
+    faults: _WorkerFaults | None = None,
+    lossy: bool = True,
 ) -> list[tuple[int, np.ndarray]]:
     """Round-trip one exchange through the hub with *real* encoded buffers.
 
@@ -232,8 +388,22 @@ def _exchange(
     receiver reconstructs it with ``codec.decode`` — bytes are the only
     thing that crosses the process boundary, so a codec bug cannot hide
     behind the simulator's byte accounting.
+
+    With ``faults`` attached every payload draws its transmission plan
+    from the keyed stream.  ``lossy=True`` (the direct collectives, whose
+    simulated counterparts are inbox-driven) withholds unrecovered chunks
+    from the hub; ``lossy=False`` (ring / union-ring, where the simulated
+    schedules compute data flow locally) delivers them anyway — the drop
+    is accounting-only, exactly as in the simulator.
     """
-    conn.send(("xchg", {dst: codec.encode(arr) for dst, arr in sends.items()}))
+    encoded: dict[int, bytes] = {}
+    for dst, arr in sends.items():
+        delivered = True
+        if faults is not None:
+            delivered = faults.plan_send(rank, dst)
+        if delivered or not lossy:
+            encoded[dst] = codec.encode(arr)
+    conn.send(("xchg", encoded))
     return [(src, codec.decode(buf)) for src, buf in conn.recv()]
 
 
@@ -244,6 +414,7 @@ def _expand_phase(
     frontier: np.ndarray,
     mode: str,
     codec: WireCodec,
+    faults: _WorkerFaults | None = None,
 ) -> np.ndarray:
     """Column-group expand: direct personalized sends or an all-gather ring."""
     size = len(col_group)
@@ -251,7 +422,7 @@ def _expand_phase(
         return frontier
     if mode == "direct":
         sends = {peer: frontier for peer in col_group if peer != rank and frontier.size}
-        inbox = _exchange(conn, sends, codec)
+        inbox = _exchange(conn, rank, sends, codec, faults, lossy=True)
         pieces = [frontier, *(payload for _src, payload in inbox)]
         return np.unique(np.concatenate(pieces)) if len(pieces) > 1 else frontier
     # ring all-gather: R-1 rounds, forward what arrived last round
@@ -261,7 +432,7 @@ def _expand_phase(
     gathered = [frontier]
     for _round in range(size - 1):
         sends = {successor: in_hand} if in_hand.size else {}
-        inbox = _exchange(conn, sends, codec)
+        inbox = _exchange(conn, rank, sends, codec, faults, lossy=False)
         in_hand = inbox[0][1] if inbox else np.empty(0, dtype=VERTEX_DTYPE)
         gathered.append(in_hand)
     return np.unique(np.concatenate(gathered))
@@ -274,6 +445,7 @@ def _fold_phase(
     contrib: dict[int, np.ndarray],
     mode: str,
     codec: WireCodec,
+    faults: _WorkerFaults | None = None,
 ) -> np.ndarray:
     """Row-group fold: direct personalized sends or the union reduce-scatter ring.
 
@@ -292,7 +464,7 @@ def _fold_phase(
             for m, chunk in contrib.items()
             if m != idx and chunk.size
         }
-        inbox = _exchange(conn, sends, codec)
+        inbox = _exchange(conn, rank, sends, codec, faults, lossy=True)
         pieces = [contrib.get(idx, empty), *(payload for _src, payload in inbox)]
         merged = np.concatenate(pieces)
         return np.unique(merged) if merged.size else merged
@@ -307,7 +479,7 @@ def _fold_phase(
     result = empty
     for round_idx in range(size - 1):
         sends = {successor: chunk} if chunk.size else {}
-        inbox = _exchange(conn, sends, codec)
+        inbox = _exchange(conn, rank, sends, codec, faults, lossy=False)
         received = inbox[0][1] if inbox else empty
         dest = (idx - 2 - round_idx) % size
         own = contrib.get(dest, empty)

@@ -165,6 +165,13 @@ class Bfs2DEngine(LevelSyncEngine):
         for cache, sent in zip(self._sent_caches, snapshot):
             cache.restore(sent)
 
+    def _layout_checkpoint_nbytes(self) -> np.ndarray:
+        # the sent-neighbours cache travels in the buddy checkpoint as a
+        # bitset over each rank's sent universe
+        return np.array(
+            [(len(cache) + 7) // 8 for cache in self._sent_caches], dtype=np.int64
+        )
+
     # ------------------------------------------------------------------ #
     # one level (Algorithm 2, steps 7-21)
     # ------------------------------------------------------------------ #

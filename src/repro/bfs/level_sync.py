@@ -114,6 +114,13 @@ class LevelSyncEngine(abc.ABC):
         simulated time stays on the clocks and is tallied in the fault
         report.  The re-execution draws fresh fault decisions, so it can
         (and eventually will) succeed.
+
+        Under crash injection the level entry additionally replicates
+        every rank's checkpoint to its buddy
+        (:meth:`~repro.runtime.comm.Communicator.replicate_checkpoint`);
+        a crash detected during the level triggers the failover protocol
+        (spare takeover or shrink absorption) and a replay of the level
+        from that checkpoint.
         """
         if not self._started:
             raise SearchError("engine not started; call start(source) first")
@@ -131,9 +138,15 @@ class LevelSyncEngine(abc.ABC):
         faults = self.comm.faults
         checkpointing = self.opts.checkpoint
         if checkpointing is None:
-            checkpointing = faults is not None and faults.spec.drop_rate > 0
+            checkpointing = faults is not None and faults.spec.needs_checkpoint
+        if checkpointing and faults is not None and faults.spec.buddy_checkpointing:
+            # buddy replication makes the level-entry snapshot crash-proof:
+            # each rank's O(n/P) state streams to its ring partner
+            self.comm.replicate_checkpoint(self._checkpoint_nbytes())
         attempts_left = faults.spec.max_level_retries if faults is not None else 0
         rollbacks = 0
+        replays = 0
+        replay_span = None
         while True:
             snapshot = self._checkpoint() if checkpointing else None
             elapsed_before = clock.elapsed
@@ -141,25 +154,54 @@ class LevelSyncEngine(abc.ABC):
             new_frontiers = self._expand_level()
             sizes = np.array([f.size for f in new_frontiers], dtype=np.float64)
             total_new = int(self.comm.allreduce_sum(sizes))
-            if not self.comm.consume_level_failure():
+            if replay_span is not None:
+                obs.end(replay_span)
+                replay_span = None
+            crashes = self.comm.consume_crashes()
+            failed = self.comm.consume_level_failure()
+            if not crashes and not failed:
                 break
             if snapshot is None:
                 raise FaultError(
-                    f"message lost for good at level {self.level} and "
-                    "checkpointing is disabled (BfsOptions.checkpoint=False)"
+                    f"state lost at level {self.level} and checkpointing is "
+                    "disabled (BfsOptions.checkpoint=False)",
+                    report=self.comm.fault_report(),
                 )
             if attempts_left <= 0:
                 raise FaultError(
                     f"level {self.level} still failing after "
-                    f"{faults.spec.max_level_retries} rollbacks"
+                    f"{faults.spec.max_level_retries} rollbacks",
+                    report=self.comm.fault_report(),
                 )
             attempts_left -= 1
-            rollbacks += 1
-            with obs.span("fault-recovery", cat="phase", level=self.level):
-                stats.abort_level()
-                self._restore(snapshot)
-                faults.record_rollback(clock.elapsed - elapsed_before)
-            logger.debug("level %d rolled back after an unrecovered loss", self.level)
+            if crashes:
+                replays += 1
+                with obs.span(
+                    "crash-recovery",
+                    cat="phase",
+                    level=self.level,
+                    ranks=[event.rank for event in crashes],
+                ):
+                    stats.abort_level()
+                    self._restore(snapshot)
+                    self.comm.recover_crashes(crashes, self._checkpoint_nbytes())
+                    faults.record_replay(clock.elapsed - elapsed_before)
+                if obs.enabled:
+                    replay_span = obs.begin("replay", cat="phase", level=self.level)
+                logger.debug(
+                    "level %d replayed after rank crash(es) %s",
+                    self.level,
+                    [event.rank for event in crashes],
+                )
+            else:
+                rollbacks += 1
+                with obs.span("fault-recovery", cat="phase", level=self.level):
+                    stats.abort_level()
+                    self._restore(snapshot)
+                    faults.record_rollback(clock.elapsed - elapsed_before)
+                logger.debug(
+                    "level %d rolled back after an unrecovered loss", self.level
+                )
         self.frontier = new_frontiers
         level_stats = stats.end_level(
             total_new,
@@ -168,7 +210,7 @@ class LevelSyncEngine(abc.ABC):
             fault_seconds=clock.max_fault_time - fault_before,
         )
         if level_span is not None:
-            obs.end(level_span, frontier=total_new, rollbacks=rollbacks)
+            obs.end(level_span, frontier=total_new, rollbacks=rollbacks, replays=replays)
         logger.debug(
             "level %d: frontier=%d delivered=%d messages=%d",
             self.level,
@@ -182,6 +224,33 @@ class LevelSyncEngine(abc.ABC):
     # ------------------------------------------------------------------ #
     # level-boundary checkpointing (fault recovery)
     # ------------------------------------------------------------------ #
+    def _checkpoint_nbytes(self) -> np.ndarray:
+        """Per-rank byte size of the buddy-replicated checkpoint.
+
+        The O(n/P) state a partner must hold to resurrect a rank: the
+        owned level slice (one level word per vertex), the current
+        frontier (vertex ids), a visited bitmap over the owned span, and
+        whatever layout-specific cache the engine carries (the
+        sent-neighbours cache, via :meth:`_layout_checkpoint_nbytes`).
+        """
+        nranks = self.comm.nranks
+        spans = np.empty(nranks, dtype=np.int64)
+        for rank in range(nranks):
+            lo, hi = self.owned_slice(rank)
+            spans[rank] = hi - lo
+        frontier_sizes = np.array([f.size for f in self.frontier], dtype=np.int64)
+        levels_bytes = spans * self._levels_flat.dtype.itemsize
+        frontier_bytes = frontier_sizes * np.dtype(VERTEX_DTYPE).itemsize
+        bitmap_bytes = (spans + 7) // 8
+        return (
+            levels_bytes + frontier_bytes + bitmap_bytes
+            + self._layout_checkpoint_nbytes()
+        )
+
+    def _layout_checkpoint_nbytes(self) -> np.ndarray | int:
+        """Layout-specific extra checkpoint bytes per rank (default none)."""
+        return 0
+
     def _checkpoint(self):
         """Snapshot every mutable per-search structure at a level boundary."""
         return (

@@ -83,8 +83,9 @@ def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--faults", default=None, metavar="SPEC",
-        help="fault-injection spec: a preset (mild, harsh) or e.g. "
-             "'drop=0.05,degrade=0.25x4,straggler=0.1x3,down=2,seed=7'",
+        help="fault-injection spec: a preset (mild, harsh, crash-spare, "
+             "crash-shrink, crash-harsh) or e.g. 'drop=0.05,crash=0.1,"
+             "recovery=spare,degrade=0.25x4,straggler=0.1x3,down=2,seed=7'",
     )
     parser.add_argument("--no-sent-cache", action="store_true")
     parser.add_argument("--buffer-capacity", type=int, default=None)

@@ -46,9 +46,17 @@ class FaultError(CommunicationError):
     """The fault-recovery machinery could not restore a consistent state.
 
     Raised when a message chunk is lost for good (retry budget exhausted)
-    and level checkpointing is disabled, or when a level keeps failing
-    after ``max_level_retries`` re-executions.
+    and level checkpointing is disabled, when a level keeps failing after
+    ``max_level_retries`` re-executions, or when a rank crash is
+    unrecoverable (checkpoint buddies died together).  ``report`` carries
+    the structured :class:`repro.faults.FaultReport` at failure time when
+    the raiser had one (``None`` otherwise), so harnesses can fail loudly
+    with the full fault tally instead of a bare message.
     """
+
+    def __init__(self, message: str, *, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class TopologyError(ConfigurationError):

@@ -1,0 +1,97 @@
+"""Crash events and the keyed (order-independent) drop stream.
+
+Two building blocks shared by the simulator's
+:class:`repro.faults.FaultSchedule` and the SPMD backend's per-process
+workers:
+
+* :class:`CrashEvent` — one scheduled rank crash (rank, level, phase),
+  sampled at schedule construction.
+* :class:`KeyedDropStream` — per-transmission drop decisions drawn from a
+  splitmix64 hash of ``(seed, src, dst, k)`` where ``k`` is the pair's
+  monotone transmission counter.  Unlike a shared sequential stream, the
+  draw for the k-th transmission on a link does not depend on the order
+  in which *other* links send — so P independent SPMD processes make
+  byte-identical decisions to the single-process simulator, and a
+  replayed level (whose counters have advanced) sees fresh draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MASK = (1 << 64) - 1
+#: stream tag separating drop draws from any other keyed consumer
+_DROP_TAG = 0x9E6B_1F2A_D7C3_5E81
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer: a high-quality 64-bit mixing function."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def keyed_uniform(seed: int, src: int, dst: int, k: int) -> float:
+    """Deterministic uniform in ``[0, 1)`` for transmission ``k`` on a link."""
+    h = _mix64(seed ^ _DROP_TAG)
+    h = _mix64(h ^ src)
+    h = _mix64(h ^ dst)
+    h = _mix64(h ^ k)
+    return (h >> 11) * (1.0 / (1 << 53))
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """One scheduled whole-rank crash."""
+
+    #: the rank that dies
+    rank: int
+    #: BFS level at which the crash strikes
+    level: int
+    #: where in the level it strikes: ``"exchange"`` or ``"allreduce"``
+    phase: str
+
+
+class KeyedDropStream:
+    """Stateful per-link transmission-drop decisions (see module docstring).
+
+    Each ``(src, dst)`` pair carries a monotone counter of draws made, so
+    the decision sequence on a link is a pure function of the spec seed
+    and how many transmissions that link has attempted — independent of
+    every other link and of which process asks.
+    """
+
+    __slots__ = ("seed", "drop_rate", "max_retries", "_counters")
+
+    def __init__(self, seed: int, drop_rate: float, max_retries: int) -> None:
+        self.seed = int(seed)
+        self.drop_rate = float(drop_rate)
+        self.max_retries = int(max_retries)
+        self._counters: dict[tuple[int, int], int] = {}
+
+    def plan(self, src: int, dst: int) -> tuple[int, bool]:
+        """Fate of one chunk ``src -> dst``: ``(transmissions, delivered)``.
+
+        Each transmission is dropped independently with ``drop_rate``; a
+        drop triggers a retransmission until the chunk arrives or
+        ``max_retries`` retries are spent.  Every draw advances the
+        pair's counter (a successful transmission consumes one draw too).
+        """
+        if self.drop_rate <= 0.0:
+            return 1, True
+        key = (src, dst)
+        k = self._counters.get(key, 0)
+        drops = 0
+        while (
+            drops <= self.max_retries
+            and keyed_uniform(self.seed, src, dst, k + drops) < self.drop_rate
+        ):
+            drops += 1
+        delivered = drops <= self.max_retries
+        transmissions = drops + 1 if delivered else drops
+        self._counters[key] = k + transmissions
+        return transmissions, delivered
+
+
+__all__ = ["CrashEvent", "KeyedDropStream", "keyed_uniform"]

@@ -1,0 +1,261 @@
+"""Per-run sampled fault decisions: :class:`FaultSchedule`.
+
+The schedule is the stateful object the communicator consults on every
+wire message and at every crash/recovery boundary.  Link degradation,
+stragglers, the dying link, and the crash plan are sampled once at
+construction from named streams (stable in ``spec.seed`` and ``nranks``
+only).  Transient drops come from the keyed
+:class:`~repro.faults.crash.KeyedDropStream`: deterministic per link and
+transmission index, independent of execution order — which is what makes
+the single-process simulator and the multi-process SPMD backend agree
+byte-for-byte, and what gives a replayed level fresh draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FaultError
+from repro.faults.crash import CrashEvent, KeyedDropStream
+from repro.faults.report import FaultReport
+from repro.faults.spec import FaultSpec
+
+from dataclasses import replace
+
+
+class FaultSchedule:
+    """Per-run sampled fault decisions, consulted by the communicator."""
+
+    __slots__ = ("spec", "nranks", "report", "_drops", "_link_multipliers",
+                 "_compute_multipliers", "_down_pair", "_level",
+                 "_crash_events", "_crash_fired", "_dead", "_spares_used",
+                 "_host", "_has_cohosting")
+
+    def __init__(self, spec: FaultSpec, nranks: int) -> None:
+        # Deferred so that repro.types -> repro.faults does not pull in the
+        # repro.utils package (whose __init__ imports repro.types back).
+        from repro.utils.rng import RngFactory
+
+        if nranks < 1:
+            raise ConfigurationError(f"need at least one rank, got {nranks}")
+        self.spec = spec
+        self.nranks = int(nranks)
+        self.report = FaultReport()
+        factory = RngFactory(spec.seed)
+        self._drops = KeyedDropStream(spec.seed, spec.drop_rate, spec.max_retries)
+        self._level = 0
+
+        #: degraded directed rank pairs -> wire-cost multiplier
+        self._link_multipliers: dict[tuple[int, int], float] = {}
+        if spec.degraded_link_rate > 0 and spec.degradation_factor > 1:
+            link_rng = factory.named("faults:links")
+            for src in range(nranks):
+                for dst in range(nranks):
+                    if src != dst and link_rng.random() < spec.degraded_link_rate:
+                        self._link_multipliers[(src, dst)] = spec.degradation_factor
+        self.report.degraded_links = len(self._link_multipliers)
+
+        self._compute_multipliers = np.ones(nranks, dtype=np.float64)
+        if spec.straggler_rate > 0 and spec.straggler_slowdown > 1:
+            straggler_rng = factory.named("faults:stragglers")
+            mask = straggler_rng.random(nranks) < spec.straggler_rate
+            self._compute_multipliers[mask] = spec.straggler_slowdown
+        self.report.straggler_ranks = int((self._compute_multipliers > 1).sum())
+
+        self._down_pair: tuple[int, int] | None = None
+        if spec.down_level is not None and nranks > 1:
+            down_rng = factory.named("faults:down")
+            src = int(down_rng.integers(nranks))
+            dst = int(down_rng.integers(nranks - 1))
+            self._down_pair = (src, dst if dst < src else dst + 1)
+            self.report.link_down = self._down_pair
+
+        # The crash plan: per-rank coin at crash_rate, a uniform level in
+        # [0, crash_max_level], and the phase the crash strikes in (the
+        # allreduce phase only when the spec drops the reliable-collective
+        # assumption).  A rank crashes at most once per run.
+        events: list[CrashEvent] = []
+        if spec.crash_rate > 0 and nranks > 1:
+            crash_rng = factory.named("faults:crashes")
+            for rank in range(nranks):
+                if crash_rng.random() < spec.crash_rate:
+                    level = int(crash_rng.integers(spec.crash_max_level + 1))
+                    phase = "exchange"
+                    if spec.collective_faults and crash_rng.random() < 0.5:
+                        phase = "allreduce"
+                    events.append(CrashEvent(rank=rank, level=level, phase=phase))
+        self._crash_events: tuple[CrashEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.level, e.rank))
+        )
+        self._crash_fired: set[int] = set()
+        #: ranks currently dead (crashed, recovery not yet executed)
+        self._dead: set[int] = set()
+        self._spares_used = 0
+        #: physical host of each logical rank (shrink recovery cohosts)
+        self._host = np.arange(nranks, dtype=np.int64)
+        self._has_cohosting = False
+
+    # ------------------------------------------------------------------ #
+    # queries made by the communicator
+    # ------------------------------------------------------------------ #
+    def begin_level(self, level: int) -> None:
+        """Tell the schedule which BFS level is executing (link-down gate)."""
+        self._level = int(level)
+
+    def link_multiplier(self, src: int, dst: int) -> float:
+        """Wire-cost multiplier for messages ``src -> dst`` at the current level."""
+        if (
+            self._down_pair == (src, dst)
+            and self.spec.down_level is not None
+            and self._level >= self.spec.down_level
+        ):
+            return self.spec.down_detour_factor
+        return self._link_multipliers.get((src, dst), 1.0)
+
+    def compute_multiplier(self, rank: int) -> float:
+        """Compute-time multiplier of ``rank`` (> 1 for stragglers)."""
+        return float(self._compute_multipliers[rank])
+
+    @property
+    def compute_multipliers(self) -> np.ndarray:
+        """Per-rank compute-time multipliers (read-only view for bulk charging)."""
+        return self._compute_multipliers
+
+    def compute_fault_extra(self, seconds: np.ndarray) -> np.ndarray:
+        """Per-rank fault seconds riding on a bulk compute charge.
+
+        Straggler ranks pay their slowdown excess; after a shrink
+        failover the surviving host additionally serializes every
+        absorbed rank's compute (the cohost model: one node, two
+        partitions, no extra parallelism).
+        """
+        extra = seconds * (self._compute_multipliers - 1.0)
+        if self._has_cohosting:
+            absorbed = self._host != np.arange(self.nranks)
+            if absorbed.any():
+                hosted = np.zeros(self.nranks, dtype=np.float64)
+                np.add.at(hosted, self._host[absorbed], seconds[absorbed])
+                extra = extra + hosted
+        return extra
+
+    def host_of(self, rank: int) -> int:
+        """Physical host of logical ``rank`` (differs after shrink recovery)."""
+        return int(self._host[rank])
+
+    def transmission_plan(self, src: int, dst: int) -> tuple[int, bool]:
+        """Decide the fate of one chunk ``src -> dst``.
+
+        Returns ``(transmissions, delivered)`` and tallies the report;
+        the decision comes from the keyed drop stream (see the module
+        docstring).
+        """
+        transmissions, delivered = self._drops.plan(src, dst)
+        drops = transmissions - 1 if delivered else transmissions
+        if drops:
+            self.report.injected += drops
+            self.report.retries += transmissions - 1
+            if delivered:
+                self.report.recovered += 1
+            else:
+                self.report.unrecovered += 1
+        return transmissions, delivered
+
+    def retry_penalty(self, drops: int) -> float:
+        """Timeout seconds the sender waits to detect ``drops`` losses."""
+        spec = self.spec
+        return spec.retry_timeout * sum(spec.backoff**i for i in range(drops))
+
+    # ------------------------------------------------------------------ #
+    # crash lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def crash_events(self) -> tuple[CrashEvent, ...]:
+        """The full construction-sampled crash plan (read-only)."""
+        return self._crash_events
+
+    @property
+    def dead_ranks(self) -> frozenset[int]:
+        """Ranks that crashed and have not executed recovery yet."""
+        return frozenset(self._dead)
+
+    def fire_crashes(self, phase: str) -> list[CrashEvent]:
+        """Fire (once) every crash scheduled for the current level/``phase``."""
+        fired = [
+            event
+            for event in self._crash_events
+            if event.level == self._level
+            and event.phase == phase
+            and event.rank not in self._crash_fired
+        ]
+        for event in fired:
+            self._crash_fired.add(event.rank)
+            self._dead.add(event.rank)
+        self.report.crashes += len(fired)
+        return fired
+
+    def buddy_of(self, rank: int) -> int:
+        """The partner rank holding ``rank``'s level-boundary checkpoint."""
+        return (rank + 1) % self.nranks
+
+    def check_recoverable(self, events: list[CrashEvent]) -> None:
+        """Raise :class:`FaultError` when a crash batch is unrecoverable.
+
+        The buddy ring replicates rank ``r``'s checkpoint onto
+        ``(r+1) % P``; when both die in the same level the checkpoint is
+        gone with them and no recovery mode can reconstruct the
+        partition.
+        """
+        ranks = {event.rank for event in events}
+        for event in events:
+            buddy = self.buddy_of(event.rank)
+            if buddy in ranks:
+                raise FaultError(
+                    f"unrecoverable crash at level {event.level}: ranks "
+                    f"{event.rank} and {buddy} are checkpoint buddies and "
+                    "died together, so the buddy checkpoint is lost"
+                )
+
+    def assign_recovery(self, rank: int) -> str:
+        """Pick and register the failover mode for crashed ``rank``.
+
+        Returns ``"spare"`` (a reserved spare adopts the slot) while the
+        spec's spare pool lasts, falling back to ``"shrink"`` (the buddy
+        absorbs the partition as a cohost) otherwise.
+        """
+        self._dead.discard(rank)
+        spec = self.spec
+        if spec.recovery == "spare" and self._spares_used < spec.spare_ranks:
+            self._spares_used += 1
+            self.report.spare_failovers += 1
+            return "spare"
+        host = int(self._host[self.buddy_of(rank)])
+        self._host[rank] = host
+        # anything this rank was hosting migrates with it
+        self._host[self._host == rank] = host
+        self._has_cohosting = True
+        self.report.shrink_failovers += 1
+        return "shrink"
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping shared with the engines
+    # ------------------------------------------------------------------ #
+    def record_rollback(self, wasted_seconds: float) -> None:
+        """Count one level rollback that threw away ``wasted_seconds``."""
+        self.report.rollbacks += 1
+        self.report.rollback_seconds += float(wasted_seconds)
+
+    def record_replay(self, wasted_seconds: float) -> None:
+        """Count one crash-triggered level replay (wasted attempt seconds)."""
+        self.report.replayed_levels += 1
+        self.report.rollback_seconds += float(wasted_seconds)
+
+    def record_checkpoint(self, nbytes: int) -> None:
+        """Tally one level boundary's buddy-replication traffic."""
+        self.report.checkpoint_bytes += int(nbytes)
+
+    def snapshot_report(self, overhead_seconds: float) -> FaultReport:
+        """Freeze the current report with the clock's fault-time total."""
+        return replace(self.report, overhead_seconds=float(overhead_seconds))
+
+
+__all__ = ["FaultSchedule"]

@@ -1,0 +1,250 @@
+"""Declarative fault workloads: :class:`FaultSpec` and the named presets.
+
+A spec describes *what can go wrong* — wire-level faults (transient
+drops, degraded links, a permanent link-down, stragglers) and, since the
+crash-tolerance work, whole-rank crashes with their recovery policy.
+Everything is seeded; the spec itself is frozen and hashable so it can
+ride inside :class:`repro.types.SystemSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """Declarative, seeded description of a fault-injection workload.
+
+    All rates are probabilities in ``[0, 1]``; all multipliers are
+    ``>= 1``.  The default instance injects nothing (and a ``None``
+    spec everywhere means "fault layer disabled, zero overhead").
+    """
+
+    #: seed of every random fault decision (drops, link/straggler choice)
+    seed: int = 0
+    #: probability that any single transmission of a message chunk is lost
+    drop_rate: float = 0.0
+    #: fraction of directed rank pairs whose link is degraded
+    degraded_link_rate: float = 0.0
+    #: wire-cost multiplier on degraded links
+    degradation_factor: float = 2.0
+    #: fraction of ranks that straggle
+    straggler_rate: float = 0.0
+    #: compute-time multiplier on straggler ranks
+    straggler_slowdown: float = 2.0
+    #: BFS level at which one sampled link goes permanently down (None = never)
+    down_level: int | None = None
+    #: detour cost multiplier for traffic rerouted around the dead link
+    down_detour_factor: float = 3.0
+    #: retransmissions attempted per dropped chunk before giving up
+    max_retries: int = 3
+    #: simulated seconds to detect the first lost transmission
+    retry_timeout: float = 5.0e-5
+    #: timeout growth factor per further retry (exponential backoff)
+    backoff: float = 2.0
+    #: level re-executions allowed after unrecovered losses before erroring
+    max_level_retries: int = 25
+    #: per-rank probability of crashing once during the run (1.0 = all crash)
+    crash_rate: float = 0.0
+    #: crash levels are sampled uniformly from ``[0, crash_max_level]``
+    crash_max_level: int = 4
+    #: failover policy after a crash: ``"spare"`` or ``"shrink"``
+    recovery: str = "spare"
+    #: reserved spare ranks (spare mode falls back to shrink when exhausted)
+    spare_ranks: int = 1
+    #: simulated seconds every rank spends detecting a dead peer
+    detect_timeout: float = 5.0e-4
+    #: allow crashes to strike during reductions too (drops the
+    #: "collective network is reliable" assumption)
+    collective_faults: bool = False
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigurationError(f"fault seed must be non-negative, got {self.seed}")
+        for name in ("drop_rate", "degraded_link_rate", "straggler_rate", "crash_rate"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.drop_rate >= 1.0:
+            raise ConfigurationError("drop_rate must be < 1 (nothing would ever arrive)")
+        for name in ("degradation_factor", "straggler_slowdown", "down_detour_factor",
+                     "backoff"):
+            if getattr(self, name) < 1.0:
+                raise ConfigurationError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.max_retries < 0 or self.max_level_retries < 0:
+            raise ConfigurationError("retry counts must be non-negative")
+        if self.retry_timeout < 0:
+            raise ConfigurationError("retry_timeout must be non-negative")
+        if self.down_level is not None and self.down_level < 0:
+            raise ConfigurationError(f"down_level must be non-negative, got {self.down_level}")
+        if self.crash_max_level < 0:
+            raise ConfigurationError(
+                f"crash_max_level must be non-negative, got {self.crash_max_level}"
+            )
+        if self.recovery not in ("spare", "shrink"):
+            raise ConfigurationError(
+                f"recovery must be 'spare' or 'shrink', got {self.recovery!r}"
+            )
+        if self.spare_ranks < 0:
+            raise ConfigurationError(f"spare_ranks must be non-negative, got {self.spare_ranks}")
+        if self.detect_timeout < 0:
+            raise ConfigurationError("detect_timeout must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec can inject any fault at all."""
+        return (
+            self.drop_rate > 0
+            or (self.degraded_link_rate > 0 and self.degradation_factor > 1)
+            or (self.straggler_rate > 0 and self.straggler_slowdown > 1)
+            or self.down_level is not None
+            or self.crash_rate > 0
+        )
+
+    @property
+    def needs_checkpoint(self) -> bool:
+        """Whether a run under this spec can lose state (and must checkpoint)."""
+        return self.drop_rate > 0 or self.crash_rate > 0
+
+    @property
+    def buddy_checkpointing(self) -> bool:
+        """Whether level-boundary buddy replication is in force (crashes on)."""
+        return self.crash_rate > 0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Build a spec from a preset name or a ``key=value,...`` string.
+
+        Examples: ``"mild"``, ``"harsh"``, ``"crash-spare"``,
+        ``"drop=0.05,degrade=0.25x4,straggler=0.1x3,down=2,seed=7"``,
+        ``"crash=0.2,recovery=shrink,collective=1"``.
+        ``degrade`` and ``straggler`` take ``ratexfactor``; the remaining
+        keys map onto the dataclass fields (``retries``, ``crash``,
+        ``crash_level``, ``spares``, and ``detect`` are shorthands for
+        ``max_retries``, ``crash_rate``, ``crash_max_level``,
+        ``spare_ranks``, and ``detect_timeout``).
+        """
+        text = text.strip()
+        if text in FAULT_PRESETS:
+            return FAULT_PRESETS[text]
+        if "=" not in text:
+            raise ConfigurationError(
+                f"unknown fault preset {text!r}; valid presets: "
+                f"{list(FAULT_PRESETS)} (or a key=value,... string)"
+            )
+        kwargs: dict = {}
+        for part in filter(None, (p.strip() for p in text.split(","))):
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"bad fault token {part!r} in {text!r}: expected key=value; "
+                    f"valid presets: {list(FAULT_PRESETS)}"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "degrade":
+                    rate, factor = _parse_rate_factor(value)
+                    kwargs["degraded_link_rate"] = rate
+                    kwargs["degradation_factor"] = factor
+                elif key == "straggler":
+                    rate, factor = _parse_rate_factor(value)
+                    kwargs["straggler_rate"] = rate
+                    kwargs["straggler_slowdown"] = factor
+                elif key in _KEY_ALIASES:
+                    field = _KEY_ALIASES[key]
+                    kwargs[field] = _FIELD_PARSERS[field](value)
+                elif key in _FIELD_PARSERS:
+                    kwargs[key] = _FIELD_PARSERS[key](value)
+                else:
+                    raise ConfigurationError(
+                        f"unknown fault key {key!r} in token {part!r}; valid "
+                        f"keys: {sorted(set(_FIELD_PARSERS) | set(_KEY_ALIASES) | {'degrade', 'straggler'})}"
+                    )
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad fault value {value!r} for key {key!r} "
+                    f"(in token {part!r}): {exc}"
+                ) from exc
+        return cls(**kwargs)
+
+
+def _parse_rate_factor(value: str) -> tuple[float, float]:
+    """Parse ``"0.25x4"`` (rate, factor); a bare rate keeps the default factor."""
+    if "x" in value:
+        rate, _, factor = value.partition("x")
+        return float(rate), float(factor)
+    return float(value), 2.0
+
+
+def _parse_bool(value: str) -> bool:
+    lowered = value.lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean (1/0/true/false), got {value!r}")
+
+
+def _parse_recovery(value: str) -> str:
+    if value not in ("spare", "shrink"):
+        raise ValueError(f"expected 'spare' or 'shrink', got {value!r}")
+    return value
+
+
+#: field name -> value parser (types of the corresponding FaultSpec fields)
+_FIELD_PARSERS: dict[str, object] = {
+    "seed": int,
+    "drop_rate": float,
+    "degraded_link_rate": float,
+    "degradation_factor": float,
+    "straggler_rate": float,
+    "straggler_slowdown": float,
+    "down_level": int,
+    "down_detour_factor": float,
+    "max_retries": int,
+    "retry_timeout": float,
+    "backoff": float,
+    "max_level_retries": int,
+    "crash_rate": float,
+    "crash_max_level": int,
+    "recovery": _parse_recovery,
+    "spare_ranks": int,
+    "detect_timeout": float,
+    "collective_faults": _parse_bool,
+}
+
+#: CLI shorthands -> field names
+_KEY_ALIASES: dict[str, str] = {
+    "drop": "drop_rate",
+    "down": "down_level",
+    "retries": "max_retries",
+    "crash": "crash_rate",
+    "crash_level": "crash_max_level",
+    "spares": "spare_ranks",
+    "detect": "detect_timeout",
+    "collective": "collective_faults",
+}
+
+
+#: Named workloads for the CLI and the harness sweeps.
+FAULT_PRESETS: dict[str, FaultSpec] = {
+    "none": FaultSpec(),
+    "mild": FaultSpec(drop_rate=0.01, degraded_link_rate=0.1, degradation_factor=2.0,
+                      straggler_rate=0.1, straggler_slowdown=1.5),
+    "harsh": FaultSpec(drop_rate=0.05, degraded_link_rate=0.25, degradation_factor=4.0,
+                       straggler_rate=0.25, straggler_slowdown=3.0, down_level=2),
+    "crash-spare": FaultSpec(crash_rate=0.15, recovery="spare", spare_ranks=2),
+    "crash-shrink": FaultSpec(crash_rate=0.15, recovery="shrink"),
+    "crash-harsh": FaultSpec(drop_rate=0.02, degraded_link_rate=0.1,
+                             degradation_factor=2.0, straggler_rate=0.1,
+                             straggler_slowdown=2.0, crash_rate=0.25,
+                             recovery="spare", spare_ranks=1,
+                             collective_faults=True),
+}
+
+
+__all__ = ["FAULT_PRESETS", "FaultSpec"]

@@ -1,0 +1,116 @@
+"""Correctness oracles for fault-injected BFS runs.
+
+The chaos harness's core claim: *a recoverable fault schedule never
+changes the answer*.  :func:`validate_run` checks one faulted
+:class:`~repro.bfs.result.BfsResult` from four independent angles:
+
+1. **Byte-identity** — the level array equals the fault-free baseline
+   (or the serial oracle when no baseline is given) bit for bit.
+2. **Structure** — the levels admit a parent tree
+   (:func:`~repro.bfs.tree.build_parent_tree`) and pass the
+   Graph500-style checks of :func:`~repro.bfs.tree.validate_bfs_result`.
+3. **Message conservation** — the fault layer's report and the runtime's
+   statistics tell the same story: every injected drop shows up in
+   ``stats.total_drops``, every retransmission in ``stats.total_retries``,
+   and every rollback/replay in ``stats.total_rollbacks``.
+4. **Clock monotonicity** — no per-level time bucket is negative, and the
+   run's elapsed simulated time is bounded by its bucket maxima.
+
+:func:`validate_run` returns a list of human-readable problem strings —
+empty means the run validated.  It never raises on a bad run (the chaos
+harness wants to tally failures, not die on the first one).
+
+This module imports the BFS layer, so it is deliberately *not* re-exported
+from :mod:`repro.faults` (whose other members are imported by low-level
+modules like ``repro.types``): import it as ``repro.faults.validate``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.result import BfsResult
+from repro.bfs.serial import serial_bfs
+from repro.bfs.tree import build_parent_tree, validate_bfs_result
+from repro.errors import SearchError
+from repro.graph.csr import CsrGraph
+
+#: slack for float comparisons between clock buckets
+_EPS = 1e-9
+
+
+def validate_run(
+    graph: CsrGraph,
+    source: int,
+    result: BfsResult,
+    baseline_levels: np.ndarray | None = None,
+) -> list[str]:
+    """Validate one faulted run; returns problem strings (empty = valid)."""
+    problems: list[str] = []
+
+    # 1. byte-identity against the fault-free answer
+    expected = baseline_levels if baseline_levels is not None else serial_bfs(graph, source)
+    if not np.array_equal(result.levels, expected):
+        diff = int((np.asarray(result.levels) != np.asarray(expected)).sum())
+        problems.append(
+            f"levels differ from the fault-free baseline at {diff} vertices"
+        )
+
+    # 2. structural validation (independent of any second BFS)
+    try:
+        parents = build_parent_tree(graph, result.levels)
+    except SearchError as exc:
+        problems.append(f"parent tree construction failed: {exc}")
+    else:
+        report = validate_bfs_result(graph, source, result.levels, parents)
+        if not report.ok:
+            problems.extend(f"structural check failed — {m}" for m in report.messages)
+
+    # 3. message conservation between the fault report and the statistics
+    faults, stats = result.faults, result.stats
+    if faults is not None:
+        if stats.total_drops != faults.injected:
+            problems.append(
+                f"drop conservation violated: stats counted {stats.total_drops} "
+                f"drops but the fault report injected {faults.injected}"
+            )
+        if stats.total_retries != faults.retries:
+            problems.append(
+                f"retry conservation violated: stats counted {stats.total_retries} "
+                f"retransmissions but the fault report says {faults.retries}"
+            )
+        expected_rollbacks = faults.rollbacks + faults.replayed_levels
+        if stats.total_rollbacks != expected_rollbacks:
+            problems.append(
+                f"rollback conservation violated: stats counted "
+                f"{stats.total_rollbacks} level re-executions but the report "
+                f"has {faults.rollbacks} rollbacks + {faults.replayed_levels} "
+                "crash replays"
+            )
+        if faults.recovered + faults.unrecovered > faults.injected:
+            problems.append(
+                f"fault tally inconsistent: {faults.recovered} recovered + "
+                f"{faults.unrecovered} unrecovered chunks exceed "
+                f"{faults.injected} injected drops"
+            )
+
+    # 4. clock monotonicity
+    for s in stats.levels:
+        for name in ("comm_seconds", "compute_seconds", "fault_seconds"):
+            value = getattr(s, name)
+            if value < 0.0:
+                problems.append(f"level {s.level} has negative {name}: {value}")
+    buckets = (result.comm_time, result.compute_time)
+    fault_seconds = faults.overhead_seconds if faults is not None else 0.0
+    upper = result.comm_time + result.compute_time + fault_seconds + _EPS
+    if result.elapsed > upper:
+        problems.append(
+            f"elapsed {result.elapsed} exceeds comm+compute+fault bound {upper}"
+        )
+    for name, value in zip(("comm_time", "compute_time"), buckets):
+        if result.elapsed + _EPS < value:
+            problems.append(f"elapsed {result.elapsed} is below its {name} {value}")
+    return problems
+
+
+__all__ = ["validate_run"]

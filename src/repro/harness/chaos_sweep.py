@@ -1,0 +1,74 @@
+"""Command-line chaos-verification sweep (CI's fault smoke job).
+
+Samples hundreds of seeded fault schedules (``repro.faults.chaos``) and
+runs each against one pinned search, asserting the chaos invariant: every
+recoverable schedule reproduces the fault-free levels byte for byte, and
+every unrecoverable one fails loudly with a structured report.  Exits
+non-zero when any schedule produces an ``invalid`` outcome, so CI can
+gate on it directly::
+
+    PYTHONPATH=src python src/repro/harness/chaos_sweep.py --tiny --seeds 25
+    PYTHONPATH=src python src/repro/harness/chaos_sweep.py \
+        --n 400 --k 8 --grid 4x4 --seeds 200 --out chaos-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults.chaos import run_chaos
+from repro.graph.generators import poisson_random_graph
+from repro.types import GraphSpec
+
+
+def _parse_grid(text: str) -> tuple[int, int]:
+    rows, _, cols = text.lower().partition("x")
+    return int(rows), int(cols)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chaos_sweep",
+        description="Chaos-verify the fault layer over seeded random schedules.",
+    )
+    parser.add_argument("--n", type=int, default=400, help="graph vertices")
+    parser.add_argument("--k", type=float, default=8.0, help="average degree")
+    parser.add_argument("--grid", type=_parse_grid, default=(4, 4),
+                        help="processor grid RxC (default 4x4)")
+    parser.add_argument("--graph-seed", type=int, default=11, help="graph RNG seed")
+    parser.add_argument("--source", type=int, default=0, help="BFS source vertex")
+    parser.add_argument("--seeds", type=int, default=100,
+                        help="number of chaos schedules to sample")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="first chaos seed (cases use base..base+seeds-1)")
+    parser.add_argument("--tiny", action="store_true",
+                        help="shrink to a 120-vertex graph on a 2x2 grid (CI smoke)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON chaos report here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    n, k, grid = args.n, args.k, args.grid
+    if args.tiny:
+        n, k, grid = 120, 6.0, (2, 2)
+    graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=args.graph_seed))
+    seeds = range(args.base_seed, args.base_seed + args.seeds)
+    report = run_chaos(graph, grid, args.source, seeds)
+    print(report.summary())
+    for case in report.invalid_cases():
+        print(f"  INVALID seed={case.seed} spec={case.spec}")
+        for problem in case.problems:
+            print(f"    - {problem}")
+        if case.error:
+            print(f"    - error: {case.error}")
+    if args.out:
+        report.to_json(args.out)
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

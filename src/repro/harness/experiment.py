@@ -37,7 +37,7 @@ class ExperimentConfig:
     machine: str | None = "bluegene"
     mapping: str | None = "planar"
     wire: str | None = None
-    faults: FaultSpec | None = None
+    faults: FaultSpec | str | None = None
     observe: str | None = None
     source: int | None = None
     target: int | None = None
@@ -89,6 +89,37 @@ class ExperimentResult:
     def mean_compression(self) -> float:
         """Mean raw-over-encoded compression ratio (1.0 under the raw codec)."""
         return float(np.mean([r.stats.compression_ratio for r in self.runs]))
+
+    def fault_total(self, counter: str) -> int:
+        """Sum a :class:`~repro.faults.FaultReport` counter over all searches.
+
+        Fault-free runs contribute 0, so the totals are well-defined for
+        mixed sweeps (e.g. ``fault_total("crashes")``,
+        ``fault_total("checkpoint_bytes")``).
+        """
+        return sum(
+            int(getattr(r.faults, counter)) for r in self.runs if r.faults is not None
+        )
+
+    @property
+    def total_crashes(self) -> int:
+        """Rank crashes fired across all searches."""
+        return self.fault_total("crashes")
+
+    @property
+    def total_failovers(self) -> int:
+        """Spare + shrink failovers executed across all searches."""
+        return self.fault_total("spare_failovers") + self.fault_total("shrink_failovers")
+
+    @property
+    def total_replayed_levels(self) -> int:
+        """Crash-triggered level replays across all searches."""
+        return self.fault_total("replayed_levels")
+
+    @property
+    def total_checkpoint_bytes(self) -> int:
+        """Buddy-checkpoint replication traffic across all searches."""
+        return self.fault_total("checkpoint_bytes")
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:

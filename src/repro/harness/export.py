@@ -37,6 +37,10 @@ def results_to_rows(results: list[ExperimentResult]) -> list[dict[str, object]]:
                 "redundancy": result.mean_redundancy,
                 "wire_bytes": result.mean_wire_bytes,
                 "compression": result.mean_compression,
+                "crashes": result.total_crashes,
+                "failovers": result.total_failovers,
+                "replayed_levels": result.total_replayed_levels,
+                "checkpoint_bytes": result.total_checkpoint_bytes,
             }
         )
     return rows

@@ -106,16 +106,21 @@ def format_fault_sweep(points: list[FaultSweepPoint]) -> str:
     rows = [
         [
             f"{p.spec.drop_rate:.3f}",
+            f"{p.spec.crash_rate:.3f}",
             f"{p.baseline.elapsed:.6f}",
             f"{p.result.elapsed:.6f}",
             f"{100.0 * p.overhead_ratio:.2f}%",
             p.report.retries,
             p.report.rollbacks,
+            p.report.crashes,
+            p.report.failovers,
+            p.report.replayed_levels,
             "yes" if p.levels_match else "NO",
         ]
         for p in points
     ]
     return format_table(
-        ["drop", "baseline(s)", "faulted(s)", "overhead", "retries", "rollbacks", "levels ok"],
+        ["drop", "crash", "baseline(s)", "faulted(s)", "overhead", "retries",
+         "rollbacks", "crashes", "failovers", "replays", "levels ok"],
         rows,
     )

@@ -83,12 +83,33 @@ def trace_digest(events: Iterable["MessageEvent"]) -> str:
     return h.hexdigest()
 
 
+def fault_digest(report) -> str:
+    """Digest of a :class:`~repro.faults.FaultReport`'s integer tallies.
+
+    ``overhead_seconds``/``rollback_seconds`` are derived clock values
+    already covered by the clock digest, so only the discrete counters
+    take part.
+    """
+    h = _hasher()
+    for value in (
+        report.injected, report.retries, report.recovered, report.unrecovered,
+        report.rollbacks, report.degraded_links, report.straggler_ranks,
+        report.crashes, report.spare_failovers, report.shrink_failovers,
+        report.replayed_levels, report.checkpoint_bytes,
+    ):
+        h.update(str(int(value)).encode())
+    h.update(str(report.link_down).encode())
+    return h.hexdigest()
+
+
 def result_digests(result: "BfsResult") -> dict[str, str]:
     """All component digests of one run, plus their combination.
 
     Keys: ``levels``, ``stats``, ``trace`` (only when the run captured
-    message events), ``clock`` (elapsed/comm/compute/fault seconds), and
-    ``combined`` (a digest over the other digests, in key order).
+    message events), ``clock`` (elapsed/comm/compute/fault seconds),
+    ``faults`` (only when a fault schedule was attached — fault-free
+    digests are unchanged), and ``combined`` (a digest over the other
+    digests, in key order).
     """
     digests: dict[str, str] = {
         "levels": levels_digest(result.levels),
@@ -101,6 +122,11 @@ def result_digests(result: "BfsResult") -> dict[str, str]:
     obs = getattr(result, "observability", None)
     if obs is not None and obs.messages:
         digests["trace"] = trace_digest(obs.messages)
+    faults = getattr(result, "faults", None)
+    if faults is not None:
+        # fault-free runs keep their historical digests: the "faults" key
+        # only exists when a schedule was attached
+        digests["faults"] = fault_digest(faults)
     combined = _hasher()
     for key in sorted(digests):
         combined.update(f"{key}:{digests[key]}".encode())

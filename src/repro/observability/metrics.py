@@ -141,6 +141,11 @@ class MetricsRegistry:
             reg.record("bfs_fault_unrecovered_total", faults.unrecovered)
             reg.record("bfs_fault_rollbacks_total", faults.rollbacks)
             reg.record("bfs_fault_seconds_total", faults.added_seconds)
+            reg.record("bfs_fault_crashes_total", faults.crashes)
+            reg.record("bfs_fault_failovers_total", faults.spare_failovers, mode="spare")
+            reg.record("bfs_fault_failovers_total", faults.shrink_failovers, mode="shrink")
+            reg.record("bfs_fault_replayed_levels_total", faults.replayed_levels)
+            reg.record("bfs_fault_checkpoint_bytes_total", faults.checkpoint_bytes)
         return reg
 
     @classmethod

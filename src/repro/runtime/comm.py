@@ -27,6 +27,16 @@ that exhausts its retries is lost — the inbox never sees it — and the
 round is flagged so the BFS engine can roll the level back to its
 checkpoint.  Without a schedule every path below is byte-identical to the
 fault-free runtime.
+
+Rank crashes ride the same machinery: the schedule fires scheduled
+crashes at the first exchange of their level (or, with
+``collective_faults=True``, at the level's first reduction — the
+reliable-collective-network assumption dropped), every rank pays the
+``detect_timeout`` to notice the dead peer, messages to and from dead
+ranks are withheld, and the BFS engine drives the recovery —
+:meth:`Communicator.consume_crashes` + :meth:`Communicator.recover_crashes`
+— before replaying the level from its buddy checkpoint (replicated each
+level boundary through :meth:`Communicator.replicate_checkpoint`).
 """
 
 from __future__ import annotations
@@ -35,8 +45,8 @@ import math
 
 import numpy as np
 
-from repro.errors import CommunicationError
-from repro.faults import FaultReport, FaultSchedule, FaultSpec
+from repro.errors import CommunicationError, FaultError
+from repro.faults import CrashEvent, FaultReport, FaultSchedule, FaultSpec
 from repro.machine.bluegene import MachineModel
 from repro.machine.mapping import TaskMapping
 from repro.observability.spans import NULL_RECORDER, ObserveSpec, SpanRecorder
@@ -92,6 +102,10 @@ class Communicator:
             faults = FaultSchedule(faults, self.nranks)
         self.faults: FaultSchedule | None = faults
         self._level_failed = False
+        #: crashes fired since the last consume_crashes (engine recovery queue)
+        self._crash_pending: list[CrashEvent] = []
+        #: the level's first reduction may carry a crash (collective_faults)
+        self._allreduce_armed = False
         #: what the observability layer captures (``repro.observability``)
         self.observe = ObserveSpec.parse(observe)
         #: span recorder — the shared no-op singleton when spans are off
@@ -129,6 +143,11 @@ class Communicator:
         obs = self.obs
         span = obs.begin("exchange", cat="exchange", phase=phase) if obs.enabled else None
         faults = self.faults
+        dead: frozenset[int] | None = None
+        if faults is not None:
+            self._fire_crashes("exchange")
+            if faults.dead_ranks:
+                dead = faults.dead_ranks
         wire = self.wire
         raw_wire = wire.name == "raw"
         bpv = self.model.bytes_per_vertex
@@ -175,7 +194,9 @@ class Communicator:
                             self._level_failed = True
                     elif faults is not None:
                         plans.append((1, True))
-                    if delivered:
+                    if delivered and (
+                        dead is None or (src not in dead and dst not in dead)
+                    ):
                         inbox.setdefault(dst, []).append((src, chunk))
                     if not raw_wire and src != dst:
                         if codec_seconds is None:
@@ -307,6 +328,11 @@ class Communicator:
         if self.faults is not None:
             self.faults.begin_level(level)
         self._level_failed = False
+        # only the level's own termination reduction — the first one after
+        # begin_level — may carry a crash; later reductions (target checks,
+        # the bidirectional meet test) run outside the engine's recovery
+        # scope and stay reliable.
+        self._allreduce_armed = True
 
     def consume_level_failure(self) -> bool:
         """Return (and clear) whether an unrecovered loss occurred since
@@ -314,6 +340,127 @@ class Communicator:
         failed = self._level_failed
         self._level_failed = False
         return failed
+
+    def consume_crashes(self) -> list[CrashEvent]:
+        """Return (and clear) the crashes fired since the last call.
+
+        The BFS engine checks this right after the level's termination
+        reduction and, when non-empty, runs :meth:`recover_crashes` and
+        replays the level from its checkpoint.
+        """
+        crashed = self._crash_pending
+        self._crash_pending = []
+        return crashed
+
+    def recover_crashes(
+        self, events: list[CrashEvent], checkpoint_nbytes: np.ndarray
+    ) -> list[dict[str, object]]:
+        """Execute the failover protocol for a batch of crashes.
+
+        For every crashed rank the schedule picks the recovery mode:
+
+        * ``"spare"`` — a reserved spare node adopts the dead rank's slot;
+          the buddy streams the dead rank's checkpoint
+          (``checkpoint_nbytes[rank]`` bytes) to it over the network, and
+          every rank stalls for the transfer (fault time).
+        * ``"shrink"`` — the buddy already holds the checkpoint and simply
+          absorbs the partition as a cohost; no bulk transfer, but the
+          host serializes the absorbed rank's compute from now on (booked
+          as fault time by :meth:`charge_compute_many`).
+
+        Raises :class:`FaultError` when the batch is unrecoverable (a
+        buddy pair died together, taking the checkpoint with them).
+        Returns one summary dict per event for the observability spans.
+        """
+        faults = self.faults
+        obs = self.obs
+        try:
+            faults.check_recoverable(events)
+        except FaultError as exc:
+            exc.report = self.fault_report()
+            raise
+        summaries: list[dict[str, object]] = []
+        for event in events:
+            buddy = faults.buddy_of(event.rank)
+            mode = faults.assign_recovery(event.rank)
+            failover_span = (
+                obs.begin("failover", cat="phase", rank=event.rank,
+                          level=event.level, mode=mode)
+                if obs.enabled
+                else None
+            )
+            seconds = 0.0
+            nbytes = int(checkpoint_nbytes[event.rank])
+            if mode == "spare":
+                # the spare powers up in the dead node's torus slot; the
+                # buddy streams the checkpoint to it and the machine
+                # stalls until the partition is live again
+                send, recv, _ = self.network.round_times_arrays(
+                    np.array([buddy], dtype=np.int64),
+                    np.array([event.rank], dtype=np.int64),
+                    np.array([nbytes], dtype=np.int64),
+                )
+                seconds = float(max(send.max(), recv.max()))
+                if seconds > 0.0:
+                    self.clock.advance_many(
+                        np.full(self.nranks, seconds), kind="fault"
+                    )
+            if failover_span is not None:
+                obs.end(failover_span, seconds=seconds, bytes=nbytes)
+            summaries.append(
+                {"rank": event.rank, "level": event.level, "phase": event.phase,
+                 "mode": mode, "seconds": seconds, "bytes": nbytes}
+            )
+        return summaries
+
+    def replicate_checkpoint(self, nbytes: np.ndarray) -> float:
+        """Replicate each rank's level-boundary checkpoint to its buddy.
+
+        ``nbytes[r]`` bytes travel ``r -> (r+1) % P`` simultaneously; the
+        boundary is a collective, so every rank stalls for the slowest
+        transfer.  The time lands on the fault bucket (it only exists
+        because crash tolerance is on) and the bytes are tallied in the
+        report.  Returns the per-boundary stall seconds.
+        """
+        src = np.arange(self.nranks, dtype=np.int64)
+        dst = (src + 1) % self.nranks
+        send, recv, _ = self.network.round_times_arrays(src, dst, nbytes)
+        seconds = float(np.maximum(send, recv).max())
+        obs = self.obs
+        span = (
+            obs.begin("checkpoint", cat="phase") if obs.enabled else None
+        )
+        if seconds > 0.0:
+            self.clock.advance_many(np.full(self.nranks, seconds), kind="fault")
+        self.faults.record_checkpoint(int(nbytes.sum()))
+        if span is not None:
+            obs.end(span, bytes=int(nbytes.sum()), seconds=seconds)
+        return seconds
+
+    def _fire_crashes(self, phase: str) -> None:
+        """Fire scheduled crashes for ``phase`` and charge the detection.
+
+        Every surviving rank pays the spec's ``detect_timeout`` (the
+        heartbeat/timeout that exposes the dead peer), booked as fault
+        time inside a ``crash-detect`` span.
+        """
+        faults = self.faults
+        fired = faults.fire_crashes(phase)
+        if not fired:
+            return
+        obs = self.obs
+        span = (
+            obs.begin("crash-detect", cat="phase", phase=phase,
+                      ranks=[event.rank for event in fired])
+            if obs.enabled
+            else None
+        )
+        timeout = faults.spec.detect_timeout
+        if timeout > 0.0:
+            self.clock.advance_many(np.full(self.nranks, timeout), kind="fault")
+        self._crash_pending.extend(fired)
+        if span is not None:
+            obs.end(span, seconds=timeout)
 
     def fault_report(self) -> FaultReport | None:
         """Snapshot of the fault layer's report (None when faults are off)."""
@@ -328,13 +475,17 @@ class Communicator:
         """Global sum of one scalar per rank; charges a log2(P)-deep tree.
 
         Reductions are assumed reliable even under fault injection (the
-        real machine runs them on a dedicated collective network).
+        real machine runs them on a dedicated collective network) —
+        unless the fault spec sets ``collective_faults=True``, in which
+        case a scheduled crash may strike the level's termination
+        reduction (the first reduction after :meth:`begin_level`).
         """
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (self.nranks,):
             raise CommunicationError(
                 f"allreduce expects one value per rank ({self.nranks}), got {values.shape}"
             )
+        self._maybe_collective_crash()
         depth = max(1, math.ceil(math.log2(self.nranks))) if self.nranks > 1 else 0
         cost = depth * self.model.message_time(1, hops=1)
         self.clock.advance_many(np.full(self.nranks, cost), kind="comm")
@@ -352,11 +503,20 @@ class Communicator:
             raise CommunicationError(
                 f"allreduce expects one value per rank ({self.nranks}), got {values.shape}"
             )
+        self._maybe_collective_crash()
         depth = max(1, math.ceil(math.log2(self.nranks))) if self.nranks > 1 else 0
         cost = depth * self.model.message_time(1, hops=1)
         self.clock.advance_many(np.full(self.nranks, cost), kind="comm")
         self.barrier()
         return float(values.min())
+
+    def _maybe_collective_crash(self) -> None:
+        """Fire allreduce-phase crashes on the level's armed reduction."""
+        if not self._allreduce_armed:
+            return
+        self._allreduce_armed = False
+        if self.faults is not None and self.faults.spec.collective_faults:
+            self._fire_crashes("allreduce")
 
     # ------------------------------------------------------------------ #
     # compute-side accounting
@@ -383,6 +543,11 @@ class Communicator:
             extra = seconds * (self.faults.compute_multiplier(rank) - 1.0)
             if extra > 0.0:
                 self.clock.advance(rank, extra, kind="fault")
+            host = self.faults.host_of(rank)
+            if host != rank and seconds > 0.0:
+                # shrink cohosting: the surviving host serializes the
+                # absorbed rank's compute on its own node
+                self.clock.advance(host, seconds, kind="fault")
 
     def charge_compute_many(
         self,
@@ -412,8 +577,9 @@ class Communicator:
         )
         self.clock.advance_many(seconds, kind="compute")
         if self.faults is not None:
-            extra = seconds * (self.faults.compute_multipliers - 1.0)
-            self.clock.advance_many(extra, kind="fault")
+            self.clock.advance_many(
+                self.faults.compute_fault_extra(seconds), kind="fault"
+            )
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.nranks):

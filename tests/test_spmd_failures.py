@@ -67,17 +67,23 @@ class TestRecv:
             _recv(conn, FakeWorker(alive=True), time.monotonic() - 1, 1)
 
 
+def _done(levels):
+    """A worker's final message: owned levels plus its drop counters (None)."""
+    return ("done", (levels, None))
+
+
 class TestHubProtocol:
     def test_routes_exchange(self):
         part = tiny_partition(2)
         payload = np.array([7], dtype=np.int64)
         conns = [
-            FakeConn([("xchg", {1: payload}), ("done", np.zeros(2, dtype=LEVEL_DTYPE))]),
-            FakeConn([("xchg", {}), ("done", np.zeros(2, dtype=LEVEL_DTYPE))]),
+            FakeConn([("xchg", {1: payload}), _done(np.zeros(2, dtype=LEVEL_DTYPE))]),
+            FakeConn([("xchg", {}), _done(np.zeros(2, dtype=LEVEL_DTYPE))]),
         ]
         workers = [FakeWorker(), FakeWorker()]
-        levels = _run_hub(conns, workers, part, timeout=5)
+        levels, report = _run_hub(conns, workers, part, timeout=5)
         assert levels.shape == (4,)
+        assert report is None
         # rank 1 received [(0, payload)] in the routed inbox
         inbox = conns[1].sent[0]
         assert inbox[0][0] == 0 and inbox[0][1].tolist() == [7]
@@ -85,16 +91,27 @@ class TestHubProtocol:
     def test_sum_reduction(self):
         part = tiny_partition(2)
         conns = [
-            FakeConn([("sum", 3), ("done", np.zeros(2, dtype=LEVEL_DTYPE))]),
-            FakeConn([("sum", 4), ("done", np.zeros(2, dtype=LEVEL_DTYPE))]),
+            FakeConn([("sum", (3, 0)), _done(np.zeros(2, dtype=LEVEL_DTYPE))]),
+            FakeConn([("sum", (4, 0)), _done(np.zeros(2, dtype=LEVEL_DTYPE))]),
         ]
         _run_hub(conns, [FakeWorker(), FakeWorker()], part, timeout=5)
-        assert conns[0].sent[0] == 7
-        assert conns[1].sent[0] == 7
+        assert conns[0].sent[0] == (7, 0)
+        assert conns[1].sent[0] == (7, 0)
+
+    def test_sum_broadcasts_failure_flag(self):
+        part = tiny_partition(2)
+        conns = [
+            FakeConn([("sum", (3, 0)), _done(np.zeros(2, dtype=LEVEL_DTYPE))]),
+            FakeConn([("sum", (4, 1)), _done(np.zeros(2, dtype=LEVEL_DTYPE))]),
+        ]
+        _run_hub(conns, [FakeWorker(), FakeWorker()], part, timeout=5)
+        # one worker lost a chunk: every worker is told to roll back
+        assert conns[0].sent[0] == (7, 1)
+        assert conns[1].sent[0] == (7, 1)
 
     def test_desync_raises(self):
         part = tiny_partition(2)
-        conns = [FakeConn([("sum", 1)]), FakeConn([("xchg", {})])]
+        conns = [FakeConn([("sum", (1, 0))]), FakeConn([("xchg", {})])]
         with pytest.raises(CommunicationError, match="desynchronised"):
             _run_hub(conns, [FakeWorker(), FakeWorker()], part, timeout=5)
 
@@ -111,6 +128,21 @@ class TestHubProtocol:
         part = tiny_partition(2)
         lv0 = np.array([0, 1], dtype=LEVEL_DTYPE)
         lv1 = np.array([2, 3], dtype=LEVEL_DTYPE)
-        conns = [FakeConn([("done", lv0)]), FakeConn([("done", lv1)])]
-        levels = _run_hub(conns, [FakeWorker(), FakeWorker()], part, timeout=5)
+        conns = [FakeConn([_done(lv0)]), FakeConn([_done(lv1)])]
+        levels, _report = _run_hub(conns, [FakeWorker(), FakeWorker()], part, timeout=5)
         assert levels.tolist() == [0, 1, 2, 3]
+
+    def test_level_retry_budget_exhaustion_raises(self):
+        from repro.errors import FaultError
+        from repro.faults import FaultSpec
+
+        part = tiny_partition(2)
+        spec = FaultSpec(drop_rate=0.5, max_level_retries=2)
+        # every termination allreduce reports a failure: the hub must give
+        # up after max_level_retries replays with a structured report
+        failing = [("sum", (1, 1))] * 4
+        conns = [FakeConn(list(failing)), FakeConn(list(failing))]
+        with pytest.raises(FaultError, match="still failing") as excinfo:
+            _run_hub(conns, [FakeWorker(), FakeWorker()], part, timeout=5, spec=spec)
+        assert excinfo.value.report is not None
+        assert excinfo.value.report.rollbacks == 3

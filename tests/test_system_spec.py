@@ -67,7 +67,8 @@ class TestSystemSpec:
         assert spec.faults.seed == 7
 
     def test_unknown_faults_preset_lists_names(self):
-        with pytest.raises(ConfigurationError, match=r"\['none', 'mild', 'harsh'\]"):
+        expected = r"\['none', 'mild', 'harsh', 'crash-spare', 'crash-shrink', 'crash-harsh'\]"
+        with pytest.raises(ConfigurationError, match=expected):
             SystemSpec(faults="extreme")
 
     def test_custom_machine_object_allowed(self):
