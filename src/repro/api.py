@@ -7,13 +7,18 @@ Every piece remains individually constructible for finer control.
 
 The system a search runs on is described by one
 :class:`~repro.types.SystemSpec` value (or a preset name like
-``"bluegene-2d"``), passed as ``system=``.  The pre-``SystemSpec`` keyword
-arguments (``machine=``, ``mapping=``, ``layout=``, ``faults=``) remain a
-thin compatibility path: they are merged over the spec by
-:func:`repro.types.resolve_system`, the single shared resolver.
+``"bluegene-2d"``), passed as ``system=``.  This is the one recommended
+way to describe the target system.  The pre-``SystemSpec`` keyword
+arguments (``machine=``, ``mapping=``, ``layout=``) remain a thin,
+*deprecated* compatibility path: every entry point funnels them through
+:func:`resolve_entry_system`, which merges them over the spec via
+:func:`repro.types.resolve_system` and emits a :class:`DeprecationWarning`
+when they are used.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.bfs.bfs_1d import Bfs1DEngine
 from repro.bfs.bfs_2d import Bfs2DEngine
@@ -32,6 +37,79 @@ from repro.partition.two_d import TwoDPartition
 from repro.runtime.comm import Communicator
 from repro.types import GridShape, SystemSpec, resolve_system
 
+#: legacy keyword arguments that predate :class:`SystemSpec` and now warn
+_DEPRECATED_KWARGS = ("machine", "mapping", "layout")
+
+
+def resolve_entry_system(
+    system: SystemSpec | str | None = None,
+    *,
+    machine: str | MachineModel | None = None,
+    mapping: str | TaskMapping | None = None,
+    layout: str | None = None,
+    wire: str | object | None = None,
+    faults: FaultSpec | str | None = None,
+    observe: str | object | None = None,
+) -> SystemSpec:
+    """The one resolver path behind every public ``system=`` entry point.
+
+    Thin wrapper over :func:`repro.types.resolve_system` that additionally
+    emits a :class:`DeprecationWarning` whenever one of the pre-``SystemSpec``
+    keyword arguments (``machine=``, ``mapping=``, ``layout=``) is used.
+    ``build_communicator``, ``build_engine``, ``distributed_bfs``,
+    ``bidirectional_bfs``, and :class:`repro.session.BfsSession` all call
+    this instead of duplicating the merge logic.
+    """
+    legacy = {"machine": machine, "mapping": mapping, "layout": layout}
+    used = [name for name, value in legacy.items() if value is not None]
+    if used:
+        warnings.warn(
+            f"the {', '.join(used)} keyword argument(s) are deprecated; "
+            f"pass system=SystemSpec({', '.join(f'{u}=...' for u in used)}) "
+            "or a preset name instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return resolve_system(
+        system, machine=machine, mapping=mapping, layout=layout, wire=wire,
+        faults=faults, observe=observe,
+    )
+
+
+def resolve_machine_model(spec: SystemSpec) -> MachineModel:
+    """The :class:`MachineModel` a resolved spec simulates."""
+    if isinstance(spec.machine, MachineModel):
+        return spec.machine
+    if spec.machine == "bluegene":
+        return BLUEGENE_L
+    if spec.machine == "mcr":
+        return MCR_CLUSTER
+    raise ConfigurationError(  # pragma: no cover - resolve_system validates presets
+        f"unknown machine {spec.machine!r}; use 'bluegene' or 'mcr'"
+    )
+
+
+def resolve_task_mapping(
+    grid: GridShape, spec: SystemSpec, model: MachineModel
+) -> TaskMapping:
+    """The :class:`TaskMapping` (mesh → physical topology) for ``grid``.
+
+    Builds the torus (or flat network) exactly once per call — callers
+    that serve many queries over one system should cache the result
+    (:class:`repro.session.BfsSession` does).
+    """
+    if isinstance(spec.mapping, TaskMapping):
+        return spec.mapping
+    if model.name == "MCR":
+        return flat_network_for(grid)
+    if spec.mapping == "planar":
+        return planar_mapping(grid, bluegene_l_torus_for(grid.size))
+    if spec.mapping == "row-major":
+        return row_major_mapping(grid, bluegene_l_torus_for(grid.size))
+    raise ConfigurationError(  # pragma: no cover - resolve_system validates presets
+        f"unknown mapping {spec.mapping!r}; use 'planar', 'row-major', or a TaskMapping"
+    )
+
 
 def build_communicator(
     grid: GridShape,
@@ -46,44 +124,25 @@ def build_communicator(
 ) -> Communicator:
     """Create a virtual communicator for ``grid`` on the requested system.
 
-    ``system`` is a :class:`SystemSpec` or a preset name; the legacy
-    ``machine``/``mapping``/``wire``/``faults`` keywords override its
-    fields.  ``machine`` resolves to ``"bluegene"``, ``"mcr"``, or a
-    custom :class:`MachineModel`; ``mapping`` to ``"planar"`` (the paper's
-    Figure 1 scheme), ``"row-major"`` (naive baseline), or a prebuilt
-    :class:`TaskMapping`; ``wire`` to a :mod:`repro.wire` codec name
-    (``"raw"``, ``"delta-varint"``, ``"bitmap"``, ``"adaptive"``) or
-    instance; ``observe`` to an observability preset (``"off"``,
-    ``"spans"``, ``"messages"``, ``"full"``).  The MCR machine always
-    uses its flat network.
+    ``system`` is a :class:`SystemSpec` or a preset name — the recommended
+    path.  The deprecated ``machine``/``mapping`` keywords still override
+    its fields (with a :class:`DeprecationWarning`); ``wire``/``faults``/
+    ``observe`` overrides remain first-class.  ``machine`` resolves to
+    ``"bluegene"``, ``"mcr"``, or a custom :class:`MachineModel`;
+    ``mapping`` to ``"planar"`` (the paper's Figure 1 scheme),
+    ``"row-major"`` (naive baseline), or a prebuilt :class:`TaskMapping`;
+    ``wire`` to a :mod:`repro.wire` codec name (``"raw"``,
+    ``"delta-varint"``, ``"bitmap"``, ``"adaptive"``) or instance;
+    ``observe`` to an observability preset (``"off"``, ``"spans"``,
+    ``"messages"``, ``"full"``).  The MCR machine always uses its flat
+    network.
     """
-    spec = resolve_system(
+    spec = resolve_entry_system(
         system, machine=machine, mapping=mapping, wire=wire, faults=faults,
         observe=observe,
     )
-
-    if isinstance(spec.machine, MachineModel):
-        model = spec.machine
-    elif spec.machine == "bluegene":
-        model = BLUEGENE_L
-    elif spec.machine == "mcr":
-        model = MCR_CLUSTER
-    else:  # pragma: no cover - resolve_system validates preset strings
-        raise ConfigurationError(f"unknown machine {spec.machine!r}; use 'bluegene' or 'mcr'")
-
-    if isinstance(spec.mapping, TaskMapping):
-        task_mapping = spec.mapping
-    elif model.name == "MCR":
-        task_mapping = flat_network_for(grid)
-    elif spec.mapping == "planar":
-        task_mapping = planar_mapping(grid, bluegene_l_torus_for(grid.size))
-    elif spec.mapping == "row-major":
-        task_mapping = row_major_mapping(grid, bluegene_l_torus_for(grid.size))
-    else:  # pragma: no cover - resolve_system validates preset strings
-        raise ConfigurationError(
-            f"unknown mapping {spec.mapping!r}; use 'planar', 'row-major', or a TaskMapping"
-        )
-
+    model = resolve_machine_model(spec)
+    task_mapping = resolve_task_mapping(grid, spec, model)
     schedule = FaultSchedule(spec.faults, grid.size) if spec.faults is not None else None
     return Communicator(
         task_mapping, model, buffer_capacity=buffer_capacity, faults=schedule,
@@ -114,7 +173,7 @@ def build_engine(
     """
     if not isinstance(grid, GridShape):
         grid = GridShape(*grid)
-    spec = resolve_system(
+    spec = resolve_entry_system(
         system, machine=machine, mapping=mapping, layout=layout, wire=wire,
         faults=faults, observe=observe,
     )
@@ -148,10 +207,11 @@ def distributed_bfs(
     max_levels: int | None = None,
 ) -> BfsResult:
     """One-call distributed BFS: partition, simulate, return the result."""
-    engine = build_engine(
-        graph, grid, opts=opts, system=system, machine=machine, mapping=mapping,
-        layout=layout, wire=wire, faults=faults, observe=observe,
+    spec = resolve_entry_system(
+        system, machine=machine, mapping=mapping, layout=layout, wire=wire,
+        faults=faults, observe=observe,
     )
+    engine = build_engine(graph, grid, opts=opts, system=spec)
     return run_bfs(engine, source, target=target, max_levels=max_levels)
 
 
@@ -173,12 +233,12 @@ def bidirectional_bfs(
     """One-call bi-directional s-t search (Section 2.3)."""
     if not isinstance(grid, GridShape):
         grid = GridShape(*grid)
-    spec = resolve_system(
+    spec = resolve_entry_system(
         system, machine=machine, mapping=mapping, layout=layout, wire=wire,
         faults=faults, observe=observe,
     )
     opts = opts or BfsOptions()
     comm = build_communicator(grid, system=spec, buffer_capacity=opts.buffer_capacity)
-    forward = build_engine(graph, grid, opts=opts, layout=spec.layout, comm=comm)
-    backward = build_engine(graph, grid, opts=opts, layout=spec.layout, comm=comm)
+    forward = build_engine(graph, grid, opts=opts, system=spec, comm=comm)
+    backward = build_engine(graph, grid, opts=opts, system=spec, comm=comm)
     return run_bidirectional_bfs(forward, backward, source, target)

@@ -7,21 +7,27 @@ Public entry points:
 * :class:`repro.bfs.bfs_2d.Bfs2DEngine` — Algorithm 2 (2D edge partitioning).
 * :func:`repro.bfs.level_sync.run_bfs` — run any engine to completion.
 * :func:`repro.bfs.bidirectional.run_bidirectional_bfs` — Section 2.3.
+* :func:`repro.bfs.msbfs.run_ms_bfs` — batched multi-source traversal.
 """
 
 from repro.bfs.options import BfsOptions
-from repro.bfs.result import BfsResult, BidirectionalResult
+from repro.bfs.result import BfsResult, BidirectionalResult, QueryResult
 from repro.bfs.serial import serial_bfs
 from repro.bfs.sent_cache import SentCache
 from repro.bfs.level_sync import LevelSyncEngine, run_bfs
 from repro.bfs.bfs_1d import Bfs1DEngine
 from repro.bfs.bfs_2d import Bfs2DEngine
 from repro.bfs.bidirectional import run_bidirectional_bfs
+from repro.bfs.msbfs import MAX_BATCH, MsBfsResult, run_ms_bfs
 
 __all__ = [
     "BfsOptions",
     "BfsResult",
     "BidirectionalResult",
+    "QueryResult",
+    "MAX_BATCH",
+    "MsBfsResult",
+    "run_ms_bfs",
     "serial_bfs",
     "SentCache",
     "LevelSyncEngine",

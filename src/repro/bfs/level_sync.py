@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.bfs.options import BfsOptions
 from repro.bfs.result import BfsResult
-from repro.errors import FaultError, SearchError
+from repro.errors import ConfigurationError, FaultError, SearchError
 from repro.observability.artifacts import collect_observability
 from repro.runtime.comm import Communicator
 from repro.types import LEVEL_DTYPE, UNREACHED, VERTEX_DTYPE
@@ -76,6 +76,32 @@ class LevelSyncEngine(abc.ABC):
 
     def _restore_layout_state(self, snapshot) -> None:
         """Reinstate state captured by :meth:`_snapshot_layout_state`."""
+
+    # ------------------------------------------------------------------ #
+    # re-entrant serving
+    # ------------------------------------------------------------------ #
+    def rebind(self, comm: Communicator) -> None:
+        """Attach a fresh communicator for the next search.
+
+        Everything an engine builds at construction (partition views,
+        concatenated CSR tables, expand filters) depends only on the
+        *immutable* partition, so a long-lived engine can serve many
+        queries by rebinding a fresh communicator per query — each run
+        then gets independent clocks and statistics without paying the
+        construction cost again.  The engine's in-flight search state is
+        invalidated: call :meth:`start` before :meth:`step`.
+        """
+        if comm.nranks != self.comm.nranks:
+            raise ConfigurationError(
+                f"communicator has {comm.nranks} ranks but engine was built "
+                f"for {self.comm.nranks}"
+            )
+        if getattr(comm, "grid", None) != self.comm.grid:
+            raise ConfigurationError(
+                f"communicator grid {comm.grid} != engine grid {self.comm.grid}"
+            )
+        self.comm = comm
+        self._started = False
 
     # ------------------------------------------------------------------ #
     # loop

@@ -13,6 +13,47 @@ from repro.types import UNREACHED
 
 
 @dataclass(slots=True)
+class QueryResult:
+    """Lightweight per-query view of a BFS outcome, suitable for streaming.
+
+    Carries only scalars (no level arrays), so a server can serialize one
+    per answered query without shipping O(n) data; ``levels_digest`` is
+    the SHA-256 of the query's level array, letting clients verify that a
+    batched traversal answered exactly what a sequential run would have.
+    ``elapsed`` is the simulated time of the run that produced the answer —
+    for a batched query, the whole batch's traversal (shared by its
+    ``batch_size`` members).
+    """
+
+    source: int
+    target: int | None
+    target_level: int | None
+    num_levels: int
+    num_reached: int
+    elapsed: float
+    batch_size: int = 1
+    levels_digest: str | None = None
+
+    @property
+    def found_target(self) -> bool:
+        """Whether a requested target vertex was reached."""
+        return self.target_level is not None
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (the server's JSON reply payload)."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "target_level": self.target_level,
+            "num_levels": self.num_levels,
+            "num_reached": self.num_reached,
+            "elapsed": self.elapsed,
+            "batch_size": self.batch_size,
+            "levels_digest": self.levels_digest,
+        }
+
+
+@dataclass(slots=True)
 class BfsResult:
     """Outcome of one distributed BFS run.
 
@@ -49,6 +90,24 @@ class BfsResult:
     def found_target(self) -> bool:
         """Whether a requested target vertex was reached."""
         return self.target_level is not None
+
+    def query_view(self, *, digest: bool = True) -> QueryResult:
+        """The lightweight streaming view of this result (no level array)."""
+        levels_digest = None
+        if digest:
+            from repro.observability.digest import levels_digest as _levels_digest
+
+            levels_digest = _levels_digest(self.levels)
+        return QueryResult(
+            source=self.source,
+            target=self.target,
+            target_level=self.target_level,
+            num_levels=self.num_levels,
+            num_reached=self.num_reached,
+            elapsed=self.elapsed,
+            batch_size=1,
+            levels_digest=levels_digest,
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""

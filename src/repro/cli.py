@@ -5,6 +5,7 @@ Subcommands::
     repro-bfs generate   --out graph.npz --n 20000 --k 10 [--rmat --scale 14]
     repro-bfs bfs        --graph graph.npz --grid 4x4 --source 0 [--target T]
     repro-bfs bidir      --graph graph.npz --grid 4x4 --source S --target T
+    repro-bfs serve      --graph graph.npz --grid 4x4 --port 7475
     repro-bfs digest     --n 20000 --k 8 --seed 7 --grid 4x4
     repro-bfs crossover  --n 4e7 --p 400
     repro-bfs figure     --name fig4a|fig4b|fig4c|fig5|fig6|fig7
@@ -17,6 +18,7 @@ parameters (``--n/--k/--seed``) to build one on the fly; ``bfs
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 
 import numpy as np
@@ -32,7 +34,7 @@ from repro.graph.io import read_edge_list, write_edge_list
 from repro.harness import figures as figs
 from repro.harness.report import format_series, format_table
 from repro.observability import OBSERVE_PRESETS, export_artifacts, result_digests
-from repro.types import SYSTEM_PRESETS, GraphSpec, GridShape
+from repro.types import SYSTEM_PRESETS, GraphSpec, GridShape, SystemSpec, resolve_system
 from repro.utils.logging import configure_logging
 from repro.utils.rng import RngFactory
 
@@ -127,6 +129,24 @@ def _observe_from(args) -> str | None:
     return "full" if args.trace_out else None
 
 
+def _system_from(args, observe: str | None) -> SystemSpec:
+    """Resolve the CLI's system flags into one spec.
+
+    Goes straight to :func:`resolve_system`: the individual flags are the
+    CLI's own surface for the spec's fields, not the deprecated Python
+    keyword arguments, so no deprecation warning fires.
+    """
+    return resolve_system(
+        args.system,
+        machine=args.machine,
+        mapping=args.mapping,
+        layout=args.layout,
+        wire=args.wire_codec,
+        faults=_faults_from(args),
+        observe=observe,
+    )
+
+
 def _export_from(args, result) -> None:
     written = export_artifacts(
         result, trace_out=args.trace_out, metrics_out=args.metrics_out
@@ -161,13 +181,7 @@ def cmd_bfs(args) -> int:
         args.source,
         target=args.target,
         opts=_options_from(args),
-        system=args.system,
-        machine=args.machine,
-        mapping=args.mapping,
-        layout=args.layout,
-        wire=args.wire_codec,
-        faults=_faults_from(args),
-        observe=_observe_from(args),
+        system=_system_from(args, _observe_from(args)),
     )
     _export_from(args, result)
     print(result.summary())
@@ -200,9 +214,8 @@ def cmd_bidir(args) -> int:
     graph = _load_graph(args)
     result = bidirectional_bfs(
         graph, args.grid, args.source, args.target,
-        opts=_options_from(args), system=args.system, machine=args.machine,
-        mapping=args.mapping, layout=args.layout, wire=args.wire_codec,
-        faults=_faults_from(args), observe=_observe_from(args),
+        opts=_options_from(args),
+        system=_system_from(args, _observe_from(args)),
     )
     _export_from(args, result)
     print(result.summary())
@@ -218,16 +231,53 @@ def cmd_digest(args) -> int:
         args.grid,
         args.source,
         opts=_options_from(args),
-        system=args.system,
-        machine=args.machine,
-        mapping=args.mapping,
-        layout=args.layout,
-        wire=args.wire_codec,
-        faults=_faults_from(args),
-        observe=args.observe,
+        system=_system_from(args, args.observe),
     )
     for name, digest in sorted(result_digests(result).items()):
         print(f"{name} {digest}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.server import BfsService, serve_tcp
+    from repro.session import BfsSession
+
+    graph = _load_graph(args)
+    session = BfsSession(
+        graph, args.grid,
+        opts=_options_from(args),
+        system=_system_from(args, _observe_from(args)),
+    )
+    service = BfsService(
+        session, max_batch=args.max_batch, max_queue=args.max_queue
+    )
+
+    async def _serve() -> None:
+        server = await serve_tcp(service, args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(
+            f"serving BFS queries on {host}:{port} "
+            f"(n={graph.n}, grid {args.grid.rows}x{args.grid.cols}, "
+            f"layout {session.layout}, max_batch={service.max_batch}); "
+            "JSON lines, one query per line — Ctrl-C to stop",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    snap = service.metrics.snapshot()
+    print(
+        f"served {snap['served']} queries in {snap['batches']} batches "
+        f"(mean batch {snap['mean_batch_size']}, rejected {snap['rejected']})"
+    )
     return 0
 
 
@@ -313,6 +363,22 @@ def build_parser() -> argparse.ArgumentParser:
     bid.add_argument("--source", type=int, required=True)
     bid.add_argument("--target", type=int, required=True)
     bid.set_defaults(func=cmd_bidir)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the BFS session server (JSON-lines over TCP; see docs/SERVER.md)",
+    )
+    _add_graph_source_args(srv)
+    _add_bfs_option_args(srv)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7475,
+                     help="TCP port (0 = ephemeral; default 7475)")
+    srv.add_argument("--max-batch", type=int, default=64,
+                     help="sources per MS-BFS traversal (1-64, default 64)")
+    srv.add_argument("--max-queue", type=int, default=1024,
+                     help="admission bound: queries waiting beyond this are "
+                          "rejected as overloaded (default 1024)")
+    srv.set_defaults(func=cmd_serve)
 
     dig = sub.add_parser(
         "digest",

@@ -87,10 +87,21 @@ class Communicator:
         faults: FaultSpec | FaultSchedule | None = None,
         wire: WireCodec | str | None = None,
         observe: ObserveSpec | str | None = None,
+        network: Network | None = None,
     ) -> None:
         self.mapping = mapping
         self.model = model
-        self.network = Network(mapping, model)
+        # A prebuilt Network may be shared across communicators serving the
+        # same mapping+model: its route/pattern tables are pure caches, so
+        # reusing it skips the route interning cost on every fresh
+        # communicator (the BfsSession / server per-query path).
+        if network is not None and (
+            network.mapping is not mapping or network.model is not model
+        ):
+            raise CommunicationError(
+                "injected network was built for a different mapping or machine model"
+            )
+        self.network = network if network is not None else Network(mapping, model)
         self.nranks = mapping.grid.size
         self.grid = mapping.grid
         self.buffer_capacity = buffer_capacity

@@ -1,0 +1,38 @@
+"""BFS-as-a-service: a long-lived session server over one partitioned graph.
+
+The paper's application — relationship queries on a semantic graph with
+"millions of users" — is a *serving* workload: the graph is partitioned
+once and queried continuously.  This package provides that shape:
+
+* :mod:`repro.server.protocol` — the JSON-lines wire protocol
+  (:class:`Query` in, :class:`QueryReply` out).
+* :mod:`repro.server.service` — :class:`BfsService`, an asyncio front
+  end over one :class:`~repro.session.BfsSession` that admits queries,
+  batches concurrent sources into single MS-BFS traversals, and exposes
+  queue/latency metrics; :class:`QueryClient` (in-process) and
+  :class:`TcpQueryClient` (socket) drive it.
+* :mod:`repro.server.loadgen` — the load generator and throughput gate
+  behind ``BENCH_server.json``.
+
+Start a TCP server from the command line with ``repro-bfs serve``.
+"""
+
+from repro.server.protocol import ProtocolError, Query, QueryReply
+from repro.server.service import (
+    BfsService,
+    QueryClient,
+    ServerMetrics,
+    TcpQueryClient,
+    serve_tcp,
+)
+
+__all__ = [
+    "ProtocolError",
+    "Query",
+    "QueryReply",
+    "BfsService",
+    "QueryClient",
+    "ServerMetrics",
+    "TcpQueryClient",
+    "serve_tcp",
+]

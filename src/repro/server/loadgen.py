@@ -1,0 +1,300 @@
+"""Load generator and throughput gate for the BFS session server.
+
+Drives a :class:`~repro.server.service.BfsService` with a stream of
+random queries two ways — **batched** (queries submitted concurrently,
+the service packs each idle-worker drain into one MS-BFS traversal) and
+**sequential** (the same queries dispatched one traversal per query) —
+and reports host-side queries/second with p50/p99 per-query wall latency
+for both.  The batched/sequential ratio is the speedup the server
+architecture exists to deliver; the gate requires it ≥ 3x at 64
+concurrent sources.
+
+    PYTHONPATH=src python -m repro.server.loadgen
+    PYTHONPATH=src python -m repro.server.loadgen --tiny --check
+    PYTHONPATH=src python -m repro.server.loadgen --transport tcp
+
+Writes ``BENCH_server.json`` (repo root by default).  ``--check``
+compares batched throughput and speedup against the committed baseline
+(``benchmarks/server_baseline.json``); refresh it with
+``--update-baseline`` after an intentional change.  Every batched reply
+is digest-verified against a sequential reply for the same query — the
+byte-identity contract, enforced under load.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.generators import poisson_random_graph
+from repro.server.protocol import QueryReply
+from repro.server.service import BfsService, QueryClient, TcpQueryClient, serve_tcp
+from repro.session import BfsSession
+from repro.types import GraphSpec, GridShape
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "server_baseline.json"
+
+FULL = {"n": 20_000, "k": 8.0, "graph_seed": 7, "grid": (4, 4), "queries": 512}
+TINY = {"n": 2_000, "k": 8.0, "graph_seed": 7, "grid": (2, 2), "queries": 128}
+
+
+def _percentile_ms(latencies: list[float], q: float) -> float:
+    if not latencies:
+        return 0.0
+    return round(float(np.percentile(np.array(latencies), q * 100.0)) * 1e3, 3)
+
+
+async def _drive(
+    client, sources: list[int], concurrency: int
+) -> tuple[list[QueryReply], list[float], float]:
+    """Answer every query keeping ``concurrency`` in flight; FIFO order.
+
+    Returns (replies, per-query wall latencies, total wall seconds).
+    """
+    replies: list[QueryReply | None] = [None] * len(sources)
+    latencies: list[float] = [0.0] * len(sources)
+    next_index = 0
+    lock = asyncio.Lock()
+
+    async def worker(conn) -> None:
+        nonlocal next_index
+        while True:
+            async with lock:
+                i = next_index
+                if i >= len(sources):
+                    return
+                next_index += 1
+            t0 = time.perf_counter()
+            replies[i] = await conn.query(sources[i])
+            latencies[i] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if isinstance(client, list):  # one TCP connection per in-flight slot
+        await asyncio.gather(*(worker(conn) for conn in client))
+    else:
+        await asyncio.gather(*(worker(client) for _ in range(concurrency)))
+    wall = time.perf_counter() - t0
+    return list(replies), latencies, wall
+
+
+async def _run_mode(
+    session: BfsSession,
+    sources: list[int],
+    *,
+    batching: bool,
+    concurrency: int,
+    transport: str,
+    host: str,
+    port: int,
+) -> tuple[list[QueryReply], dict]:
+    service = BfsService(session, batching=batching)
+    if transport == "tcp":
+        server = await serve_tcp(service, host, port)
+        bound_port = server.sockets[0].getsockname()[1]
+        conns = [
+            await TcpQueryClient(host, bound_port).connect()
+            for _ in range(concurrency)
+        ]
+        try:
+            replies, latencies, wall = await _drive(conns, sources, concurrency)
+        finally:
+            for conn in conns:
+                await conn.close()
+            server.close()
+            await server.wait_closed()
+            await service.close()
+    else:
+        async with service:
+            replies, latencies, wall = await _drive(
+                QueryClient(service), sources, concurrency
+            )
+    snap = service.metrics.snapshot()
+    report = {
+        "mode": "batched" if batching else "sequential",
+        "queries": len(sources),
+        "concurrency": concurrency,
+        "wall_s": round(wall, 6),
+        "qps": round(len(sources) / wall, 2),
+        "p50_ms": _percentile_ms(latencies, 0.50),
+        "p99_ms": _percentile_ms(latencies, 0.99),
+        "batches": snap["batches"],
+        "mean_batch_size": snap["mean_batch_size"],
+        "max_queue_depth": snap["max_queue_depth"],
+        "simulated_s": round(snap["simulated_seconds"], 6),
+    }
+    return replies, report
+
+
+def _verify(batched: list[QueryReply], sequential: list[QueryReply]) -> int:
+    """Digest-compare batched replies against sequential ones; count diffs."""
+    mismatches = 0
+    for b, s in zip(batched, sequential):
+        if not (b.ok and s.ok):
+            mismatches += 1
+            continue
+        if b.result["levels_digest"] != s.result["levels_digest"]:
+            mismatches += 1
+    return mismatches
+
+
+def check(report: dict, baseline_path: Path, tolerance: float) -> int:
+    """Gate against the committed baseline; exit status for ``--check``."""
+    speedup_floor = 3.0
+    failures = []
+    if report["speedup"] < speedup_floor:
+        failures.append(
+            f"speedup {report['speedup']:.2f}x below required {speedup_floor:.1f}x"
+        )
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run with --update-baseline first")
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    key = "tiny" if report["tiny"] else "full"
+    base = baseline.get(key)
+    if base is not None:
+        floor = base["batched"]["qps"] * (1.0 - tolerance)
+        status = "ok" if report["batched"]["qps"] >= floor else "REGRESSION"
+        print(
+            f"  batched {report['batched']['qps']:.1f} q/s "
+            f"(baseline {base['batched']['qps']:.1f}, floor {floor:.1f})  {status}"
+        )
+        if status != "ok":
+            failures.append(
+                f"batched throughput below {floor:.1f} q/s "
+                f"(-{tolerance:.0%} of baseline)"
+            )
+    print(f"  speedup {report['speedup']:.2f}x (floor {speedup_floor:.1f}x)")
+    if failures:
+        for f in failures:
+            print(f"GATE FAILURE: {f}")
+        return 1
+    print("server throughput within tolerance of baseline")
+    return 0
+
+
+async def run(args) -> dict:
+    workload = TINY if args.tiny else FULL
+    n = args.graph_n or workload["n"]
+    num_queries = args.queries or workload["queries"]
+    grid = GridShape(*(args.grid or workload["grid"]))
+    graph = poisson_random_graph(
+        GraphSpec(n=n, k=workload["k"], seed=workload["graph_seed"])
+    )
+    rng = np.random.default_rng(args.seed)
+    sources = [int(s) for s in rng.integers(0, n, size=num_queries)]
+
+    def fresh_session() -> BfsSession:
+        return BfsSession(graph, grid, system=args.system)
+
+    print(
+        f"server loadgen ({'tiny' if args.tiny else 'full'}): n={n}, "
+        f"grid={grid.rows}x{grid.cols}, {num_queries} queries, "
+        f"concurrency={args.concurrency}, transport={args.transport}"
+    )
+    batched_replies, batched = await _run_mode(
+        fresh_session(), sources, batching=True, concurrency=args.concurrency,
+        transport=args.transport, host=args.host, port=args.port,
+    )
+    print(
+        f"  batched:    {batched['qps']:>9.1f} q/s  p50={batched['p50_ms']}ms "
+        f"p99={batched['p99_ms']}ms  mean_batch={batched['mean_batch_size']}"
+    )
+    sequential_replies, sequential = await _run_mode(
+        fresh_session(), sources, batching=False, concurrency=args.concurrency,
+        transport=args.transport, host=args.host, port=args.port,
+    )
+    print(
+        f"  sequential: {sequential['qps']:>9.1f} q/s  p50={sequential['p50_ms']}ms "
+        f"p99={sequential['p99_ms']}ms"
+    )
+    answered = sum(1 for r in batched_replies if r is not None and r.ok)
+    mismatches = _verify(batched_replies, sequential_replies)
+    speedup = round(batched["qps"] / sequential["qps"], 3) if sequential["qps"] else 0.0
+    print(f"  speedup: {speedup}x; {answered}/{num_queries} answered, "
+          f"{mismatches} digest mismatches")
+    return {
+        "workload": {"n": n, "k": workload["k"], "graph_seed": workload["graph_seed"],
+                     "grid": f"{grid.rows}x{grid.cols}", "system": args.system,
+                     "queries": num_queries, "concurrency": args.concurrency,
+                     "transport": args.transport, "query_seed": args.seed},
+        "tiny": args.tiny,
+        "batched": batched,
+        "sequential": sequential,
+        "speedup": speedup,
+        "answered": answered,
+        "digest_mismatches": mismatches,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke size (n=2k, 128 queries, 2x2 grid)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="number of queries (default: workload size)")
+    parser.add_argument("--concurrency", type=int, default=64,
+                        help="in-flight queries (default 64)")
+    parser.add_argument("--graph-n", type=int, default=None,
+                        help="override graph size")
+    parser.add_argument("--grid", type=int, nargs=2, default=None,
+                        metavar=("R", "C"), help="override the processor mesh")
+    parser.add_argument("--system", default="bluegene-2d",
+                        help="SystemSpec preset for the session (default bluegene-2d)")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="query-stream seed (default 1234)")
+    parser.add_argument("--transport", choices=("inproc", "tcp"), default="inproc",
+                        help="drive the service in-process or over TCP")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed baseline; exit 1 on failure")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write this run's numbers into the baseline file")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="allowed fractional qps drop for --check (default 0.40)")
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_server.json",
+                        help="where to write the report JSON")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    args = parser.parse_args(argv)
+
+    report = asyncio.run(run(args))
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    if report["digest_mismatches"]:
+        print(f"GATE FAILURE: {report['digest_mismatches']} batched replies "
+              "disagree with sequential digests")
+        return 1
+    if report["answered"] != report["workload"]["queries"]:
+        print("GATE FAILURE: not every query was answered")
+        return 1
+
+    if args.update_baseline:
+        baseline = (
+            json.loads(args.baseline.read_text(encoding="utf-8"))
+            if args.baseline.exists() else {}
+        )
+        baseline["tiny" if args.tiny else "full"] = {
+            "batched": {"qps": report["batched"]["qps"]},
+            "sequential": {"qps": report["sequential"]["qps"]},
+            "speedup": report["speedup"],
+        }
+        args.baseline.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"updated baseline {args.baseline}")
+
+    if args.check:
+        return check(report, args.baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""JSON-lines wire protocol for the BFS session server.
+
+One request per line, one reply per line, UTF-8, newline-terminated.
+Requests are objects with an ``op`` field:
+
+``{"op": "query", "source": 17, "target": 42, "id": 7}``
+    A BFS query.  ``target`` is optional (full traversal when absent);
+    ``id`` is an optional client correlation token echoed in the reply.
+
+``{"op": "stats"}``
+    A snapshot of the server's admission/batching metrics.
+
+``{"op": "ping"}``
+    Liveness probe.
+
+Replies mirror the request: ``{"ok": true, "id": 7, "result": {...}}``
+where ``result`` is a :meth:`~repro.bfs.result.QueryResult.to_dict`
+payload (scalars plus the level-array SHA-256 ``levels_digest`` — clients
+verify batched answers against sequential ones by digest, never by
+shipping O(n) level arrays).  Failures carry ``{"ok": false, "error":
+"..."}``; an admission rejection uses the error string ``"overloaded"``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = ["ProtocolError", "Query", "QueryReply", "decode_request"]
+
+
+class ProtocolError(ReproError):
+    """A request line the server could not interpret."""
+
+
+@dataclass(slots=True, frozen=True)
+class Query:
+    """One BFS query: a source, an optional target, a correlation id."""
+
+    source: int
+    target: int | None = None
+    id: int | None = None
+
+    def to_json(self) -> str:
+        """The request line (without trailing newline)."""
+        payload: dict[str, object] = {"op": "query", "source": self.source}
+        if self.target is not None:
+            payload["target"] = self.target
+        if self.id is not None:
+            payload["id"] = self.id
+        return json.dumps(payload)
+
+
+@dataclass(slots=True, frozen=True)
+class QueryReply:
+    """One reply line: either a result payload or an error string."""
+
+    ok: bool
+    id: int | None = None
+    result: dict | None = None
+    error: str | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether this reply is an admission-control rejection."""
+        return not self.ok and self.error == "overloaded"
+
+    def to_json(self) -> str:
+        """The reply line (without trailing newline)."""
+        payload: dict[str, object] = {"ok": self.ok}
+        if self.id is not None:
+            payload["id"] = self.id
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        payload.update(self.extra)
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, line: str) -> "QueryReply":
+        """Parse a reply line back into a :class:`QueryReply`."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"malformed reply line: {exc}") from exc
+        if not isinstance(payload, dict) or "ok" not in payload:
+            raise ProtocolError(f"reply is not an object with 'ok': {line!r}")
+        known = {"ok", "id", "result", "error"}
+        return cls(
+            ok=bool(payload["ok"]),
+            id=payload.get("id"),
+            result=payload.get("result"),
+            error=payload.get("error"),
+            extra={k: v for k, v in payload.items() if k not in known},
+        )
+
+
+def decode_request(line: str) -> dict:
+    """Parse one request line; raises :class:`ProtocolError` on junk.
+
+    Returns the request object with ``op`` validated and, for queries,
+    ``source``/``target`` coerced to ``int``.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed request line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"request is not an object: {line!r}")
+    op = payload.get("op")
+    if op not in ("query", "stats", "ping"):
+        raise ProtocolError(f"unknown op {op!r}")
+    if op == "query":
+        if "source" not in payload:
+            raise ProtocolError("query without a source")
+        try:
+            payload["source"] = int(payload["source"])
+            if payload.get("target") is not None:
+                payload["target"] = int(payload["target"])
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"non-integer source/target: {exc}") from exc
+    return payload

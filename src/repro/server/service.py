@@ -1,0 +1,434 @@
+"""The asyncio session service: admit, batch, traverse, reply.
+
+:class:`BfsService` fronts one :class:`~repro.session.BfsSession`.  The
+partitioned graph, torus mapping, and engine caches are built once (by
+the session); queries stream in and are answered from that shared state.
+The service's job is the serving-side machinery:
+
+* **Admission control** — a bounded queue; a query arriving with
+  ``max_queue`` already waiting is rejected immediately with an
+  ``"overloaded"`` reply instead of growing the backlog without bound.
+* **Batching** — a drain loop collects every query waiting when the
+  worker goes idle (up to ``max_batch``, at most 64 — one mask bit per
+  source) and runs them as *one* MS-BFS traversal.  Under load, batches
+  grow naturally: the deeper the queue, the more queries each traversal
+  amortizes.  A single-entry batch degrades to a plain sequential query.
+* **Serialization** — traversals mutate the session's re-entrant engine,
+  so they all run on one worker thread; concurrency lives in the asyncio
+  front end, not in the traversal.
+* **Metrics** — queue depth, batch sizes, per-query wall latency, served
+  and rejected counts, exported through
+  :class:`~repro.observability.metrics.MetricsRegistry`.
+
+Two clients are provided: :class:`QueryClient` calls the service
+in-process (the loadgen's default), and :class:`TcpQueryClient` speaks
+the JSON-lines protocol over a socket to a :func:`serve_tcp` server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.bfs.msbfs import MAX_BATCH
+from repro.errors import ReproError
+from repro.observability.metrics import MetricsRegistry
+from repro.server.protocol import ProtocolError, Query, QueryReply, decode_request
+from repro.session import BfsSession
+
+__all__ = ["BfsService", "QueryClient", "ServerMetrics", "TcpQueryClient", "serve_tcp"]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass(slots=True)
+class ServerMetrics:
+    """Counters and latency samples for one service lifetime."""
+
+    served: int = 0
+    rejected: int = 0
+    failed: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    max_queue_depth: int = 0
+    #: per-query wall latency (seconds, submit -> reply)
+    wall_latencies: list[float] = field(default_factory=list)
+    #: simulated seconds per traversal
+    simulated_seconds: float = 0.0
+
+    def observe_queue_depth(self, depth: int) -> None:
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def observe_batch(self, size: int, simulated: float) -> None:
+        self.batches += 1
+        self.batched_queries += size
+        self.simulated_seconds += simulated
+
+    def observe_reply(self, wall_seconds: float) -> None:
+        self.served += 1
+        self.wall_latencies.append(wall_seconds)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_queries / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict view (the ``stats`` op's reply payload)."""
+        return {
+            "served": self.served,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "max_queue_depth": self.max_queue_depth,
+            "wall_p50_ms": round(_percentile(self.wall_latencies, 0.50) * 1e3, 3),
+            "wall_p99_ms": round(_percentile(self.wall_latencies, 0.99) * 1e3, 3),
+            "simulated_seconds": self.simulated_seconds,
+        }
+
+    def registry(self) -> MetricsRegistry:
+        """The snapshot as ``server_*`` samples in the unified schema."""
+        reg = MetricsRegistry()
+        reg.record("server_queries_total", self.served, outcome="served")
+        reg.record("server_queries_total", self.rejected, outcome="rejected")
+        reg.record("server_queries_total", self.failed, outcome="failed")
+        reg.record("server_batches_total", self.batches)
+        reg.record("server_batch_size_mean", self.mean_batch_size)
+        reg.record("server_queue_depth_max", self.max_queue_depth)
+        reg.record(
+            "server_latency_seconds", _percentile(self.wall_latencies, 0.50), q="0.50"
+        )
+        reg.record(
+            "server_latency_seconds", _percentile(self.wall_latencies, 0.99), q="0.99"
+        )
+        reg.record("server_simulated_seconds_total", self.simulated_seconds)
+        return reg
+
+
+@dataclass(slots=True)
+class _Pending:
+    query: Query
+    future: asyncio.Future
+    enqueued_at: float
+
+
+class BfsService:
+    """Batching asyncio front end over one :class:`BfsSession`.
+
+    ``max_batch`` caps sources per traversal (at most 64); ``max_queue``
+    is the admission bound; ``batching=False`` pins every traversal to a
+    single source (the sequential-dispatch mode the load generator
+    compares against).
+    """
+
+    def __init__(
+        self,
+        session: BfsSession,
+        *,
+        max_batch: int = MAX_BATCH,
+        max_queue: int = 1024,
+        batching: bool = True,
+    ) -> None:
+        if not (1 <= max_batch <= MAX_BATCH):
+            raise ReproError(
+                f"max_batch must be in [1, {MAX_BATCH}], got {max_batch}"
+            )
+        if session.system.faults is not None and batching:
+            # MS-BFS cannot replay lost chunks; serve faulted systems
+            # one query at a time
+            batching = False
+        self.session = session
+        self.max_batch = max_batch if batching else 1
+        self.max_queue = max_queue
+        self.metrics = ServerMetrics()
+        self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="bfs-worker"
+        )
+        self._batcher: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "BfsService":
+        """Start the batch loop; idempotent."""
+        if self._batcher is None:
+            self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
+        return self
+
+    async def close(self) -> None:
+        """Drain nothing further; cancel the loop and release the worker."""
+        self._closed = True
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        while not self._queue.empty():  # pragma: no cover - close-race drain
+            pending = self._queue.get_nowait()
+            if not pending.future.done():
+                pending.future.set_result(
+                    QueryReply(ok=False, id=pending.query.id, error="server closed")
+                )
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "BfsService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    async def submit(self, query: Query) -> QueryReply:
+        """Admit ``query`` and await its reply.
+
+        Rejects immediately (``"overloaded"``) when ``max_queue`` queries
+        are already waiting — the backlog never grows without bound.
+        """
+        if self._closed:
+            return QueryReply(ok=False, id=query.id, error="server closed")
+        n = self.session.graph.n
+        for label, vertex in (("source", query.source), ("target", query.target)):
+            if vertex is not None and not (0 <= vertex < n):
+                # reject up front: one bad vertex must not fail the whole
+                # batch it would have ridden in
+                return QueryReply(
+                    ok=False, id=query.id,
+                    error=f"{label} {vertex} out of range [0, {n})",
+                )
+        if self._queue.qsize() >= self.max_queue:
+            self.metrics.rejected += 1
+            return QueryReply(ok=False, id=query.id, error="overloaded")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        pending = _Pending(query, future, time.perf_counter())
+        self._queue.put_nowait(pending)
+        self.metrics.observe_queue_depth(self._queue.qsize())
+        if self._batcher is None:
+            await self.start()
+        return await future
+
+    def stats_reply(self) -> QueryReply:
+        """Reply payload for the ``stats`` op."""
+        return QueryReply(ok=True, extra={"stats": self.metrics.snapshot()})
+
+    # ------------------------------------------------------------------ #
+    # the batch loop
+    # ------------------------------------------------------------------ #
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            while len(batch) < self.max_batch and not self._queue.empty():
+                batch.append(self._queue.get_nowait())
+            try:
+                await loop.run_in_executor(self._executor, self._run_batch, batch)
+            except Exception as exc:  # pragma: no cover - worker-crash guard
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_result(
+                            QueryReply(
+                                ok=False, id=pending.query.id, error=str(exc)
+                            )
+                        )
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        """Worker-thread body: one traversal, one reply per query."""
+        loop = batch[0].future.get_loop()
+        sources = [p.query.source for p in batch]
+        targets = [p.query.target for p in batch]
+        try:
+            if len(batch) == 1:
+                result = self.session.bfs(sources[0], target=targets[0])
+                views = [result.query_view()]
+                simulated = result.elapsed
+            else:
+                ms = self.session.bfs_many(sources, targets=targets)
+                views = [ms.query_view(i) for i in range(len(batch))]
+                simulated = ms.elapsed
+        except ReproError as exc:
+            self.metrics.failed += len(batch)
+            for pending in batch:
+                loop.call_soon_threadsafe(
+                    self._resolve,
+                    pending,
+                    QueryReply(ok=False, id=pending.query.id, error=str(exc)),
+                    None,
+                )
+            return
+        self.metrics.observe_batch(len(batch), simulated)
+        now = time.perf_counter()
+        for pending, view in zip(batch, views):
+            reply = QueryReply(ok=True, id=pending.query.id, result=view.to_dict())
+            loop.call_soon_threadsafe(
+                self._resolve, pending, reply, now - pending.enqueued_at
+            )
+
+    def _resolve(
+        self, pending: _Pending, reply: QueryReply, wall: float | None
+    ) -> None:
+        if wall is not None:
+            self.metrics.observe_reply(wall)
+        if not pending.future.done():
+            pending.future.set_result(reply)
+
+
+class QueryClient:
+    """In-process client: the service API without a socket."""
+
+    def __init__(self, service: BfsService) -> None:
+        self.service = service
+        self._next_id = 0
+
+    async def query(self, source: int, target: int | None = None) -> QueryReply:
+        """Submit one query and await its reply."""
+        self._next_id += 1
+        return await self.service.submit(
+            Query(source=source, target=target, id=self._next_id)
+        )
+
+    async def query_many(
+        self, sources: list[int], targets: list[int | None] | None = None
+    ) -> list[QueryReply]:
+        """Submit ``sources`` concurrently; replies in submission order."""
+        if targets is None:
+            targets = [None] * len(sources)
+        return list(
+            await asyncio.gather(
+                *(self.query(s, t) for s, t in zip(sources, targets))
+            )
+        )
+
+
+# ---------------------------------------------------------------------- #
+# TCP transport
+# ---------------------------------------------------------------------- #
+async def _handle_connection(
+    service: BfsService, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.decode("utf-8").strip()
+            if not text:
+                continue
+            try:
+                request = decode_request(text)
+            except ProtocolError as exc:
+                reply = QueryReply(ok=False, error=str(exc))
+            else:
+                if request["op"] == "ping":
+                    reply = QueryReply(ok=True, extra={"pong": True})
+                elif request["op"] == "stats":
+                    reply = service.stats_reply()
+                else:
+                    reply = await service.submit(
+                        Query(
+                            source=request["source"],
+                            target=request.get("target"),
+                            id=request.get("id"),
+                        )
+                    )
+            writer.write((reply.to_json() + "\n").encode("utf-8"))
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def serve_tcp(
+    service: BfsService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Bind a JSON-lines TCP server over ``service`` (port 0 = ephemeral).
+
+    The caller owns both lifetimes: ``server.close()`` +
+    ``await server.wait_closed()``, then ``await service.close()``.
+    """
+    await service.start()
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host, port
+    )
+
+
+class TcpQueryClient:
+    """JSON-lines client for a :func:`serve_tcp` server.
+
+    One connection, pipelined request/reply in order — call
+    :meth:`query` concurrently from multiple tasks and the internal lock
+    keeps lines paired.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+        self._next_id = 0
+
+    async def connect(self) -> "TcpQueryClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "TcpQueryClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _round_trip(self, line: str) -> QueryReply:
+        if self._writer is None or self._reader is None:
+            raise ReproError("client is not connected")
+        async with self._lock:
+            self._writer.write((line + "\n").encode("utf-8"))
+            await self._writer.drain()
+            raw = await self._reader.readline()
+        if not raw:
+            raise ReproError("server closed the connection")
+        return QueryReply.from_json(raw.decode("utf-8"))
+
+    async def query(self, source: int, target: int | None = None) -> QueryReply:
+        """Submit one query over the socket and await its reply."""
+        self._next_id += 1
+        return await self._round_trip(
+            Query(source=source, target=target, id=self._next_id).to_json()
+        )
+
+    async def ping(self) -> QueryReply:
+        """Liveness probe."""
+        return await self._round_trip('{"op": "ping"}')
+
+    async def stats(self) -> QueryReply:
+        """Fetch the server's metrics snapshot."""
+        return await self._round_trip('{"op": "stats"}')

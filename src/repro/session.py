@@ -2,9 +2,20 @@
 
 The paper's motivating application — relationship queries on a semantic
 graph — issues *many* s-t searches against one graph.  Building the 2D
-partition dominates one-shot query cost, so :class:`BfsSession` builds the
-layout once and serves repeated queries, each on a fresh communicator (so
-per-query statistics and simulated times stay independent).
+partition, the task mapping onto the torus, and the engine's concatenated
+CSR tables dominates one-shot query cost, so :class:`BfsSession` builds
+all of them exactly once and serves repeated queries.  Each query runs on
+a fresh :class:`~repro.runtime.comm.Communicator` (so per-query statistics
+and simulated times stay independent) that reuses the session's cached
+:class:`~repro.machine.mapping.TaskMapping`, machine model, and routed
+:class:`~repro.runtime.network.Network` — making ``_new_comm`` O(1) in the
+graph and mesh size instead of re-deriving the torus per query.
+
+Sessions are the substrate of :mod:`repro.server`: the engine is
+re-entrant (rebound to the fresh communicator per query), queries can be
+batched into one multi-source traversal (:meth:`BfsSession.bfs_many`),
+and the served-query counters are guarded by a lock so concurrent server
+workers can share one session.
 
 Also provides :func:`extract_path`: an explicit shortest path from the
 level arrays of a bi-directional search (the paper reports distances; the
@@ -13,30 +24,47 @@ application wants the path itself).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
-from repro.api import build_communicator
+from repro.api import resolve_entry_system, resolve_machine_model, resolve_task_mapping
 from repro.bfs.bfs_1d import Bfs1DEngine
 from repro.bfs.bfs_2d import Bfs2DEngine
 from repro.bfs.bidirectional import run_bidirectional_bfs
 from repro.bfs.level_sync import run_bfs
+from repro.bfs.msbfs import MsBfsResult, run_ms_bfs
 from repro.bfs.options import BfsOptions
 from repro.bfs.result import BfsResult, BidirectionalResult
 from repro.errors import ConfigurationError, SearchError
-from repro.faults import FaultSpec
+from repro.faults import FaultSchedule, FaultSpec
 from repro.graph.csr import CsrGraph
 from repro.machine.bluegene import MachineModel
 from repro.partition.one_d import OneDPartition
 from repro.partition.two_d import TwoDPartition
-from repro.types import GridShape, SystemSpec, UNREACHED, resolve_system
+from repro.runtime.comm import Communicator
+from repro.runtime.network import Network
+from repro.types import GridShape, SystemSpec, UNREACHED
+
+__all__ = ["BfsSession", "extract_path"]
 
 
 class BfsSession:
     """A reusable query context over one graph and one layout.
 
     The target system is a :class:`SystemSpec` (or preset name) passed as
-    ``system=``; the legacy ``machine``/``mapping``/``layout``/``wire``/
-    ``faults`` keywords override its fields, as everywhere else in the API.
+    ``system=`` — the recommended path; the deprecated ``machine``/
+    ``mapping``/``layout`` keywords still override its fields, as
+    everywhere else in the API.
+
+    Everything expensive is resolved once at construction and shared by
+    all subsequent queries: the partition, the machine model, the task
+    mapping (torus), the routed network, and one engine per direction.
+    The cumulative counters (``queries_served``, ``total_simulated_time``)
+    are lock-guarded, so a server may update them from concurrent workers;
+    the *traversals themselves* mutate the shared engine and must be
+    serialized by the caller (the asyncio server funnels them through one
+    worker thread).
     """
 
     def __init__(
@@ -59,7 +87,7 @@ class BfsSession:
         self.grid = grid
         self.opts = opts or BfsOptions()
         #: the resolved system description this session simulates
-        self.system = resolve_system(
+        self.system = resolve_entry_system(
             system, machine=machine, mapping=mapping, layout=layout, wire=wire,
             faults=faults, observe=observe,
         )
@@ -74,6 +102,15 @@ class BfsSession:
             if not grid.is_1d:
                 raise ConfigurationError(f"layout='1d' needs a 1-D grid, got {grid}")
             self.partition = OneDPartition(graph, grid.size, as_row=grid.cols == 1)
+        # Resolved once; _new_comm only allocates fresh clocks/stats per
+        # query instead of re-deriving torus, mapping, and routes.
+        self._model = resolve_machine_model(self.system)
+        self._task_mapping = resolve_task_mapping(grid, self.system, self._model)
+        self._network = Network(self._task_mapping, self._model)
+        self._engine = self._build_engine()
+        #: lazily built second engine for bi-directional queries
+        self._backward_engine = None
+        self._counters_lock = threading.Lock()
         #: cumulative simulated seconds across all queries served
         self.total_simulated_time = 0.0
         #: number of queries served
@@ -82,15 +119,43 @@ class BfsSession:
     # ------------------------------------------------------------------ #
     # engines
     # ------------------------------------------------------------------ #
-    def _new_engine(self, comm):
+    def _build_engine(self):
+        comm = self._new_comm()
         if self.layout == "2d":
             return Bfs2DEngine(self.partition, comm, self.opts)
         return Bfs1DEngine(self.partition, comm, self.opts)
 
+    def _new_engine(self, comm):
+        """The session's long-lived engine, rebound to a fresh communicator."""
+        self._engine.rebind(comm)
+        return self._engine
+
     def _new_comm(self):
-        return build_communicator(
-            self.grid, system=self.system, buffer_capacity=self.opts.buffer_capacity
+        """A fresh communicator over the cached mapping/model/network.
+
+        O(1) in graph and mesh size: only the per-query clocks, statistics,
+        and (when faults are configured) a fresh seeded fault schedule are
+        allocated; the torus, task mapping, and routed link tables are the
+        session's cached instances.
+        """
+        faults = self.system.faults
+        schedule = (
+            FaultSchedule(faults, self.grid.size) if faults is not None else None
         )
+        return Communicator(
+            self._task_mapping,
+            self._model,
+            buffer_capacity=self.opts.buffer_capacity,
+            faults=schedule,
+            wire=self.wire,
+            observe=self.observe,
+            network=self._network,
+        )
+
+    def _record(self, elapsed: float, queries: int = 1) -> None:
+        with self._counters_lock:
+            self.total_simulated_time += elapsed
+            self.queries_served += queries
 
     # ------------------------------------------------------------------ #
     # queries
@@ -98,18 +163,38 @@ class BfsSession:
     def bfs(self, source: int, target: int | None = None) -> BfsResult:
         """Full or early-terminating BFS from ``source``."""
         result = run_bfs(self._new_engine(self._new_comm()), source, target=target)
-        self.total_simulated_time += result.elapsed
-        self.queries_served += 1
+        self._record(result.elapsed)
+        return result
+
+    def bfs_many(
+        self,
+        sources: list[int],
+        targets: list[int | None] | None = None,
+    ) -> MsBfsResult:
+        """Batched multi-source traversal (MS-BFS, bit-parallel frontiers).
+
+        Runs every source in one shared traversal — one pass over the
+        partition per *batch* level instead of one traversal per query —
+        and returns an :class:`~repro.bfs.msbfs.MsBfsResult` whose
+        per-source level rows are byte-identical to sequential
+        :meth:`bfs` runs.  Batches are limited to 64 sources (one mask
+        bit each); fault injection is not supported on the batched path.
+        """
+        result = run_ms_bfs(
+            self._new_engine(self._new_comm()), sources, targets=targets
+        )
+        self._record(result.elapsed, queries=len(sources))
         return result
 
     def bidirectional(self, source: int, target: int) -> BidirectionalResult:
         """Bi-directional s-t search (Section 2.3)."""
         comm = self._new_comm()
-        result = run_bidirectional_bfs(
-            self._new_engine(comm), self._new_engine(comm), source, target
-        )
-        self.total_simulated_time += result.elapsed
-        self.queries_served += 1
+        if self._backward_engine is None:
+            self._backward_engine = self._build_engine()
+        forward = self._new_engine(comm)
+        self._backward_engine.rebind(comm)
+        result = run_bidirectional_bfs(forward, self._backward_engine, source, target)
+        self._record(result.elapsed)
         return result
 
     def distance(self, source: int, target: int) -> int | None:

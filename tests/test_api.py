@@ -91,3 +91,47 @@ class TestOneCallApis:
     def test_public_exports_importable(self):
         for name in repro.__all__:
             assert getattr(repro, name, None) is not None, name
+
+
+class TestDeprecatedKwargs:
+    """Legacy machine/mapping/layout kwargs warn; system= is silent."""
+
+    def test_distributed_bfs_layout_warns(self, small_graph):
+        with pytest.warns(DeprecationWarning, match="layout"):
+            distributed_bfs(small_graph, (4, 1), 0, layout="1d")
+
+    def test_build_engine_machine_warns(self, small_graph):
+        with pytest.warns(DeprecationWarning, match="machine"):
+            build_engine(small_graph, (2, 2), machine="mcr")
+
+    def test_build_communicator_mapping_warns(self):
+        with pytest.warns(DeprecationWarning, match="mapping"):
+            build_communicator(GridShape(2, 2), mapping="row-major")
+
+    def test_warning_lists_every_kwarg(self, small_graph):
+        with pytest.warns(DeprecationWarning, match="machine, mapping, layout"):
+            build_engine(
+                small_graph, (2, 2),
+                machine="bluegene", mapping="planar", layout="2d",
+            )
+
+    def test_system_path_is_silent(self, small_graph):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            distributed_bfs(small_graph, (2, 2), 0, system="bluegene-2d")
+
+    def test_bidirectional_system_path_is_silent(self, small_graph):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            bidirectional_bfs(small_graph, (2, 2), 0, 5, system="bluegene-2d")
+
+    def test_legacy_kwargs_still_override(self, small_graph):
+        with pytest.warns(DeprecationWarning):
+            result = distributed_bfs(
+                small_graph, (4, 1), 0, system="bluegene-2d", layout="1d"
+            )
+        assert np.array_equal(result.levels, serial_bfs(small_graph, 0))

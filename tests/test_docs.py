@@ -42,7 +42,7 @@ class TestReadme:
 class TestOtherDocs:
     @pytest.mark.parametrize(
         "name", ["DESIGN.md", "EXPERIMENTS.md", "docs/API.md", "docs/PERFORMANCE.md",
-                 "LICENSE", "CITATION.cff"]
+                 "docs/SERVER.md", "LICENSE", "CITATION.cff"]
     )
     def test_docs_exist(self, name):
         assert (ROOT / name).exists()

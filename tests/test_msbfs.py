@@ -1,0 +1,189 @@
+"""MS-BFS correctness: batched traversals vs. sequential per-source runs.
+
+The contract under test is byte-identity: row ``i`` of a batched
+traversal's level matrix must equal — exactly, element for element — the
+level array of a dedicated sequential run from ``sources[i]``, across
+layouts, wire codecs, seeds, and target-terminated queries.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bfs import MAX_BATCH, run_bfs, run_ms_bfs
+from repro.errors import ConfigurationError, SearchError
+from repro.graph.generators import poisson_random_graph
+from repro.observability.digest import levels_digest
+from repro.session import BfsSession
+from repro.types import GraphSpec, GridShape, SystemSpec
+
+LAYOUTS = [("2d", GridShape(4, 4)), ("1d", GridShape(1, 8))]
+
+
+def make_session(graph, layout, grid, **kwargs) -> BfsSession:
+    return BfsSession(graph, grid, system=SystemSpec(layout=layout, **kwargs))
+
+
+@pytest.mark.parametrize("layout,grid", LAYOUTS)
+class TestByteIdentity:
+    def test_full_traversals_match_sequential(self, small_graph, layout, grid):
+        session = make_session(small_graph, layout, grid)
+        sources = [0, 1, 5, 17, 113, 399, 200, 3]
+        batched = session.bfs_many(sources)
+        for i, s in enumerate(sources):
+            sequential = session.bfs(s)
+            assert np.array_equal(batched.levels[i], sequential.levels)
+            assert batched.levels[i].tobytes() == sequential.levels.tobytes()
+            assert int(batched.num_levels[i]) == sequential.num_levels
+
+    def test_targeted_queries_match_sequential(self, small_graph, layout, grid):
+        session = make_session(small_graph, layout, grid)
+        sources = [0, 1, 5, 17, 113, 399]
+        targets = [10, None, 5, 42, None, 250]
+        batched = session.bfs_many(sources, targets=targets)
+        for i, (s, t) in enumerate(zip(sources, targets)):
+            sequential = session.bfs(s, target=t)
+            assert np.array_equal(batched.levels[i], sequential.levels)
+            assert batched.target_levels[i] == sequential.target_level
+            assert int(batched.num_levels[i]) == sequential.num_levels
+
+    def test_disconnected_and_self_targets(self, sparse_graph, layout, grid):
+        session = make_session(sparse_graph, layout, grid)
+        reach = session.bfs(0).levels
+        unreachable = int(np.flatnonzero(reach == -1)[0])
+        sources = [0, 0, 7, 299]
+        targets = [unreachable, 0, None, 7]
+        batched = session.bfs_many(sources, targets=targets)
+        for i, (s, t) in enumerate(zip(sources, targets)):
+            sequential = session.bfs(s, target=t)
+            assert np.array_equal(batched.levels[i], sequential.levels)
+            assert batched.target_levels[i] == sequential.target_level
+            assert int(batched.num_levels[i]) == sequential.num_levels
+
+    @pytest.mark.parametrize("wire", ["delta-varint", "bitmap", "adaptive"])
+    def test_codecs_preserve_levels(self, small_graph, layout, grid, wire):
+        session = make_session(small_graph, layout, grid, wire=wire)
+        sources = [3, 50, 399]
+        batched = session.bfs_many(sources)
+        for i, s in enumerate(sources):
+            assert np.array_equal(batched.levels[i], session.bfs(s).levels)
+
+    @pytest.mark.parametrize("seed", [1, 23])
+    def test_random_graphs_and_batches(self, layout, grid, seed):
+        graph = poisson_random_graph(GraphSpec(n=256, k=6, seed=seed))
+        rng = np.random.default_rng(seed)
+        sources = [int(s) for s in rng.integers(0, graph.n, size=12)]
+        session = make_session(graph, layout, grid)
+        batched = session.bfs_many(sources)
+        for i, s in enumerate(sources):
+            assert np.array_equal(batched.levels[i], session.bfs(s).levels)
+
+    def test_duplicate_sources_share_levels(self, small_graph, layout, grid):
+        session = make_session(small_graph, layout, grid)
+        batched = session.bfs_many([5, 5, 5])
+        sequential = session.bfs(5)
+        for i in range(3):
+            assert np.array_equal(batched.levels[i], sequential.levels)
+
+    def test_max_levels_truncates_identically(self, small_graph, layout, grid):
+        session = make_session(small_graph, layout, grid)
+        batched = run_ms_bfs(
+            session._new_engine(session._new_comm()), [0, 7], max_levels=2
+        )
+        for i, s in enumerate([0, 7]):
+            sequential = run_bfs(
+                session._new_engine(session._new_comm()), s, max_levels=2
+            )
+            assert np.array_equal(batched.levels[i], sequential.levels)
+            assert int(batched.num_levels[i]) == sequential.num_levels
+
+    def test_no_expand_filter_path(self, small_graph, layout, grid):
+        from repro.bfs.options import BfsOptions
+
+        session = BfsSession(
+            small_graph, grid,
+            system=SystemSpec(layout=layout),
+            opts=BfsOptions(use_expand_filter=False),
+        )
+        batched = session.bfs_many([0, 7, 200])
+        for i, s in enumerate([0, 7, 200]):
+            assert np.array_equal(batched.levels[i], session.bfs(s).levels)
+
+
+class TestBatchSemantics:
+    def test_full_width_batch(self, small_graph):
+        session = BfsSession(small_graph, (4, 4))
+        sources = list(range(MAX_BATCH))
+        batched = session.bfs_many(sources)
+        assert batched.batch_size == MAX_BATCH
+        for i in (0, 31, 63):
+            assert np.array_equal(batched.levels[i], session.bfs(sources[i]).levels)
+
+    def test_counters_count_queries_not_batches(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        session.bfs_many([0, 1, 2])
+        assert session.queries_served == 3
+        assert session.total_simulated_time > 0
+
+    def test_query_view_digests(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        batched = session.bfs_many([0, 7])
+        view = batched.query_view(0)
+        assert view.batch_size == 2
+        assert view.levels_digest == levels_digest(session.bfs(0).levels)
+        assert view.to_dict()["source"] == 0
+        assert batched.query_view(1, digest=False).levels_digest is None
+
+    def test_summary_mentions_batch(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        batched = session.bfs_many([0, 7])
+        assert "2 sources" in batched.summary()
+
+    def test_levels_of_is_row_view(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        batched = session.bfs_many([0, 7])
+        assert np.array_equal(batched.levels_of(1), batched.levels[1])
+
+
+class TestValidation:
+    def test_over_width_batch_rejected(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        with pytest.raises(ConfigurationError):
+            session.bfs_many(list(range(MAX_BATCH + 1)))
+
+    def test_empty_batch_rejected(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        with pytest.raises(SearchError):
+            session.bfs_many([])
+
+    def test_out_of_range_source_rejected(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        with pytest.raises(SearchError):
+            session.bfs_many([small_graph.n])
+
+    def test_out_of_range_target_rejected(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        with pytest.raises(SearchError):
+            session.bfs_many([0], targets=[small_graph.n])
+
+    def test_target_length_mismatch_rejected(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        with pytest.raises(SearchError):
+            session.bfs_many([0, 1], targets=[None])
+
+    def test_faulted_comm_rejected(self, small_graph):
+        session = BfsSession(
+            small_graph, (2, 2), system=SystemSpec(layout="2d", faults="mild")
+        )
+        with pytest.raises(ConfigurationError):
+            session.bfs_many([0, 1])
+
+    def test_observed_batches_run(self, small_graph):
+        session = BfsSession(
+            small_graph, (2, 2), system=SystemSpec(layout="2d", observe="spans")
+        )
+        batched = session.bfs_many([0, 7])
+        assert np.array_equal(batched.levels[0], session.bfs(0).levels)

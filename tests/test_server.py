@@ -1,0 +1,264 @@
+"""Session-server tests: protocol, batching service, admission, TCP."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.server import (
+    BfsService,
+    ProtocolError,
+    Query,
+    QueryClient,
+    QueryReply,
+    TcpQueryClient,
+    serve_tcp,
+)
+from repro.server.protocol import decode_request
+from repro.server.service import _percentile
+from repro.session import BfsSession
+from repro.types import SystemSpec
+
+
+class TestProtocol:
+    def test_query_round_trip(self):
+        line = Query(source=3, target=9, id=7).to_json()
+        payload = decode_request(line)
+        assert payload == {"op": "query", "source": 3, "target": 9, "id": 7}
+
+    def test_query_without_target(self):
+        payload = decode_request(Query(source=3).to_json())
+        assert "target" not in payload and "id" not in payload
+
+    def test_reply_round_trip(self):
+        reply = QueryReply(ok=True, id=4, result={"source": 3})
+        parsed = QueryReply.from_json(reply.to_json())
+        assert parsed == reply
+
+    def test_reply_extra_fields_survive(self):
+        parsed = QueryReply.from_json('{"ok": true, "pong": true}')
+        assert parsed.extra == {"pong": True}
+        assert json.loads(parsed.to_json())["pong"] is True
+
+    def test_overloaded_flag(self):
+        assert QueryReply(ok=False, error="overloaded").overloaded
+        assert not QueryReply(ok=False, error="boom").overloaded
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"op": "launch"}',
+            '{"op": "query"}',
+            '{"op": "query", "source": "abc"}',
+        ],
+    )
+    def test_bad_requests_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_bad_reply_rejected(self):
+        with pytest.raises(ProtocolError):
+            QueryReply.from_json("not json")
+        with pytest.raises(ProtocolError):
+            QueryReply.from_json('{"no_ok": 1}')
+
+
+class TestService:
+    def test_concurrent_queries_are_batched_and_correct(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        sources = [0, 1, 5, 17, 113, 399, 200, 3] * 2
+        expected = {s: session.bfs(s).query_view().levels_digest for s in set(sources)}
+
+        async def scenario():
+            async with BfsService(session) as service:
+                client = QueryClient(service)
+                replies = await client.query_many(sources)
+            return replies, service.metrics
+
+        replies, metrics = asyncio.run(scenario())
+        assert all(r.ok for r in replies)
+        for s, r in zip(sources, replies):
+            assert r.result["source"] == s
+            assert r.result["levels_digest"] == expected[s]
+        assert metrics.served == len(sources)
+        # concurrency must have produced at least one multi-source batch
+        assert metrics.batches < len(sources)
+        assert any(r.result["batch_size"] > 1 for r in replies)
+
+    def test_replies_deterministic_across_runs(self, small_graph):
+        sources = [0, 7, 42, 399, 7, 0]
+
+        def digests():
+            session = BfsSession(small_graph, (2, 2))
+
+            async def scenario():
+                async with BfsService(session) as service:
+                    return await QueryClient(service).query_many(sources)
+
+            return [r.result["levels_digest"] for r in asyncio.run(scenario())]
+
+        assert digests() == digests()
+
+    def test_targeted_queries(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+
+        async def scenario():
+            async with BfsService(session) as service:
+                client = QueryClient(service)
+                return await client.query_many([0, 5], targets=[42, None])
+
+        replies = asyncio.run(scenario())
+        expected = session.bfs(0, target=42)
+        assert replies[0].result["target_level"] == expected.target_level
+        assert replies[1].result["target"] is None
+
+    def test_admission_control_rejects_overload(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+
+        async def scenario():
+            async with BfsService(session, max_queue=2) as service:
+                client = QueryClient(service)
+                return await client.query_many(list(range(30)))
+
+        replies = asyncio.run(scenario())
+        rejected = [r for r in replies if r.overloaded]
+        answered = [r for r in replies if r.ok]
+        assert rejected, "expected overload rejections with max_queue=2"
+        assert answered, "some queries must still be answered"
+
+    def test_out_of_range_rejected_without_failing_batch(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+
+        async def scenario():
+            async with BfsService(session) as service:
+                client = QueryClient(service)
+                return await client.query_many([0, small_graph.n, 1])
+
+        replies = asyncio.run(scenario())
+        assert replies[0].ok and replies[2].ok
+        assert not replies[1].ok and "out of range" in replies[1].error
+
+    def test_faulted_session_disables_batching(self, small_graph):
+        session = BfsSession(
+            small_graph, (2, 2), system=SystemSpec(layout="2d", faults="mild")
+        )
+        service = BfsService(session)
+        assert service.max_batch == 1
+
+        async def scenario():
+            async with service:
+                return await QueryClient(service).query_many([0, 1])
+
+        replies = asyncio.run(scenario())
+        assert all(r.ok for r in replies)
+        assert all(r.result["batch_size"] == 1 for r in replies)
+
+    def test_bad_max_batch_rejected(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        with pytest.raises(ReproError):
+            BfsService(session, max_batch=0)
+        with pytest.raises(ReproError):
+            BfsService(session, max_batch=65)
+
+    def test_closed_service_refuses(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+
+        async def scenario():
+            service = BfsService(session)
+            await service.start()
+            await service.close()
+            return await service.submit(Query(source=0))
+
+        reply = asyncio.run(scenario())
+        assert not reply.ok and reply.error == "server closed"
+
+    def test_metrics_snapshot_and_registry(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+
+        async def scenario():
+            async with BfsService(session) as service:
+                await QueryClient(service).query_many([0, 1, 2, 3])
+                return service.metrics
+
+        metrics = asyncio.run(scenario())
+        snap = metrics.snapshot()
+        assert snap["served"] == 4
+        assert snap["wall_p99_ms"] >= snap["wall_p50_ms"] >= 0
+        reg = metrics.registry()
+        assert reg.value("server_queries_total", outcome="served") == 4
+        assert reg.value("server_batches_total") == metrics.batches
+
+    def test_percentile_helper(self):
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+        assert _percentile([1.0], 0.99) == 1.0
+
+
+class TestTcp:
+    def test_tcp_round_trip(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        expected = session.bfs(0).query_view().levels_digest
+
+        async def scenario():
+            service = BfsService(session)
+            server = await serve_tcp(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                async with TcpQueryClient("127.0.0.1", port) as client:
+                    pong = await client.ping()
+                    reply = await client.query(0)
+                    stats = await client.stats()
+                    bad = await client._round_trip('{"op": "nope"}')
+                return pong, reply, stats, bad
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.close()
+
+        pong, reply, stats, bad = asyncio.run(scenario())
+        assert pong.ok and pong.extra["pong"] is True
+        assert reply.ok and reply.result["levels_digest"] == expected
+        assert stats.ok and stats.extra["stats"]["served"] == 1
+        assert not bad.ok and "unknown op" in bad.error
+
+    def test_tcp_concurrent_connections_batch(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        sources = list(range(12))
+
+        async def scenario():
+            service = BfsService(session)
+            server = await serve_tcp(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            clients = [
+                await TcpQueryClient("127.0.0.1", port).connect() for _ in sources
+            ]
+            try:
+                return await asyncio.gather(
+                    *(c.query(s) for c, s in zip(clients, sources))
+                )
+            finally:
+                for c in clients:
+                    await c.close()
+                server.close()
+                await server.wait_closed()
+                await service.close()
+
+        replies = asyncio.run(scenario())
+        assert all(r.ok for r in replies)
+        for s, r in zip(sources, replies):
+            assert r.result["source"] == s
+        assert any(r.result["batch_size"] > 1 for r in replies)
+
+    def test_disconnected_client_raises(self):
+        client = TcpQueryClient("127.0.0.1", 1)
+
+        async def scenario():
+            await client.query(0)
+
+        with pytest.raises(ReproError):
+            asyncio.run(scenario())

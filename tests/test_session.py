@@ -99,3 +99,56 @@ class TestShortestPath:
         levels = serial_bfs(path_graph, 0)
         with pytest.raises(SearchError, match="not the search source"):
             extract_path(path_graph, levels, 1, 9)
+
+
+class TestSessionCaching:
+    """The session resolves machine/mapping/network/engine exactly once."""
+
+    def test_comms_share_cached_mapping_and_network(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        c1, c2 = session._new_comm(), session._new_comm()
+        assert c1 is not c2
+        assert c1.mapping is c2.mapping is session._task_mapping
+        assert c1.model is c2.model is session._model
+        assert c1.network is c2.network is session._network
+
+    def test_engine_is_rebound_not_rebuilt(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        e1 = session._new_engine(session._new_comm())
+        e2 = session._new_engine(session._new_comm())
+        assert e1 is e2 is session._engine
+
+    def test_rebound_engine_reproduces_levels(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+        first = session.bfs(0)
+        second = session.bfs(0)
+        assert np.array_equal(first.levels, second.levels)
+        assert first.elapsed == second.elapsed
+
+    def test_counters_safe_under_threads(self, small_graph):
+        import threading
+
+        session = BfsSession(small_graph, (2, 2))
+        threads = [
+            threading.Thread(target=session._record, args=(0.5,))
+            for _ in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert session.queries_served == 16
+        assert session.total_simulated_time == pytest.approx(8.0)
+
+    def test_legacy_kwargs_warn(self, small_graph):
+        with pytest.warns(DeprecationWarning, match="layout"):
+            BfsSession(small_graph, (4, 1), layout="1d")
+
+    def test_system_spec_path_does_not_warn(self, small_graph):
+        import warnings
+
+        from repro.types import SystemSpec
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            BfsSession(small_graph, (4, 1), system=SystemSpec(layout="1d"))
