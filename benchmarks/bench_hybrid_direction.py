@@ -1,0 +1,255 @@
+"""Direction-optimizing BFS — traversed edges and simulated time.
+
+Runs top-down, bottom-up, and the hybrid switch over Poisson and R-MAT
+workloads on the 1D and 2D layouts and reports traversed edges (the
+direction-optimizing currency) plus simulated seconds.  Expected shape:
+every direction produces byte-identical level arrays; hybrid traverses at
+least 2x fewer edges than pure top-down on the scale-free R-MAT workload
+(hub frontiers saturate after two levels, so the bottom-up scan stops at
+the first already-visited parent); on the high-diameter Poisson graph the
+switch stays top-down longer and the saving is modest or absent.
+
+Also runnable as a plain script (the direction baseline for CI):
+
+    PYTHONPATH=src python benchmarks/bench_hybrid_direction.py --tiny --check
+
+It writes ``BENCH_hybrid.json`` (repo root).  Traversed edges and
+simulated seconds are fully deterministic, so ``--check`` fails when a
+scenario regresses by more than ``--tolerance`` (default 30%) against the
+committed baseline, and *always* fails if hybrid stops matching top-down
+levels or the reference R-MAT edge reduction drops below 2x (refresh
+intentional cost-model changes with ``--update-baseline``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from conftest import emit  # noqa: E402
+from repro.api import build_engine  # noqa: E402
+from repro.bfs.level_sync import run_bfs  # noqa: E402
+from repro.bfs.options import BfsOptions  # noqa: E402
+from repro.graph.generators import build_graph  # noqa: E402
+from repro.types import GraphSpec, GridShape, SystemSpec  # noqa: E402
+
+DIRECTIONS = ("top-down", "hybrid", "bottom-up")
+
+FULL = {
+    "poisson": GraphSpec(n=8_000, k=10.0, seed=3),
+    "rmat": GraphSpec.rmat(12, edge_factor=16, seed=3),
+}
+TINY = {
+    "poisson": GraphSpec(n=2_000, k=8.0, seed=3),
+    "rmat": GraphSpec.rmat(10, edge_factor=8, seed=3),
+}
+
+LAYOUTS = {
+    "1d": (GridShape(4, 1), "1d"),
+    "2d": (GridShape(4, 4), "2d"),
+}
+TINY_LAYOUTS = {
+    "1d": (GridShape(4, 1), "1d"),
+    "2d": (GridShape(2, 2), "2d"),
+}
+
+SOURCE = 0
+
+#: the acceptance bar: hybrid must traverse >= 2x fewer edges than
+#: top-down on the reference scale-free workload (2D layout)
+RMAT_REDUCTION_BAR = 2.0
+
+
+def _run(graph, grid: GridShape, layout: str, direction: str):
+    engine = build_engine(
+        graph, grid, opts=BfsOptions(direction=direction),
+        system=SystemSpec(layout=layout),
+    )
+    return run_bfs(engine, SOURCE)
+
+
+def _measure(specs: dict[str, GraphSpec], layouts: dict) -> list[dict]:
+    rows: list[dict] = []
+    for kind, spec in specs.items():
+        graph = build_graph(spec)
+        for layout_name, (grid, layout) in layouts.items():
+            baseline = None
+            for direction in DIRECTIONS:
+                result = _run(graph, grid, layout, direction)
+                if direction == "top-down":
+                    baseline = result
+                counts = result.stats.direction_counts()
+                rows.append({
+                    "scenario": f"{kind}-{layout_name}:{direction}",
+                    "kind": kind,
+                    "layout": layout_name,
+                    "direction": direction,
+                    "edges_scanned": int(result.stats.total_edges_scanned),
+                    "sim_s": result.elapsed.hex(),
+                    "num_levels": result.num_levels,
+                    "bottom_up_levels": int(counts.get("bottom-up", 0)),
+                    "levels_match_top_down": bool(
+                        np.array_equal(result.levels, baseline.levels)
+                    ),
+                })
+    return rows
+
+
+def _reduction(rows: list[dict], kind: str, layout: str) -> float:
+    by_dir = {
+        r["direction"]: r for r in rows
+        if r["kind"] == kind and r["layout"] == layout
+    }
+    hybrid = by_dir["hybrid"]["edges_scanned"]
+    return by_dir["top-down"]["edges_scanned"] / max(1, hybrid)
+
+
+def _print_rows(rows: list[dict]) -> None:
+    for row in rows:
+        print(
+            f"  {row['scenario']:>22}  edges={row['edges_scanned']:>9}  "
+            f"sim={float.fromhex(row['sim_s']):.6f}s  "
+            f"bu-levels={row['bottom_up_levels']}  "
+            f"match={'yes' if row['levels_match_top_down'] else 'NO'}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# pytest mode: the qualitative shape
+# --------------------------------------------------------------------- #
+def test_hybrid_direction(once):
+    rows = once(_measure, TINY, TINY_LAYOUTS)
+    emit(
+        "Direction-optimizing BFS  traversed edges (tiny workloads)",
+        "\n".join(
+            f"{r['scenario']:>22}: {r['edges_scanned']} edges, "
+            f"{r['bottom_up_levels']} bottom-up levels"
+            for r in rows
+        ),
+    )
+    # Correctness before economics: every direction labels every vertex
+    # with exactly the top-down levels.
+    assert all(r["levels_match_top_down"] for r in rows)
+    # Hybrid actually switched on the scale-free workload...
+    assert all(
+        r["bottom_up_levels"] > 0
+        for r in rows
+        if r["kind"] == "rmat" and r["direction"] == "hybrid"
+    )
+    # ...and pays for itself: the reference reduction on both layouts.
+    assert _reduction(rows, "rmat", "2d") >= RMAT_REDUCTION_BAR
+    assert _reduction(rows, "rmat", "1d") >= RMAT_REDUCTION_BAR
+    # Hybrid never scans *more* than top-down by an order of magnitude on
+    # the Poisson workload either (the switch is allowed to stay put).
+    assert _reduction(rows, "poisson", "2d") > 0.5
+
+
+# --------------------------------------------------------------------- #
+# script mode: the regression baseline (BENCH_hybrid.json)
+# --------------------------------------------------------------------- #
+def _check(report: dict, baseline_path: Path, tolerance: float) -> int:
+    import json
+
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run with --update-baseline first")
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    key = "tiny" if report["tiny"] else "full"
+    expected = baseline.get(key)
+    if expected is None:
+        print(f"baseline has no {key!r} section; run with --update-baseline")
+        return 2
+    want = {row["scenario"]: row for row in expected}
+    failures = []
+    for row in report["results"]:
+        base = want.get(row["scenario"])
+        if base is None:
+            failures.append(f"{row['scenario']}: not in baseline")
+            continue
+        for field in ("edges_scanned",):
+            got, exp = row[field], base[field]
+            if exp and (got - exp) / exp > tolerance:
+                failures.append(
+                    f"{row['scenario']}: {field} regressed "
+                    f"{exp} -> {got} (+{100 * (got - exp) / exp:.1f}%)"
+                )
+        got_s = float.fromhex(row["sim_s"])
+        exp_s = float.fromhex(base["sim_s"])
+        if exp_s and (got_s - exp_s) / exp_s > tolerance:
+            failures.append(
+                f"{row['scenario']}: sim_s regressed "
+                f"{exp_s:.6f} -> {got_s:.6f} (+{100 * (got_s - exp_s) / exp_s:.1f}%)"
+            )
+    if failures:
+        print(f"direction baseline DIVERGED (tolerance {100 * tolerance:.0f}%):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"direction report within {100 * tolerance:.0f}% of the committed baseline"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke size instead of the full workloads")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >tolerance regression vs the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative regression (default 0.30)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="merge this run's section into the baseline file")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_hybrid.json")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write this run's report here")
+    args = parser.parse_args(argv)
+
+    size = "tiny" if args.tiny else "full"
+    specs = TINY if args.tiny else FULL
+    layouts = TINY_LAYOUTS if args.tiny else LAYOUTS
+    print(f"direction-optimizing sweep ({size}: {DIRECTIONS} x {list(specs)})")
+    rows = _measure(specs, layouts)
+    _print_rows(rows)
+    report = {"tiny": args.tiny, "results": rows}
+
+    # Hard gates, independent of the baseline: correctness and the 2x bar.
+    if not all(row["levels_match_top_down"] for row in rows):
+        print("FATAL: a direction diverged from the top-down level labels")
+        return 1
+    reduction = _reduction(rows, "rmat", "2d")
+    print(f"reference R-MAT 2D edge reduction: {reduction:.2f}x "
+          f"(bar {RMAT_REDUCTION_BAR:.1f}x)")
+    if reduction < RMAT_REDUCTION_BAR:
+        print("FATAL: hybrid lost its traversed-edge advantage on R-MAT")
+        return 1
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=1), encoding="utf-8")
+        print(f"report written to {args.output}")
+    if args.update_baseline:
+        merged = (
+            json.loads(args.baseline.read_text(encoding="utf-8"))
+            if args.baseline.exists() else {}
+        )
+        merged[size] = rows
+        args.baseline.write_text(json.dumps(merged, indent=1), encoding="utf-8")
+        print(f"baseline section {size!r} written to {args.baseline}")
+        return 0
+    if args.check:
+        return _check(report, args.baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

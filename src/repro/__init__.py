@@ -43,7 +43,7 @@ from repro.observability import (
     export_artifacts,
     result_digests,
 )
-from repro.graph import CsrGraph, poisson_random_graph
+from repro.graph import CsrGraph, build_graph, poisson_random_graph
 from repro.partition import OneDPartition, TwoDPartition
 from repro.machine import BLUEGENE_L, MCR_CLUSTER, MachineModel, Torus3D
 from repro.runtime import Communicator
@@ -93,6 +93,7 @@ __all__ = [
     "export_artifacts",
     "result_digests",
     "CsrGraph",
+    "build_graph",
     "poisson_random_graph",
     "OneDPartition",
     "TwoDPartition",

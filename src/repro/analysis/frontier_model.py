@@ -13,13 +13,44 @@ edges into the current frontier (factor ``1 - e^{-k f_l}``).
 This predicts the shapes the paper measures: the explosive early growth
 and diameter-flattening of Figure 4.b, the level count (≈ diameter ~
 log n / log k) driving Figure 4.a, and the giant-component size.
+
+.. warning::
+   Every predictor here assumes *Poisson* degree statistics — the
+   recursion's escape factor ``e^{-k f}`` is the Poisson generating
+   function.  On skewed-degree graphs (R-MAT and other scale-free
+   inputs) the hub vertices make it badly wrong: real frontiers explode
+   one or two levels earlier and the level count is shorter.  Pass a
+   :class:`~repro.types.GraphSpec` through
+   :func:`frontier_fractions_for` to get this checked instead of
+   silently mispredicted.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+from repro.types import GraphSpec
 from repro.utils.validation import check_positive
+
+
+def frontier_fractions_for(
+    spec: GraphSpec, max_levels: int = 64, tol: float = 1e-12
+) -> np.ndarray:
+    """Spec-aware :func:`predict_frontier_fractions` with a kind guard.
+
+    Raises :class:`ConfigurationError` for non-Poisson specs rather than
+    returning a prediction the epidemic recursion is not valid for — the
+    hybrid direction policy's ``model`` mode depends on this guard to
+    avoid silently mispredicting switch levels on R-MAT inputs.
+    """
+    if spec.kind != "poisson":
+        raise ConfigurationError(
+            f"frontier model assumes Poisson degree statistics; got a "
+            f"{spec.kind!r} GraphSpec (hub-dominated frontiers do not "
+            f"follow the epidemic recursion)"
+        )
+    return predict_frontier_fractions(spec.n, spec.k, max_levels, tol)
 
 
 def predict_frontier_fractions(

@@ -47,6 +47,8 @@ import multiprocessing as mp
 
 import numpy as np
 
+from repro.bfs.bottom_up import _first_hit_scan
+from repro.bfs.direction import BOTTOM_UP, TOP_DOWN, DirectionPolicy
 from repro.bfs.options import BfsOptions
 from repro.bfs.sent_cache import SentCache
 from repro.errors import CommunicationError, FaultError, SearchError
@@ -105,6 +107,13 @@ def spmd_bfs(
         raise CommunicationError(
             f"spmd backend supports fold in {{'direct', 'union-ring'}}, "
             f"got {opts.fold_collective!r}"
+        )
+    policy = DirectionPolicy.coerce(opts.direction)
+    if policy.may_go_bottom_up and faults is not None:
+        raise CommunicationError(
+            "direction-optimizing BFS does not support fault injection "
+            "(mirroring the simulated engines); use direction='top-down' "
+            "with faults"
         )
     codec = resolve_wire(wire)
     partition = TwoDPartition(graph, grid)
@@ -311,6 +320,13 @@ def _worker_main(
     offsets = partition.dist.offsets
     col_bounds = offsets[::R]
     faults = _WorkerFaults(spec) if spec is not None and spec.drop_rate > 0 else None
+    # Direction policy inputs are the globally-allreduced totals every
+    # worker already receives, so all ranks take the identical branch in
+    # lockstep with no extra message (and with the simulated engines).
+    policy = DirectionPolicy.coerce(opts.direction)
+    direction_prev = TOP_DOWN
+    global_frontier = 1  # the source
+    global_unvisited = partition.n - 1
 
     level = 0
     while True:
@@ -323,35 +339,44 @@ def _worker_main(
                 sent_cache.snapshot() if sent_cache is not None else None,
             )
 
-        # --- expand: share the frontier within the processor-column --- #
-        fbar = _expand_phase(
-            conn, rank, col_group, frontier, opts.expand_collective, codec, faults
+        direction = policy.decide(
+            level, global_frontier, global_unvisited, partition.n, direction_prev
         )
-
-        # --- local discovery on partial edge lists --- #
-        neighbors = np.unique(loc.partial_neighbors(fbar))
-        if sent_cache is not None:
-            neighbors = sent_cache.filter_unsent(neighbors)
-
-        # --- fold: route neighbours to their owners along the row --- #
-        bounds = np.searchsorted(neighbors, col_bounds)
-        contrib = {
-            m: neighbors[bounds[m] : bounds[m + 1]]
-            for m in range(grid.cols)
-            if bounds[m + 1] > bounds[m]
-        }
-        candidates = _fold_phase(
-            conn, rank, row_group, contrib, opts.fold_collective, codec, faults
-        )
-
-        # --- label fresh vertices --- #
-        if candidates.size:
-            local = candidates - loc.vertex_lo
-            fresh = candidates[levels[local] == UNREACHED]
+        if direction == BOTTOM_UP:
+            fresh = _bottom_up_level(
+                conn, rank, partition, loc, row_group, col_group,
+                levels, frontier, level, codec, faults,
+            )
         else:
-            fresh = candidates
-        if fresh.size:
-            levels[fresh - loc.vertex_lo] = level + 1
+            # --- expand: share the frontier within the processor-column --- #
+            fbar = _expand_phase(
+                conn, rank, col_group, frontier, opts.expand_collective, codec, faults
+            )
+
+            # --- local discovery on partial edge lists --- #
+            neighbors = np.unique(loc.partial_neighbors(fbar))
+            if sent_cache is not None:
+                neighbors = sent_cache.filter_unsent(neighbors)
+
+            # --- fold: route neighbours to their owners along the row --- #
+            bounds = np.searchsorted(neighbors, col_bounds)
+            contrib = {
+                m: neighbors[bounds[m] : bounds[m + 1]]
+                for m in range(grid.cols)
+                if bounds[m + 1] > bounds[m]
+            }
+            candidates = _fold_phase(
+                conn, rank, row_group, contrib, opts.fold_collective, codec, faults
+            )
+
+            # --- label fresh vertices --- #
+            if candidates.size:
+                local = candidates - loc.vertex_lo
+                fresh = candidates[levels[local] == UNREACHED]
+            else:
+                fresh = candidates
+            if fresh.size:
+                levels[fresh - loc.vertex_lo] = level + 1
 
         failed = int(faults.failed) if faults is not None else 0
         conn.send(("sum", (int(fresh.size), failed)))
@@ -367,11 +392,93 @@ def _worker_main(
             faults.failed = False
             continue
         frontier = fresh
+        direction_prev = direction
+        global_frontier = total
+        global_unvisited -= total
         level += 1
         if total == 0:
             break
 
     conn.send(("done", (levels, faults.counters() if faults is not None else None)))
+
+
+def _bottom_up_level(
+    conn,
+    rank: int,
+    partition: TwoDPartition,
+    loc,
+    row_group: list[int],
+    col_group: list[int],
+    levels: np.ndarray,
+    frontier: np.ndarray,
+    level: int,
+    codec: WireCodec,
+    faults: _WorkerFaults | None,
+) -> np.ndarray:
+    """One bottom-up level: exactly three lockstep ``xchg`` rounds.
+
+    (1) frontier owned-lists travel along the processor **row** (the
+    stored rows of this rank are vertices owned by its row peers);
+    (2) unvisited owned-lists travel along the processor **column** (the
+    stored columns are the column chunk those peers own); (3) each
+    stored column still unvisited scans its partial row list for a
+    frontier parent, and the finds travel to their owners within the
+    column for de-duplication and labelling.  Mirrors
+    :func:`repro.bfs.bottom_up.bottom_up_level_2d` message for message.
+    """
+    empty = np.empty(0, dtype=VERTEX_DTYPE)
+    n = partition.n
+
+    def merge(own: np.ndarray, inbox) -> np.ndarray:
+        pieces = [own, *(payload for _src, payload in inbox)]
+        return np.unique(np.concatenate(pieces)) if len(pieces) > 1 else own
+
+    # round 1: frontier membership of the stored rows
+    sends = {peer: frontier for peer in row_group if peer != rank and frontier.size}
+    inbox = _exchange(conn, rank, sends, codec, faults, lossy=True)
+    frontier_rows = merge(frontier, inbox)
+
+    # round 2: unvisited state of the column chunk
+    owned_unvisited = (
+        np.flatnonzero(levels == UNREACHED).astype(VERTEX_DTYPE) + loc.vertex_lo
+    )
+    sends = {
+        peer: owned_unvisited
+        for peer in col_group
+        if peer != rank and owned_unvisited.size
+    }
+    inbox = _exchange(conn, rank, sends, codec, faults, lossy=True)
+    unvisited_chunk = merge(owned_unvisited, inbox)
+
+    # scan: stored columns still unvisited probe their partial row lists
+    frontier_mask = np.zeros(n, dtype=bool)
+    frontier_mask[frontier_rows] = True
+    unvisited_mask = np.zeros(n, dtype=bool)
+    unvisited_mask[unvisited_chunk] = True
+    col_ids = loc.col_map.ids
+    scan_cols = np.flatnonzero(unvisited_mask[col_ids])
+    starts = loc.col_indptr[scan_cols].astype(np.int64)
+    lengths = loc.col_indptr[scan_cols + 1].astype(np.int64) - starts
+    found, _ = _first_hit_scan(starts, lengths, loc.rows, frontier_mask)
+    found_v = col_ids[scan_cols[found]]
+
+    # round 3: finds travel to their owners (within the processor column)
+    owners = partition.owner_of(found_v) if found_v.size else found_v
+    sends = {
+        int(o): found_v[owners == o]
+        for o in np.unique(owners)
+        if int(o) != rank
+    }
+    own = found_v[owners == rank] if found_v.size else empty
+    inbox = _exchange(conn, rank, sends, codec, faults, lossy=True)
+    merged = merge(own, inbox)
+    if merged.size:
+        local = merged - loc.vertex_lo
+        fresh = merged[levels[local] == UNREACHED]
+        levels[fresh - loc.vertex_lo] = level + 1
+    else:
+        fresh = merged
+    return fresh
 
 
 def _exchange(

@@ -11,6 +11,7 @@ Public entry points:
 """
 
 from repro.bfs.options import BfsOptions
+from repro.bfs.direction import DIRECTION_MODES, DirectionPolicy
 from repro.bfs.result import BfsResult, BidirectionalResult, QueryResult
 from repro.bfs.serial import serial_bfs
 from repro.bfs.sent_cache import SentCache
@@ -24,6 +25,8 @@ __all__ = [
     "BfsOptions",
     "BfsResult",
     "BidirectionalResult",
+    "DIRECTION_MODES",
+    "DirectionPolicy",
     "QueryResult",
     "MAX_BATCH",
     "MsBfsResult",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bfs.bottom_up import bottom_up_level_1d
 from repro.bfs.level_sync import LevelSyncEngine
 from repro.bfs.options import BfsOptions
 from repro.bfs.sent_cache import SentCache
@@ -102,6 +103,9 @@ class Bfs1DEngine(LevelSyncEngine):
         return np.array(
             [(len(cache) + 7) // 8 for cache in self._sent_caches], dtype=np.int64
         )
+
+    def _expand_level_bottom_up(self) -> list[np.ndarray]:
+        return bottom_up_level_1d(self)
 
     # ------------------------------------------------------------------ #
     # one level (Algorithm 1, steps 7-16)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bfs.bottom_up import bottom_up_level_2d
 from repro.bfs.level_sync import LevelSyncEngine
 from repro.bfs.options import BfsOptions
 from repro.bfs.sent_cache import SentCache
@@ -171,6 +172,9 @@ class Bfs2DEngine(LevelSyncEngine):
         return np.array(
             [(len(cache) + 7) // 8 for cache in self._sent_caches], dtype=np.int64
         )
+
+    def _expand_level_bottom_up(self) -> list[np.ndarray]:
+        return bottom_up_level_2d(self)
 
     # ------------------------------------------------------------------ #
     # one level (Algorithm 2, steps 7-21)

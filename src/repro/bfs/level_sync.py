@@ -14,6 +14,7 @@ import abc
 
 import numpy as np
 
+from repro.bfs.direction import BOTTOM_UP, TOP_DOWN, DirectionPolicy
 from repro.bfs.options import BfsOptions
 from repro.bfs.result import BfsResult
 from repro.errors import ConfigurationError, FaultError, SearchError
@@ -40,6 +41,13 @@ class LevelSyncEngine(abc.ABC):
         #: per-rank current frontier (global vertex ids, sorted)
         self.frontier: list[np.ndarray] = []
         self._started = False
+        #: resolved per-level direction policy (opts coerces bare names)
+        self._direction_policy: DirectionPolicy = DirectionPolicy.coerce(opts.direction)
+        #: direction the previous level ran (the policy's hysteresis input)
+        self._direction = TOP_DOWN
+        #: global count of still-unreached vertices (a policy input; every
+        #: backend derives the same value from allreduced frontier totals)
+        self._unvisited = 0
 
     # ------------------------------------------------------------------ #
     # abstract per-layout hooks
@@ -60,6 +68,19 @@ class LevelSyncEngine(abc.ABC):
         labelled* owned vertices (the next frontier).  Implementations must
         update ``owned_levels`` themselves and charge compute/comm costs.
         """
+
+    def _expand_level_bottom_up(self) -> list[np.ndarray]:
+        """Run one *bottom-up* level (unvisited vertices probe the frontier).
+
+        Same contract as :meth:`_expand_level`.  Layouts that support
+        direction-optimizing traversal override this (see
+        :mod:`repro.bfs.bottom_up`); the default refuses so a policy that
+        reaches bottom-up on an unsupported engine fails loudly.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} does not implement bottom-up levels; "
+            f"use direction='top-down'"
+        )
 
     @abc.abstractmethod
     def _reset_layout_state(self) -> None:
@@ -125,6 +146,16 @@ class LevelSyncEngine(abc.ABC):
         self._levels_flat[source] = 0
         self.frontier[owner] = np.array([source], dtype=VERTEX_DTYPE)
         self.level = 0
+        if self._direction_policy.may_go_bottom_up and self.comm.faults is not None:
+            # Bottom-up levels charge bitmap broadcasts outside the
+            # droppable-message path, so the fault schedule cannot touch
+            # them (the MS-BFS restriction, for the same reason).
+            raise ConfigurationError(
+                "direction-optimizing BFS does not support fault injection; "
+                "use direction='top-down' with faults"
+            )
+        self._direction = TOP_DOWN
+        self._unvisited = self.n - 1
         self._reset_layout_state()
         self._started = True
 
@@ -161,6 +192,24 @@ class LevelSyncEngine(abc.ABC):
         comm_before = clock.max_comm_time
         compute_before = clock.max_compute_time
         fault_before = clock.max_fault_time
+        # Direction decision: global counts only (frontier size, unvisited,
+        # n), so the SPMD workers reach the identical choice from their
+        # allreduced totals.  Charge-free by design — a pure top-down
+        # policy leaves every simulated clock bit-identical to a build
+        # without direction optimization.
+        frontier_total = sum(f.size for f in self.frontier)
+        direction = self._direction_policy.decide(
+            self.level, frontier_total, self._unvisited, self.n, self._direction
+        )
+        if direction != self._direction and obs.enabled:
+            with obs.span(
+                "direction-switch",
+                cat="phase",
+                level=self.level,
+                frm=self._direction,
+                to=direction,
+            ):
+                pass
         faults = self.comm.faults
         checkpointing = self.opts.checkpoint
         if checkpointing is None:
@@ -177,7 +226,10 @@ class LevelSyncEngine(abc.ABC):
             snapshot = self._checkpoint() if checkpointing else None
             elapsed_before = clock.elapsed
             self.comm.begin_level(self.level)
-            new_frontiers = self._expand_level()
+            if direction == BOTTOM_UP:
+                new_frontiers = self._expand_level_bottom_up()
+            else:
+                new_frontiers = self._expand_level()
             sizes = np.array([f.size for f in new_frontiers], dtype=np.float64)
             total_new = int(self.comm.allreduce_sum(sizes))
             if replay_span is not None:
@@ -229,11 +281,14 @@ class LevelSyncEngine(abc.ABC):
                     "level %d rolled back after an unrecovered loss", self.level
                 )
         self.frontier = new_frontiers
+        self._direction = direction
+        self._unvisited -= total_new
         level_stats = stats.end_level(
             total_new,
             comm_seconds=clock.max_comm_time - comm_before,
             compute_seconds=clock.max_compute_time - compute_before,
             fault_seconds=clock.max_fault_time - fault_before,
+            direction=direction,
         )
         if level_span is not None:
             obs.end(level_span, frontier=total_new, rollbacks=rollbacks, replays=replays)

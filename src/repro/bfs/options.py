@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.bfs.direction import DirectionPolicy
 from repro.errors import ConfigurationError
 
 _EXPAND_NAMES = frozenset({"direct", "ring", "two-phase", "recursive-doubling"})
@@ -49,6 +50,14 @@ class BfsOptions:
         fault schedule can drop messages; ``True`` forces it on;
         ``False`` disables it, turning an unrecovered message loss into a
         :class:`~repro.errors.FaultError`.
+    direction:
+        Per-level traversal direction policy
+        (:class:`~repro.bfs.direction.DirectionPolicy`), or a bare mode
+        name: ``"top-down"`` (default, the paper's algorithm),
+        ``"bottom-up"``, ``"hybrid"`` (online Beamer α/β switch), or
+        ``"model"`` (precomputed schedule; see
+        :meth:`DirectionPolicy.model_for`).  Any policy that can choose
+        bottom-up levels is incompatible with fault injection.
     """
 
     expand_collective: str = "direct"
@@ -58,8 +67,16 @@ class BfsOptions:
     buffer_capacity: int | None = None
     collective_shape: tuple[int, int] | None = None
     checkpoint: bool | None = None
+    direction: DirectionPolicy | str = "top-down"
 
     def __post_init__(self) -> None:
+        if not isinstance(self.direction, DirectionPolicy):
+            # frozen dataclass: coerce a bare mode name in place
+            try:
+                coerced = DirectionPolicy.coerce(self.direction)
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(str(exc)) from None
+            object.__setattr__(self, "direction", coerced)
         if self.expand_collective not in _EXPAND_NAMES:
             raise ConfigurationError(
                 f"unknown expand collective {self.expand_collective!r}; "

@@ -25,10 +25,11 @@ import numpy as np
 
 from repro.analysis.crossover import crossover_degree
 from repro.api import bidirectional_bfs, distributed_bfs
+from repro.bfs.direction import DIRECTION_MODES, DirectionPolicy
 from repro.bfs.options import BfsOptions
 from repro.bfs.tree import build_parent_tree, validate_bfs_result
 from repro.graph.csr import CsrGraph
-from repro.graph.generators import poisson_random_graph, rmat_edges
+from repro.graph.generators import build_graph, poisson_random_graph, rmat_edges
 from repro.faults import FaultSpec
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.harness import figures as figs
@@ -49,15 +50,29 @@ def _parse_grid(text: str) -> GridShape:
 
 def _add_graph_source_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--graph", help="path to a stored graph (.npz or text)")
+    parser.add_argument(
+        "--graph-kind", choices=["poisson", "rmat"], default="poisson",
+        help="generated-graph family: Poisson (paper baseline) or scale-free R-MAT",
+    )
     parser.add_argument("--n", type=int, default=10_000, help="vertices (generated graph)")
     parser.add_argument("--k", type=float, default=10.0, help="average degree")
     parser.add_argument("--seed", type=int, default=0, help="generation seed")
+    parser.add_argument("--scale", type=int, default=14,
+                        help="R-MAT: log2(vertices) (with --graph-kind rmat)")
+    parser.add_argument("--edge-factor", type=int, default=16,
+                        help="R-MAT: edges per vertex (with --graph-kind rmat)")
+
+
+def _graph_spec_from(args) -> GraphSpec:
+    if args.graph_kind == "rmat":
+        return GraphSpec.rmat(args.scale, edge_factor=args.edge_factor, seed=args.seed)
+    return GraphSpec(n=args.n, k=args.k, seed=args.seed)
 
 
 def _load_graph(args) -> CsrGraph:
     if args.graph:
         return read_edge_list(args.graph)
-    return poisson_random_graph(GraphSpec(n=args.n, k=args.k, seed=args.seed))
+    return build_graph(_graph_spec_from(args))
 
 
 def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
@@ -89,6 +104,15 @@ def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
              "crash-shrink, crash-harsh) or e.g. 'drop=0.05,crash=0.1,"
              "recovery=spare,degrade=0.25x4,straggler=0.1x3,down=2,seed=7'",
     )
+    parser.add_argument(
+        "--direction", choices=list(DIRECTION_MODES), default="top-down",
+        help="per-level traversal direction: fixed top-down/bottom-up, the "
+             "counts-based hybrid switch, or the cost-model schedule",
+    )
+    parser.add_argument("--alpha", type=float, default=6.0,
+                        help="hybrid: go bottom-up when frontier > unvisited/alpha")
+    parser.add_argument("--beta", type=float, default=24.0,
+                        help="hybrid: return top-down when frontier < n/beta")
     parser.add_argument("--no-sent-cache", action="store_true")
     parser.add_argument("--buffer-capacity", type=int, default=None)
     parser.add_argument(
@@ -107,11 +131,24 @@ def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _options_from(args) -> BfsOptions:
+    direction = DirectionPolicy(
+        mode=args.direction, alpha=args.alpha, beta=args.beta
+    )
+    if args.direction == "model":
+        if getattr(args, "graph", None):
+            raise SystemExit(
+                "--direction model needs the analytic GraphSpec and cannot be "
+                "used with a stored --graph; use --direction hybrid instead"
+            )
+        direction = DirectionPolicy.model_for(
+            _graph_spec_from(args), alpha=args.alpha, beta=args.beta
+        )
     return BfsOptions(
         expand_collective=args.expand,
         fold_collective=args.fold,
         use_sent_cache=not args.no_sent_cache,
         buffer_capacity=args.buffer_capacity,
+        direction=direction,
     )
 
 
@@ -160,11 +197,25 @@ def _export_from(args, result) -> None:
 # ---------------------------------------------------------------------- #
 def cmd_generate(args) -> int:
     if args.rmat:
+        # --n/--k parameterise the Poisson generator only; silently ignoring
+        # them under --rmat produced graphs the user did not ask for.
+        explicit = [
+            f"--{name}" for name in ("n", "k") if getattr(args, name) is not None
+        ]
+        if explicit:
+            verb = "applies" if len(explicit) == 1 else "apply"
+            raise SystemExit(
+                f"{' and '.join(explicit)} {verb} to Poisson generation only "
+                "and would be ignored by --rmat; use --scale (log2 vertices) "
+                "and --edge-factor instead"
+            )
         rng = RngFactory(args.seed).named("cli-rmat")
         edges = rmat_edges(args.scale, args.edge_factor, rng)
         graph = CsrGraph.from_edges(1 << args.scale, edges)
     else:
-        graph = poisson_random_graph(GraphSpec(n=args.n, k=args.k, seed=args.seed))
+        n = args.n if args.n is not None else 10_000
+        k = args.k if args.k is not None else 10.0
+        graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=args.seed))
     write_edge_list(graph, args.out)
     print(
         f"wrote {args.out}: n={graph.n} m={graph.num_edges} "
@@ -340,8 +391,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     gen = sub.add_parser("generate", help="generate and store a graph")
     gen.add_argument("--out", required=True)
-    gen.add_argument("--n", type=int, default=10_000)
-    gen.add_argument("--k", type=float, default=10.0)
+    # defaults are filled in cmd_generate: None detects explicit use so
+    # --rmat can reject Poisson-only parameters instead of ignoring them
+    gen.add_argument("--n", type=int, default=None,
+                     help="Poisson: vertices (default 10000)")
+    gen.add_argument("--k", type=float, default=None,
+                     help="Poisson: average degree (default 10)")
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--rmat", action="store_true", help="R-MAT instead of Poisson")
     gen.add_argument("--scale", type=int, default=14, help="R-MAT: log2(vertices)")

@@ -2,6 +2,7 @@
 
 from repro.graph.csr import CsrGraph
 from repro.graph.generators import (
+    build_graph,
     poisson_random_graph,
     gnp_edges,
     gnm_edges,
@@ -23,6 +24,7 @@ from repro.graph.components import (
 
 __all__ = [
     "CsrGraph",
+    "build_graph",
     "poisson_random_graph",
     "gnp_edges",
     "gnm_edges",

@@ -107,12 +107,60 @@ def _geometric_ids(rng: np.random.Generator, p: float, total: int) -> np.ndarray
 
 
 class DistributedGraphBuilder:
-    """Per-rank 2D-layout construction for a Poisson graph, no global state."""
+    """Per-rank 2D-layout construction, no global state for Poisson graphs.
+
+    Poisson specs (``kind='poisson'``) are sampled cell by cell with
+    independent seeded streams — the scalable path described above.
+    R-MAT specs (``kind='rmat'``) have no per-cell decomposition (every
+    recursive bit of an edge touches the whole adjacency matrix), so the
+    generator materialises the canonical undirected edge list once per
+    builder — deterministically, identical to
+    :func:`repro.graph.generators.build_graph` — and buckets it into the
+    same cell structure.  That keeps the per-rank interface and all
+    downstream plumbing identical, at the cost of central generation; a
+    truly distributed R-MAT would regenerate the shared stream on every
+    rank, which costs the same total work per rank and is left out.
+    """
 
     def __init__(self, spec: GraphSpec, grid: GridShape) -> None:
         self.spec = spec
         self.grid = grid
         self.dist = BlockDistribution(spec.n, grid.size)
+        self._rmat_cells: dict[tuple[int, int], np.ndarray] | None = None
+        if spec.kind == "rmat":
+            self._rmat_cells = self._bucket_rmat_cells(spec)
+
+    def _bucket_rmat_cells(self, spec: GraphSpec) -> dict[tuple[int, int], np.ndarray]:
+        """Canonical undirected R-MAT edges, grouped by (bu, bv) cell."""
+        from repro.graph.generators import rmat_edges
+        from repro.utils.rng import RngFactory as _RngFactory
+
+        rng = _RngFactory(spec.seed).named("rmat-graph")
+        dirty = rmat_edges(spec.scale, spec.edge_factor, rng, a=spec.a, b=spec.b, c=spec.c)
+        u = np.minimum(dirty[:, 0], dirty[:, 1])
+        v = np.maximum(dirty[:, 0], dirty[:, 1])
+        keep = u != v  # drop self-loops
+        u, v = u[keep], v[keep]
+        edges = np.unique(np.column_stack([u, v]), axis=0)
+        bu = self.dist.part_of(edges[:, 0])
+        bv = self.dist.part_of(edges[:, 1])
+        order = np.lexsort((bv, bu))
+        edges, bu, bv = edges[order], bu[order], bv[order]
+        cuts = np.flatnonzero(np.diff(bu * self.grid.size + bv)) + 1
+        bounds = np.concatenate(([0], cuts, [edges.shape[0]]))
+        return {
+            (int(bu[bounds[i]]), int(bv[bounds[i]])): edges[bounds[i] : bounds[i + 1]]
+            for i in range(bounds.size - 1)
+            if bounds[i + 1] > bounds[i]
+        }
+
+    def _cell_edges(self, bu: int, bv: int) -> np.ndarray:
+        """Edges {u < v} of one canonical cell, for either graph kind."""
+        if self._rmat_cells is not None:
+            return self._rmat_cells.get(
+                (bu, bv), np.empty((0, 2), dtype=VERTEX_DTYPE)
+            )
+        return _sample_cell(self.spec, self.dist, bu, bv)
 
     def cells_for_rank(self, rank: int) -> list[tuple[int, int]]:
         """Canonical cells rank ``(i, j)`` must sample (2P of them at most)."""
@@ -133,7 +181,7 @@ class DistributedGraphBuilder:
         rows_parts: list[np.ndarray] = []
         cols_parts: list[np.ndarray] = []
         for bu, bv in self.cells_for_rank(rank):
-            edges = _sample_cell(self.spec, self.dist, bu, bv)
+            edges = self._cell_edges(bu, bv)
             if edges.size == 0:
                 continue
             u, v = edges[:, 0], edges[:, 1]
@@ -186,7 +234,7 @@ class DistributedGraphBuilder:
         """
         blocks = self.grid.size
         parts = [
-            _sample_cell(self.spec, self.dist, bu, bv)
+            self._cell_edges(bu, bv)
             for bu in range(blocks)
             for bv in range(bu, blocks)
         ]

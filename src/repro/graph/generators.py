@@ -21,6 +21,25 @@ from repro.utils.rng import RngFactory
 from repro.utils.validation import check_probability
 
 
+def build_graph(spec: GraphSpec) -> CsrGraph:
+    """Materialise the graph described by ``spec``, dispatching on ``kind``.
+
+    The single entry point the harness, session helpers, and CLI use so a
+    :class:`GraphSpec` of any kind flows through the whole stack.  Poisson
+    specs route to :func:`poisson_random_graph`; R-MAT specs sample
+    :func:`rmat_edges` under a seed-derived named stream and clean up
+    duplicates/self-loops via :meth:`CsrGraph.from_edges`.  Deterministic
+    in ``spec`` (including ``seed``).
+    """
+    if spec.kind == "rmat":
+        rng = RngFactory(spec.seed).named("rmat-graph")
+        edges = rmat_edges(
+            spec.scale, spec.edge_factor, rng, a=spec.a, b=spec.b, c=spec.c
+        )
+        return CsrGraph.from_edges(spec.n, edges)
+    return poisson_random_graph(spec)
+
+
 def poisson_random_graph(spec: GraphSpec) -> CsrGraph:
     """Generate the Poisson random graph described by ``spec``.
 

@@ -11,7 +11,7 @@ from repro.bfs.level_sync import run_bfs
 from repro.bfs.options import BfsOptions
 from repro.bfs.result import BfsResult
 from repro.faults import FaultSpec
-from repro.graph.generators import poisson_random_graph
+from repro.graph.generators import build_graph
 from repro.types import GraphSpec, GridShape, SystemSpec
 from repro.utils.rng import RngFactory
 
@@ -90,6 +90,18 @@ class ExperimentResult:
         """Mean raw-over-encoded compression ratio (1.0 under the raw codec)."""
         return float(np.mean([r.stats.compression_ratio for r in self.runs]))
 
+    @property
+    def mean_edges_scanned(self) -> float:
+        """Mean edges traversed per search (the direction-optimizing metric)."""
+        return float(np.mean([r.stats.total_edges_scanned for r in self.runs]))
+
+    @property
+    def total_bottom_up_levels(self) -> int:
+        """Levels executed bottom-up across all searches."""
+        return sum(
+            r.stats.direction_counts().get("bottom-up", 0) for r in self.runs
+        )
+
     def fault_total(self, counter: str) -> int:
         """Sum a :class:`~repro.faults.FaultReport` counter over all searches.
 
@@ -129,7 +141,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     so per-run metrics are independent; source/target pairs are drawn
     deterministically from the experiment seed when not pinned.
     """
-    graph = poisson_random_graph(config.graph)
+    graph = build_graph(config.graph)
     rng = RngFactory(config.graph.seed).named(f"experiment:{config.name}")
     runs: list[BfsResult] = []
     for _ in range(max(1, config.num_searches)):

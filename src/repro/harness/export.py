@@ -20,11 +20,17 @@ def results_to_rows(results: list[ExperimentResult]) -> list[dict[str, object]]:
                 "n": config.graph.n,
                 "k": config.graph.k,
                 "seed": config.graph.seed,
+                "kind": config.graph.kind,
+                "scale": config.graph.scale if config.graph.scale is not None else "",
+                "edge_factor": config.graph.edge_factor,
                 "rows": config.grid.rows,
                 "cols": config.grid.cols,
                 "layout": config.layout,
                 "expand": config.opts.expand_collective,
                 "fold": config.opts.fold_collective,
+                "direction": config.opts.direction.mode,
+                "bottom_up_levels": result.total_bottom_up_levels,
+                "edges_scanned": result.mean_edges_scanned,
                 "machine": config.machine,
                 "wire": config.wire or "raw",
                 "observe": config.observe or "off",

@@ -56,14 +56,15 @@ def stats_digest(stats: "CommStats") -> str:
     for total in (
         stats.total_messages, stats.total_bytes, stats.total_encoded_bytes,
         stats.total_processed, stats.total_drops, stats.total_retries,
-        stats.total_rollbacks,
+        stats.total_rollbacks, stats.total_edges_scanned,
     ):
         h.update(str(int(total)).encode())
     for s in stats.levels:
         h.update(
             f"{s.level},{s.expand_received},{s.fold_received},{s.processed},"
             f"{s.duplicates_eliminated},{s.messages},{s.raw_bytes},"
-            f"{s.encoded_bytes},{s.frontier_size},{s.drops},{s.retries}".encode()
+            f"{s.encoded_bytes},{s.frontier_size},{s.drops},{s.retries},"
+            f"{s.direction},{s.edges_scanned}".encode()
         )
         _feed_float(h, s.comm_seconds)
         _feed_float(h, s.compute_seconds)

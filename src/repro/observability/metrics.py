@@ -18,6 +18,8 @@ bfs_retries_total         —                              fault layer
 bfs_rollbacks_total       —                              fault layer
 bfs_seconds_total         bucket=total|comm|compute|...  SimClock
 bfs_levels_total          —                              CommStats
+bfs_edges_scanned_total   —                              CommStats
+bfs_direction_levels_total  mode=top-down|bottom-up      LevelStats
 bfs_level_delivered       level, phase=expand|fold       LevelStats
 bfs_level_bytes           level, kind=raw|encoded        LevelStats
 bfs_level_seconds         level, bucket=comm|compute|..  LevelStats
@@ -117,6 +119,9 @@ class MetricsRegistry:
         reg.record("bfs_retries_total", stats.total_retries)
         reg.record("bfs_rollbacks_total", stats.total_rollbacks)
         reg.record("bfs_levels_total", len(stats.levels))
+        reg.record("bfs_edges_scanned_total", stats.total_edges_scanned)
+        for mode, count in sorted(stats.direction_counts().items()):
+            reg.record("bfs_direction_levels_total", count, mode=mode)
         if clock is not None:
             reg.record("bfs_seconds_total", clock.elapsed, bucket="total")
             reg.record("bfs_seconds_total", clock.max_comm_time, bucket="comm")

@@ -5,9 +5,11 @@ from repro.partition.indexing import VertexIndexMap
 from repro.partition.one_d import OneDPartition, RankLocal1D
 from repro.partition.two_d import TwoDPartition, RankLocal2D
 from repro.partition.balance import balance_report, BalanceReport
+from repro.partition.degree_aware import degree_aware_relabeling
 from repro.partition.permutation import VertexRelabeling, relabel_graph
 
 __all__ = [
+    "degree_aware_relabeling",
     "VertexRelabeling",
     "relabel_graph",
     "BlockDistribution",

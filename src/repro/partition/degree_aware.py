@@ -1,0 +1,68 @@
+"""Degree-aware vertex relabeling for skewed (scale-free) graphs.
+
+Random relabeling (:mod:`repro.partition.permutation`) fixes the *spatial*
+clustering of R-MAT hubs but distributes them across blocks only in
+expectation — with ``n / nranks`` vertices per block the heaviest hubs
+still land wherever the permutation happens to put them, and on small
+rank counts one unlucky block can carry several of the top hubs at once.
+
+The degree-aware relabeling here removes that variance deterministically:
+vertices are sorted by degree (descending) and dealt round-robin across
+the ``nblocks`` contiguous blocks the block distribution will create, so
+every block receives an equal share of each degree stratum — hub number
+``i`` goes to block ``i % nblocks``.  Ties are broken by vertex id, which
+keeps the permutation fully deterministic (no RNG involved).
+
+The result is an ordinary :class:`VertexRelabeling`, so the session-level
+plumbing (apply before partitioning, ``restore_levels`` after the run) is
+shared with the random strategy.  Balance is quantified with
+:func:`repro.partition.balance.balance_report` in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CsrGraph
+from repro.partition.permutation import VertexRelabeling
+from repro.types import VERTEX_DTYPE
+
+
+def degree_aware_relabeling(graph: CsrGraph, nblocks: int) -> VertexRelabeling:
+    """Hub-balancing permutation: deal vertices round-robin by degree.
+
+    ``nblocks`` is the number of contiguous blocks the downstream block
+    distribution will cut the id space into (``nranks`` for 1D, ``R*C``
+    for the 2D layout).  Vertex ranks in the degree-descending order are
+    assigned new ids so that rank ``i`` lands in block ``i % nblocks`` —
+    each block gets (up to rounding) the same number of vertices from
+    every degree stratum, so hub-heavy and tail-heavy blocks cannot occur.
+    """
+    if nblocks < 1:
+        raise PartitionError(f"nblocks must be >= 1, got {nblocks}")
+    n = graph.n
+    if nblocks > max(n, 1):
+        raise PartitionError(f"nblocks={nblocks} exceeds vertex count {n}")
+    degrees = graph.degree()
+    # stable sort on -degree: ties broken by ascending vertex id
+    order = np.argsort(-degrees, kind="stable")
+    # Deal position i (0 = heaviest hub) to block i % nblocks.  Blocks are
+    # contiguous id ranges of size ceil/floor(n / nblocks) exactly as
+    # BlockDistribution cuts them, so compute each position's target id by
+    # walking blocks in round-robin order.
+    base, extra = divmod(n, nblocks)
+    block_sizes = np.full(nblocks, base, dtype=np.int64)
+    block_sizes[:extra] += 1
+    block_starts = np.concatenate(([0], np.cumsum(block_sizes)))[:-1]
+    positions = np.arange(n, dtype=np.int64)
+    block_of = positions % nblocks
+    round_of = positions // nblocks
+    # Round r only reaches blocks that still have capacity; with sizes
+    # differing by at most one, only the final round can be partial and it
+    # fills blocks 0..extra-1 — which is exactly where the larger blocks
+    # are, so slot `round_of` is always in range.
+    new_ids = block_starts[block_of] + round_of
+    to_new = np.empty(n, dtype=VERTEX_DTYPE)
+    to_new[order] = new_ids.astype(VERTEX_DTYPE)
+    return VertexRelabeling(to_new)

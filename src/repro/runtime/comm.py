@@ -546,6 +546,8 @@ class Communicator:
         excess over the fault-free cost is booked as fault time.
         """
         self._check_rank(rank)
+        if edges_scanned:
+            self.stats.record_edges_scanned(edges_scanned)
         seconds = self.model.compute_time(
             edges_scanned=edges_scanned, hash_lookups=hash_lookups, updates=updates
         )
@@ -580,6 +582,8 @@ class Communicator:
         e = zeros if edges_scanned is None else np.asarray(edges_scanned)
         h = zeros if hash_lookups is None else np.asarray(hash_lookups)
         u = zeros if updates is None else np.asarray(updates)
+        if edges_scanned is not None:
+            self.stats.record_edges_scanned(int(e.sum()))
         # Mirrors MachineModel.compute_time term by term (float identity).
         seconds = (
             e * model.edge_scan_cost

@@ -51,6 +51,11 @@ class LevelStats:
     retries: int = 0
     #: simulated fault-overhead seconds this level (slowest rank's delta)
     fault_seconds: float = 0.0
+    #: traversal direction this level ran ("top-down" or "bottom-up")
+    direction: str = "top-down"
+    #: edges examined this level across all ranks (the direction-optimizing
+    #: literature's "traversed edges" — bottom-up's early exit shrinks it)
+    edges_scanned: int = 0
 
     @property
     def total_received(self) -> int:
@@ -80,6 +85,8 @@ class CommStats:
         self.total_retries = 0
         #: BFS level re-executions forced by unrecovered losses
         self.total_rollbacks = 0
+        #: edges examined over the whole run (sum of per-level edges_scanned)
+        self.total_edges_scanned = 0
         #: per-rank delivered vertex counts, split by phase
         self.recv_by_rank: dict[str, np.ndarray] = {}
         self._current: LevelStats | None = None
@@ -99,15 +106,18 @@ class CommStats:
         comm_seconds: float = 0.0,
         compute_seconds: float = 0.0,
         fault_seconds: float = 0.0,
+        direction: str = "top-down",
     ) -> LevelStats:
-        """Close the current level, recording the new frontier size and the
-        level's simulated time split (slowest-rank deltas)."""
+        """Close the current level, recording the new frontier size, the
+        level's simulated time split (slowest-rank deltas), and the
+        traversal direction it ran."""
         if self._current is None:
             raise RuntimeError("no open level")
         self._current.frontier_size = int(frontier_size)
         self._current.comm_seconds = float(comm_seconds)
         self._current.compute_seconds = float(compute_seconds)
         self._current.fault_seconds = float(fault_seconds)
+        self._current.direction = str(direction)
         self.levels.append(self._current)
         done = self._current
         self._current = None
@@ -198,6 +208,17 @@ class CommStats:
             elif phase == "fold":
                 self._current.fold_received += total
 
+    def record_edges_scanned(self, count: int) -> None:
+        """Record ``count`` edge examinations (fed by ``charge_compute``).
+
+        Both directions report through this: top-down counts edges out of
+        the frontier, bottom-up counts the (early-exited) scans of
+        unvisited vertices' edge lists.
+        """
+        self.total_edges_scanned += int(count)
+        if self._current is not None:
+            self._current.edges_scanned += int(count)
+
     def record_fault(self, drops: int, retries: int) -> None:
         """Record one chunk's injected drops and retransmissions."""
         self.total_drops += int(drops)
@@ -241,6 +262,17 @@ class CommStats:
         if kind == "fault":
             return np.array([s.fault_seconds for s in self.levels])
         raise ValueError(f"kind must be 'comm', 'compute', or 'fault', got {kind!r}")
+
+    def edges_scanned_per_level(self) -> np.ndarray:
+        """Edge examinations per level (the traversed-edges series)."""
+        return np.array([s.edges_scanned for s in self.levels], dtype=np.int64)
+
+    def direction_counts(self) -> dict[str, int]:
+        """Number of levels run in each direction (``{mode: count}``)."""
+        counts: dict[str, int] = {}
+        for s in self.levels:
+            counts[s.direction] = counts.get(s.direction, 0) + 1
+        return counts
 
     def mean_message_length_per_level(self, phase: str, nranks_receiving: int) -> float:
         """Average vertices delivered per rank per level for ``phase`` (Table 1)."""

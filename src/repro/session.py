@@ -40,7 +40,9 @@ from repro.errors import ConfigurationError, SearchError
 from repro.faults import FaultSchedule, FaultSpec
 from repro.graph.csr import CsrGraph
 from repro.machine.bluegene import MachineModel
+from repro.partition.degree_aware import degree_aware_relabeling
 from repro.partition.one_d import OneDPartition
+from repro.partition.permutation import VertexRelabeling
 from repro.partition.two_d import TwoDPartition
 from repro.runtime.comm import Communicator
 from repro.runtime.network import Network
@@ -80,12 +82,20 @@ class BfsSession:
         wire: str | None = None,
         faults: FaultSpec | None = None,
         observe: str | None = None,
+        relabel: str | None = None,
     ) -> None:
         if not isinstance(grid, GridShape):
             grid = GridShape(*grid)
         self.graph = graph
         self.grid = grid
         self.opts = opts or BfsOptions()
+        #: vertex permutation applied before partitioning (None = identity).
+        #: Queries and results are always in *original* vertex ids — sources
+        #: and targets are mapped in, level arrays mapped back out.
+        self.relabeling = self._resolve_relabeling(relabel, graph, grid)
+        search_graph = (
+            self.relabeling.apply(graph) if self.relabeling is not None else graph
+        )
         #: the resolved system description this session simulates
         self.system = resolve_entry_system(
             system, machine=machine, mapping=mapping, layout=layout, wire=wire,
@@ -97,11 +107,11 @@ class BfsSession:
         self.wire = self.system.wire
         self.observe = self.system.observe
         if self.layout == "2d":
-            self.partition = TwoDPartition(graph, grid)
+            self.partition = TwoDPartition(search_graph, grid)
         else:
             if not grid.is_1d:
                 raise ConfigurationError(f"layout='1d' needs a 1-D grid, got {grid}")
-            self.partition = OneDPartition(graph, grid.size, as_row=grid.cols == 1)
+            self.partition = OneDPartition(search_graph, grid.size, as_row=grid.cols == 1)
         # Resolved once; _new_comm only allocates fresh clocks/stats per
         # query instead of re-deriving torus, mapping, and routes.
         self._model = resolve_machine_model(self.system)
@@ -115,6 +125,32 @@ class BfsSession:
         self.total_simulated_time = 0.0
         #: number of queries served
         self.queries_served = 0
+
+    # ------------------------------------------------------------------ #
+    # vertex relabeling (degree-aware partitioning for skewed graphs)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_relabeling(
+        relabel: str | None, graph: CsrGraph, grid: GridShape
+    ) -> VertexRelabeling | None:
+        if relabel is None or relabel == "none":
+            return None
+        if relabel == "degree":
+            return degree_aware_relabeling(graph, grid.size)
+        if relabel == "random":
+            return VertexRelabeling.random(graph.n)
+        raise ConfigurationError(
+            f"unknown relabel strategy {relabel!r}; expected one of "
+            "'none', 'random', 'degree'"
+        )
+
+    def _to_internal(self, vertex: int | None) -> int | None:
+        """Map an original vertex id into the relabeled search space."""
+        if vertex is None or self.relabeling is None:
+            return vertex
+        if not (0 <= vertex < self.relabeling.n):
+            return vertex  # out of range: let the driver raise its usual error
+        return int(self.relabeling.to_new[vertex])
 
     # ------------------------------------------------------------------ #
     # engines
@@ -162,7 +198,15 @@ class BfsSession:
     # ------------------------------------------------------------------ #
     def bfs(self, source: int, target: int | None = None) -> BfsResult:
         """Full or early-terminating BFS from ``source``."""
-        result = run_bfs(self._new_engine(self._new_comm()), source, target=target)
+        result = run_bfs(
+            self._new_engine(self._new_comm()),
+            self._to_internal(source),
+            target=self._to_internal(target),
+        )
+        if self.relabeling is not None:
+            result.levels = self.relabeling.restore_levels(result.levels)
+            result.source = source
+            result.target = target
         self._record(result.elapsed)
         return result
 
@@ -181,8 +225,20 @@ class BfsSession:
         bit each); fault injection is not supported on the batched path.
         """
         result = run_ms_bfs(
-            self._new_engine(self._new_comm()), sources, targets=targets
+            self._new_engine(self._new_comm()),
+            [self._to_internal(s) for s in sources],
+            targets=(
+                [self._to_internal(t) for t in targets]
+                if targets is not None
+                else None
+            ),
         )
+        if self.relabeling is not None:
+            result.levels = result.levels[:, self.relabeling.to_new]
+            result.sources = tuple(sources)
+            result.targets = (
+                tuple(targets) if targets is not None else result.targets
+            )
         self._record(result.elapsed, queries=len(sources))
         return result
 
@@ -193,7 +249,15 @@ class BfsSession:
             self._backward_engine = self._build_engine()
         forward = self._new_engine(comm)
         self._backward_engine.rebind(comm)
-        result = run_bidirectional_bfs(forward, self._backward_engine, source, target)
+        result = run_bidirectional_bfs(
+            forward,
+            self._backward_engine,
+            self._to_internal(source),
+            self._to_internal(target),
+        )
+        if self.relabeling is not None:
+            result.source = source
+            result.target = target
         self._record(result.elapsed)
         return result
 

@@ -261,17 +261,41 @@ def resolve_system(
     return replace(base, **overrides) if overrides else base
 
 
+#: graph-kind names accepted by :class:`GraphSpec` (``kind=``).
+_KNOWN_GRAPH_KINDS = frozenset({"poisson", "rmat"})
+
+
 @dataclass(frozen=True, slots=True)
 class GraphSpec:
-    """Specification of a Poisson random graph experiment instance.
+    """Specification of a random graph experiment instance.
 
     ``n`` is the global vertex count and ``k`` the average degree (the
     paper's notation throughout).  ``seed`` pins the instance.
+
+    ``kind`` selects the generator family: ``"poisson"`` (the paper's
+    Erdős–Rényi workload; the default) or ``"rmat"`` (Graph500-style
+    scale-free Kronecker graphs, the successor literature's workload).
+    R-MAT specs carry ``scale``/``edge_factor`` and the partition
+    probabilities ``a``/``b``/``c`` (``d = 1 - a - b - c``); ``n`` must
+    equal ``2**scale`` and ``k`` is the *nominal* average degree
+    ``2 * edge_factor`` (duplicates and self-loops make the realised
+    degree somewhat lower).  Use :meth:`GraphSpec.rmat` to build one
+    without repeating the derived fields.
     """
 
     n: int
     k: float
     seed: int = 0
+    #: generator family: ``"poisson"`` (default) or ``"rmat"``
+    kind: str = "poisson"
+    #: R-MAT only: ``n == 2**scale``
+    scale: int | None = None
+    #: R-MAT only: directed edges sampled per vertex (Graph500's 16)
+    edge_factor: int = 16
+    #: R-MAT quadrant probabilities (Graph500 defaults); d = 1 - a - b - c
+    a: float = 0.57
+    b: float = 0.19
+    c: float = 0.19
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -280,8 +304,66 @@ class GraphSpec:
             raise ValueError(f"average degree must be non-negative, got k={self.k}")
         if self.k > self.n - 1 and self.n > 1:
             raise ValueError(f"average degree k={self.k} exceeds n-1={self.n - 1}")
+        if self.kind not in _KNOWN_GRAPH_KINDS:
+            raise ValueError(
+                f"unknown graph kind {self.kind!r}; "
+                f"use one of {sorted(_KNOWN_GRAPH_KINDS)}"
+            )
+        if self.kind == "rmat":
+            if self.scale is None:
+                raise ValueError("kind='rmat' requires scale (n = 2**scale)")
+            if self.scale < 1:
+                raise ValueError(f"rmat scale must be >= 1, got {self.scale}")
+            if self.n != (1 << self.scale):
+                raise ValueError(
+                    f"rmat requires n == 2**scale "
+                    f"({1 << self.scale}), got n={self.n}"
+                )
+            if self.edge_factor < 1:
+                raise ValueError(
+                    f"rmat edge_factor must be >= 1, got {self.edge_factor}"
+                )
+            d = 1.0 - self.a - self.b - self.c
+            if min(self.a, self.b, self.c, d) < 0:
+                raise ValueError(
+                    "R-MAT probabilities a, b, c (and d = 1-a-b-c) "
+                    "must be non-negative"
+                )
+        elif self.scale is not None:
+            raise ValueError("scale is only meaningful with kind='rmat'")
+
+    @classmethod
+    def rmat(
+        cls,
+        scale: int,
+        *,
+        edge_factor: int = 16,
+        seed: int = 0,
+        a: float = 0.57,
+        b: float = 0.19,
+        c: float = 0.19,
+    ) -> "GraphSpec":
+        """An R-MAT spec with the derived fields filled in.
+
+        ``n = 2**scale`` and the nominal average degree is
+        ``k = 2 * edge_factor`` (each of the ``n * edge_factor`` directed
+        samples contributes two endpoint slots before dedup).
+        """
+        return cls(
+            n=1 << scale,
+            k=float(2 * edge_factor),
+            seed=seed,
+            kind="rmat",
+            scale=scale,
+            edge_factor=edge_factor,
+            a=a,
+            b=b,
+            c=c,
+        )
 
     @property
     def expected_edges(self) -> float:
-        """Expected number of undirected edges, ``n * k / 2``."""
+        """Expected (poisson) or nominal pre-dedup (rmat) undirected edge count."""
+        if self.kind == "rmat":
+            return float(self.n * self.edge_factor)
         return self.n * self.k / 2.0

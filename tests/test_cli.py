@@ -23,6 +23,17 @@ class TestGenerate:
         assert code == 0
         assert "n=256" in capsys.readouterr().out
 
+    @pytest.mark.parametrize(
+        "extra", [["--n", "500"], ["--k", "6"], ["--n", "500", "--k", "6"]]
+    )
+    def test_rmat_rejects_poisson_parameters(self, tmp_path, extra):
+        # --n/--k were silently ignored under --rmat; now they error clearly
+        argv = ["generate", "--out", str(tmp_path / "g.npz"), "--rmat",
+                "--scale", "8", *extra]
+        with pytest.raises(SystemExit, match="--scale"):
+            main(argv)
+        assert not (tmp_path / "g.npz").exists()
+
 
 class TestBfs:
     def test_generated_graph(self, capsys):
@@ -55,6 +66,30 @@ class TestBfs:
     def test_bad_grid_rejected(self):
         with pytest.raises(SystemExit):
             main(["bfs", "--grid", "four-by-four"])
+
+    def test_rmat_graph_kind(self, capsys):
+        code = main(
+            ["bfs", "--graph-kind", "rmat", "--scale", "9", "--edge-factor", "4",
+             "--grid", "2x2", "--source", "0"]
+        )
+        assert code == 0
+        assert "BFS from 0" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("direction", ["hybrid", "bottom-up", "model"])
+    def test_direction_flags(self, direction, capsys):
+        code = main(
+            ["bfs", "--graph-kind", "rmat", "--scale", "9", "--edge-factor", "4",
+             "--grid", "2x2", "--source", "0", "--direction", direction,
+             "--alpha", "4", "--beta", "16"]
+        )
+        assert code == 0
+        assert "BFS from 0" in capsys.readouterr().out
+
+    def test_model_direction_needs_generated_graph(self, tmp_path):
+        path = tmp_path / "g.npz"
+        main(["generate", "--out", str(path), "--n", "400", "--k", "6"])
+        with pytest.raises(SystemExit, match="model"):
+            main(["bfs", "--graph", str(path), "--direction", "model"])
 
 
 class TestBidir:
