@@ -34,12 +34,17 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.api import build_engine  # noqa: E402
 from repro.bfs.level_sync import run_bfs  # noqa: E402
 from repro.graph.generators import poisson_random_graph  # noqa: E402
-from repro.types import GraphSpec  # noqa: E402
+from repro.types import GraphSpec, SystemSpec  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "simulator_baseline.json"
 
-FULL = {"n": 20_000, "k": 8.0, "seed": 7, "grids": [(4, 4), (8, 8), (16, 16), (32, 32)]}
-TINY = {"n": 2_000, "k": 8.0, "seed": 7, "grids": [(2, 2), (4, 4)]}
+FULL = {
+    "n": 20_000,
+    "k": 8.0,
+    "seed": 7,
+    "grids": [(4, 4), (8, 8), (16, 16), (32, 32), (64, 64), (128, 128)],
+}
+TINY = {"n": 2_000, "k": 8.0, "seed": 7, "grids": [(2, 2), (4, 4), (64, 64)]}
 
 
 def measure(workload: dict, repeats: int) -> list[dict]:
@@ -52,7 +57,7 @@ def measure(workload: dict, repeats: int) -> list[dict]:
         best = None
         result = None
         for _ in range(repeats):
-            engine = build_engine(graph, grid, layout="2d")
+            engine = build_engine(graph, grid, system=SystemSpec(layout="2d"))
             t0 = time.perf_counter()
             result = run_bfs(engine, 0)
             wall = time.perf_counter() - t0

@@ -8,10 +8,12 @@ part in the fold collective, which is exactly the scalability weakness the
 2D layout attacks.
 
 The per-level work of all P virtual ranks is executed as batched NumPy
-kernels: one CSR gather over the concatenated frontiers, one segmented
-unique for the per-rank neighbour sets, and one fresh-mask pass over the
-flat level array — numerically identical to looping over ranks, but
-without P Python iterations per level.
+kernels over the pooled frontier CSR: one gather over the concatenated
+frontiers, one segmented unique for the per-rank neighbour sets, one
+segmented pass of the pooled sent cache, and one owner bincount that
+feeds the fold's CSR driver directly — numerically identical to looping
+over ranks, but with per-level cost proportional to the touched data,
+not to P.
 """
 
 from __future__ import annotations
@@ -21,13 +23,13 @@ import numpy as np
 from repro.bfs.bottom_up import bottom_up_level_1d
 from repro.bfs.level_sync import LevelSyncEngine
 from repro.bfs.options import BfsOptions
-from repro.bfs.sent_cache import SentCache
+from repro.bfs.sent_cache import PooledSentCache, SentCache
 from repro.collectives.base import get_fold
 from repro.errors import ConfigurationError
 from repro.partition.indexing import VertexIndexMap
 from repro.partition.one_d import OneDPartition
 from repro.runtime.comm import Communicator
-from repro.types import UNREACHED, VERTEX_DTYPE
+from repro.types import VERTEX_DTYPE
 from repro.utils.segmented import segmented_unique
 
 
@@ -52,12 +54,13 @@ class Bfs1DEngine(LevelSyncEngine):
         )
         self._fold = get_fold(opts.fold_collective, **shape_kwargs)
         self._group = list(range(partition.nranks))
-        # Sent-neighbours universe: unique vertices in each rank's edge lists.
+        # Sent-neighbours universe: unique vertices in each rank's edge
+        # lists, pooled into one flat bitset shared by every search.
         self._sent_universe = [
             VertexIndexMap(np.unique(partition.local(r).adjacency))
             for r in range(partition.nranks)
         ]
-        self._sent_caches: list[SentCache] = []
+        self._sent_pool = PooledSentCache(self._sent_universe, partition.n)
         # Concatenated CSR over every rank's local block (the blocks tile
         # [0, n) in rank order, so this is the global CSR re-assembled) —
         # one gather expands all P frontiers at once.
@@ -87,30 +90,32 @@ class Bfs1DEngine(LevelSyncEngine):
     def owned_slice(self, rank: int) -> tuple[int, int]:
         return self.partition.dist.range_of(rank)
 
+    @property
+    def _sent_caches(self) -> list[SentCache]:
+        """Per-rank views of the pooled sent cache (compat accessor)."""
+        return [self._sent_pool.view(r) for r in range(self.comm.nranks)]
+
     def _reset_layout_state(self) -> None:
-        self._sent_caches = [SentCache(u) for u in self._sent_universe]
+        self._sent_pool.reset()
 
     def _snapshot_layout_state(self):
-        return [cache.snapshot() for cache in self._sent_caches]
+        return self._sent_pool.snapshot()
 
     def _restore_layout_state(self, snapshot) -> None:
-        for cache, sent in zip(self._sent_caches, snapshot):
-            cache.restore(sent)
+        self._sent_pool.restore(snapshot)
 
     def _layout_checkpoint_nbytes(self) -> np.ndarray:
         # the sent-neighbours cache travels in the buddy checkpoint as a
         # bitset over each rank's sent universe
-        return np.array(
-            [(len(cache) + 7) // 8 for cache in self._sent_caches], dtype=np.int64
-        )
+        return self._sent_pool.checkpoint_nbytes()
 
-    def _expand_level_bottom_up(self) -> list[np.ndarray]:
+    def _expand_level_bottom_up(self) -> tuple[np.ndarray, np.ndarray]:
         return bottom_up_level_1d(self)
 
     # ------------------------------------------------------------------ #
     # one level (Algorithm 1, steps 7-16)
     # ------------------------------------------------------------------ #
-    def _expand_level(self) -> list[np.ndarray]:
+    def _expand_level(self) -> tuple[np.ndarray, np.ndarray]:
         nranks = self.comm.nranks
         n = self.n
         obs = self.comm.obs
@@ -119,8 +124,8 @@ class Bfs1DEngine(LevelSyncEngine):
         # Steps 7-10: local discovery — one CSR gather over the concatenated
         # frontiers, one segmented unique, then owner bucketing.
         discover_span = obs.begin("compute", cat="phase") if obs.enabled else None
-        fsizes = np.array([f.size for f in self.frontier], dtype=np.int64)
-        frontier_cat = np.concatenate(self.frontier)
+        fsizes = np.diff(self._frontier_bounds)
+        frontier_cat = self._frontier_flat
         starts = self._cat_indptr[frontier_cat]
         lengths = self._cat_indptr[frontier_cat + 1] - starts
         total = int(lengths.sum())
@@ -137,62 +142,71 @@ class Bfs1DEngine(LevelSyncEngine):
             raw_segs = np.empty(0, dtype=np.int64)
         raw_sizes = np.bincount(raw_segs, minlength=nranks)
         self.comm.charge_compute_many(edges_scanned=raw_sizes, hash_lookups=raw_sizes)
-        uniq_flat, uniq_bounds, _ = segmented_unique(raw, raw_segs, nranks, n)
-        per_rank = [uniq_flat[uniq_bounds[r] : uniq_bounds[r + 1]] for r in range(nranks)]
+        uniq_flat, uniq_bounds, _, _ = segmented_unique(raw, raw_segs, nranks, n)
         if self.opts.use_sent_cache:
             self.comm.charge_compute_many(hash_lookups=np.diff(uniq_bounds))
-            per_rank = [
-                self._sent_caches[r].filter_unsent(neighbors)
-                for r, neighbors in enumerate(per_rank)
-            ]
-        outboxes: list[dict[int, np.ndarray]] = []
-        for r in range(nranks):
-            neighbors = per_rank[r]
-            # Owners are monotone in vertex id (block distribution), so one
-            # searchsorted splits the sorted neighbour array into buckets.
-            bounds = np.searchsorted(neighbors, offsets)
-            nonempty = np.flatnonzero(bounds[1:] > bounds[:-1])
-            outboxes.append(
-                {int(q): neighbors[bounds[q] : bounds[q + 1]] for q in nonempty}
+            send_flat, send_bounds = self._sent_pool.filter_unsent_segmented(
+                uniq_flat, uniq_bounds
             )
+        else:
+            send_flat, send_bounds = uniq_flat, uniq_bounds
+        csr_fold = self._fold.supports_csr
+        if csr_fold:
+            # Owners are monotone in vertex id (block distribution); the
+            # fold's CSR slot for (src, dst) is src * P + dst, and
+            # send_flat is already in slot order (ranks ascending, sorted
+            # values → destinations ascending within each rank).
+            seg = np.repeat(
+                np.arange(nranks, dtype=np.int64), np.diff(send_bounds)
+            )
+            owner = np.searchsorted(offsets, send_flat, side="right") - 1
+            csizes = np.bincount(seg * nranks + owner, minlength=nranks * nranks)
+        else:
+            outboxes: list[dict[int, np.ndarray]] = []
+            for r in range(nranks):
+                neighbors = send_flat[send_bounds[r] : send_bounds[r + 1]]
+                bounds = np.searchsorted(neighbors, offsets)
+                nonempty = np.flatnonzero(bounds[1:] > bounds[:-1])
+                outboxes.append(
+                    {int(q): neighbors[bounds[q] : bounds[q + 1]] for q in nonempty}
+                )
 
         if discover_span is not None:
             obs.end(discover_span)
 
         # Steps 8-13: the fold — neighbours travel to their owners.
         with obs.span("fold", cat="phase"):
-            received = self._fold.fold(self.comm, self._group, outboxes, phase="fold")
+            if csr_fold:
+                incoming, inc_bounds = self._fold.fold_many_csr(
+                    self.comm, [self._group], csizes, send_flat, "fold"
+                )
+                inc_segs = np.repeat(
+                    np.arange(nranks, dtype=np.int64), np.diff(inc_bounds)
+                )
+            else:
+                received = self._fold.fold(
+                    self.comm, self._group, outboxes, phase="fold"
+                )
+                parts: list[np.ndarray] = []
+                part_segs: list[int] = []
+                for r in range(nranks):
+                    for arr in received[r]:
+                        if arr.size:
+                            parts.append(arr)
+                            part_segs.append(r)
+                if parts:
+                    incoming = np.concatenate(parts)
+                    inc_segs = np.repeat(
+                        np.array(part_segs, dtype=np.int64),
+                        np.array([p.size for p in parts], dtype=np.int64),
+                    )
+                else:
+                    incoming = np.empty(0, dtype=VERTEX_DTYPE)
+                    inc_segs = np.empty(0, dtype=np.int64)
 
-        # Steps 14-16: label newly reached vertices — one segmented unique
-        # plus one fresh-mask pass over the flat level array.
+        # Steps 14-16: label newly reached vertices.
         label_span = obs.begin("compute", cat="phase") if obs.enabled else None
-        parts: list[np.ndarray] = []
-        part_segs: list[int] = []
-        for r in range(nranks):
-            for arr in received[r]:
-                if arr.size:
-                    parts.append(arr)
-                    part_segs.append(r)
-        if parts:
-            incoming = np.concatenate(parts)
-            inc_segs = np.repeat(
-                np.array(part_segs, dtype=np.int64),
-                np.array([p.size for p in parts], dtype=np.int64),
-            )
-        else:
-            incoming = np.empty(0, dtype=VERTEX_DTYPE)
-            inc_segs = np.empty(0, dtype=np.int64)
-        self.comm.charge_compute_many(
-            hash_lookups=np.bincount(inc_segs, minlength=nranks)
-        )
-        cand_flat, cand_bounds, _ = segmented_unique(incoming, inc_segs, nranks, n)
-        cand_segs = np.repeat(np.arange(nranks, dtype=np.int64), np.diff(cand_bounds))
-        fresh_mask = self._levels_flat[cand_flat] == UNREACHED
-        fresh_flat = cand_flat[fresh_mask]
-        self._levels_flat[fresh_flat] = self.level + 1
-        fresh_counts = np.bincount(cand_segs[fresh_mask], minlength=nranks)
-        self.comm.charge_compute_many(updates=fresh_counts)
-        fresh_bounds = np.concatenate(([0], np.cumsum(fresh_counts)))
+        result = self._label_fresh(incoming, inc_segs)
         if label_span is not None:
             obs.end(label_span)
-        return [fresh_flat[fresh_bounds[r] : fresh_bounds[r + 1]] for r in range(nranks)]
+        return result

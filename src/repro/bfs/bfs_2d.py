@@ -10,11 +10,12 @@ Each level has two communication steps:
 Only ``R`` (resp. ``C``) ranks take part in each collective instead of all
 ``P`` — the paper's key communication-scalability argument.
 
-All per-rank work of a level runs as batched NumPy kernels over
-concatenated per-rank data (one keyed lookup into the concatenated
-column-CSR for discovery, segmented uniques for the per-rank merges, one
-fresh-mask pass over the flat level array for labelling) — numerically
-identical to iterating the P virtual ranks in Python, but vectorised.
+All per-rank work of a level runs as batched NumPy kernels over the
+pooled per-rank CSR state (frontier pool, per-vertex expand-target CSR,
+keyed concatenated column-CSR, pooled sent cache, the fold's CSR driver)
+— numerically identical to iterating the P virtual ranks in Python, but
+with per-level cost proportional to active ranks plus touched data, not
+to P.
 """
 
 from __future__ import annotations
@@ -24,14 +25,14 @@ import numpy as np
 from repro.bfs.bottom_up import bottom_up_level_2d
 from repro.bfs.level_sync import LevelSyncEngine
 from repro.bfs.options import BfsOptions
-from repro.bfs.sent_cache import SentCache
+from repro.bfs.sent_cache import PooledSentCache, SentCache
 from repro.collectives.base import get_expand, get_fold
 from repro.errors import ConfigurationError
 from repro.partition.two_d import TwoDPartition
 from repro.runtime.comm import Communicator
-from repro.types import UNREACHED, VERTEX_DTYPE
+from repro.types import VERTEX_DTYPE
 from repro.utils.arrays import in_sorted
-from repro.utils.segmented import segmented_unique
+from repro.utils.segmented import gather_segments, segmented_unique
 
 
 class Bfs2DEngine(LevelSyncEngine):
@@ -66,11 +67,22 @@ class Bfs2DEngine(LevelSyncEngine):
         )
         self._col_groups = [self.grid.col_members(j) for j in range(self.grid.cols)]
         self._row_groups = [self.grid.row_members(i) for i in range(self.grid.rows)]
-        self._expand_filters = self._build_expand_filters() if opts.use_expand_filter else None
-        self._expand_filter_cat = (
-            self._build_expand_filter_cat() if self._expand_filters is not None else None
+        # Pair-keyed expand filters are only needed by the collective
+        # fallback paths (faulted runs, MS-BFS) — built lazily, because
+        # the eager build is O(C^3) in group size.
+        self._expand_filters_cache: dict[tuple[int, int], np.ndarray] | None = None
+        self._expand_filter_cat_cache: (
+            dict[int, tuple[list[int], np.ndarray, np.ndarray]] | None
+        ) = None
+        #: per-vertex expand-target CSR (lazy): the column-group peers
+        #: holding a non-empty partial edge list for each vertex
+        self._etarget_indptr: np.ndarray | None = None
+        self._etarget_dst: np.ndarray | None = None
+        #: pooled sent-neighbours cache over every rank's row universe
+        self._sent_pool = PooledSentCache(
+            [partition.local(r).row_map for r in range(partition.nranks)],
+            partition.n,
         )
-        self._sent_caches: list[SentCache] = []
         # Concatenated column-CSR of every rank, keyed by rank * n + column
         # id (ascending: ranks ascend, ids are sorted per rank) — one
         # searchsorted resolves all ranks' partial-edge-list lookups.
@@ -92,8 +104,23 @@ class Bfs2DEngine(LevelSyncEngine):
         self._col_starts = np.concatenate(start_parts)
         self._col_stops = np.concatenate(stop_parts)
         self._rows_cat = np.concatenate(row_parts)
+        #: pre-routed expand pair population (direct fast path only):
+        #: every (owner, holder) wire pair any expand round can use, keyed
+        #: like the direct step's messages so a searchsorted indexes it
+        self._expand_pop_keys: np.ndarray | None = None
+        self._expand_population = None
+        if (
+            self._expand.name == "direct"
+            and opts.use_expand_filter
+            and comm.faults is None
+        ):
+            self._prime_expand_population()
 
-    def _build_expand_filters(self) -> dict[tuple[int, int], np.ndarray]:
+    # ------------------------------------------------------------------ #
+    # expand-side lookup structures
+    # ------------------------------------------------------------------ #
+    @property
+    def _expand_filters(self) -> dict[tuple[int, int], np.ndarray] | None:
         """Owner-side knowledge of peers' non-empty partial edge lists.
 
         ``filters[(src, dst)]`` is the sorted array of ``src``-owned
@@ -101,6 +128,24 @@ class Bfs2DEngine(LevelSyncEngine):
         edge list.  The paper stores exactly this (Section 2.2): storage is
         proportional to the number of owned vertices, hence scalable.
         """
+        if not self.opts.use_expand_filter:
+            return None
+        if self._expand_filters_cache is None:
+            self._expand_filters_cache = self._build_expand_filters()
+        return self._expand_filters_cache
+
+    @property
+    def _expand_filter_cat(
+        self,
+    ) -> dict[int, tuple[list[int], np.ndarray, np.ndarray]] | None:
+        """Per-source concatenation of the expand filters (lazy)."""
+        if not self.opts.use_expand_filter:
+            return None
+        if self._expand_filter_cat_cache is None:
+            self._expand_filter_cat_cache = self._build_expand_filter_cat()
+        return self._expand_filter_cat_cache
+
+    def _build_expand_filters(self) -> dict[tuple[int, int], np.ndarray]:
         filters: dict[tuple[int, int], np.ndarray] = {}
         for group in self._col_groups:
             # One searchsorted of each dst's column ids against all the
@@ -131,11 +176,12 @@ class Bfs2DEngine(LevelSyncEngine):
         source's frontier replaces one test per (src, dst) pair; the
         per-destination results are slices of the concatenation.
         """
+        filters = self._expand_filters
         cat: dict[int, tuple[list[int], np.ndarray, np.ndarray]] = {}
         for group in self._col_groups:
             for src in group:
                 dsts = [d for d in group if d != src]
-                segs = [self._expand_filters[(src, d)] for d in dsts]
+                segs = [filters[(src, d)] for d in dsts]
                 sizes = np.array([s.size for s in segs], dtype=np.int64)
                 bounds = np.concatenate(([0], np.cumsum(sizes)))
                 merged = (
@@ -143,6 +189,74 @@ class Bfs2DEngine(LevelSyncEngine):
                 )
                 cat[src] = (dsts, merged, bounds)
         return cat
+
+    def _expand_targets(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vertex expand destinations as a CSR over global vertex ids.
+
+        ``_etarget_dst[_etarget_indptr[v]:_etarget_indptr[v+1]]`` lists, in
+        ascending rank order, the column-group peers of ``v``'s owner that
+        hold a non-empty partial edge list for ``v`` (owner excluded) —
+        the transpose of the pair-keyed expand filters, built once from
+        the keyed column-CSR.  The direct expand gathers each frontier
+        vertex's targets straight from this table, so its per-level cost
+        follows the frontier, not the P x C filter pairs.
+        """
+        if self._etarget_indptr is None:
+            n = self.n
+            nranks = self.comm.nranks
+            R, C = self.grid.rows, self.grid.cols
+            rank_bounds = np.searchsorted(
+                self._col_keys, np.arange(nranks + 1, dtype=np.int64) * n
+            )
+            holder = np.repeat(
+                np.arange(nranks, dtype=np.int64), np.diff(rank_bounds)
+            )
+            vertex = self._col_keys - holder * n
+            if vertex.size:
+                block = self.partition.dist.part_of(vertex)
+                owner = (block % R) * C + (block // R)
+                keep = holder != owner
+                v = vertex[keep]
+                d = holder[keep]
+                order = np.argsort(v * nranks + d, kind="stable")
+                v, d = v[order], d[order]
+            else:
+                v = vertex
+                d = holder
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(v, minlength=n), out=indptr[1:])
+            self._etarget_indptr = indptr
+            self._etarget_dst = d
+        return self._etarget_indptr, self._etarget_dst
+
+    def _prime_expand_population(self) -> None:
+        """Route every possible expand wire pair once, at build time.
+
+        A direct-expand message always travels from a vertex's owner to a
+        column peer holding a partial edge list for it — exactly the
+        rank-level aggregation of the expand-target CSR.  Pre-analysing
+        those routes keeps route interning out of the level loop: each
+        level indexes the prepared population instead of resolving paths
+        for whichever pair subset its frontier activates.
+        """
+        indptr, target_dst = self._expand_targets()
+        if target_dst.size == 0:
+            return
+        nranks = self.comm.nranks
+        R, C = self.grid.rows, self.grid.cols
+        v = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(indptr)
+        )
+        block = self.partition.dist.part_of(v)
+        # Same key space as the direct step's messages: owned block (the
+        # dense emission order) then destination rank.
+        keys = np.unique(block * nranks + target_dst)
+        blk = keys // nranks
+        src = (blk % R) * C + blk // R
+        self._expand_pop_keys = keys
+        self._expand_population = self.comm.network.prepare_pairs(
+            src, keys % nranks
+        )
 
     # ------------------------------------------------------------------ #
     # layout hooks
@@ -154,58 +268,62 @@ class Bfs2DEngine(LevelSyncEngine):
         loc = self.partition.local(rank)
         return loc.vertex_lo, loc.vertex_hi
 
+    @property
+    def _sent_caches(self) -> list[SentCache]:
+        """Per-rank views of the pooled sent cache (compat accessor)."""
+        return [self._sent_pool.view(r) for r in range(self.comm.nranks)]
+
     def _reset_layout_state(self) -> None:
-        self._sent_caches = [
-            SentCache(self.partition.local(r).row_map) for r in range(self.comm.nranks)
-        ]
+        self._sent_pool.reset()
 
     def _snapshot_layout_state(self):
-        return [cache.snapshot() for cache in self._sent_caches]
+        return self._sent_pool.snapshot()
 
     def _restore_layout_state(self, snapshot) -> None:
-        for cache, sent in zip(self._sent_caches, snapshot):
-            cache.restore(sent)
+        self._sent_pool.restore(snapshot)
 
     def _layout_checkpoint_nbytes(self) -> np.ndarray:
         # the sent-neighbours cache travels in the buddy checkpoint as a
         # bitset over each rank's sent universe
-        return np.array(
-            [(len(cache) + 7) // 8 for cache in self._sent_caches], dtype=np.int64
-        )
+        return self._sent_pool.checkpoint_nbytes()
 
-    def _expand_level_bottom_up(self) -> list[np.ndarray]:
+    def _expand_level_bottom_up(self) -> tuple[np.ndarray, np.ndarray]:
         return bottom_up_level_2d(self)
 
     # ------------------------------------------------------------------ #
     # one level (Algorithm 2, steps 7-21)
     # ------------------------------------------------------------------ #
-    def _expand_level(self) -> list[np.ndarray]:
+    def _expand_level(self) -> tuple[np.ndarray, np.ndarray]:
         obs = self.comm.obs
         with obs.span("expand", cat="phase"):
-            expanded = self._expand_step()
+            if (
+                self._expand.name == "direct"
+                and self.opts.use_expand_filter
+                and self.comm.faults is None
+            ):
+                fbar_flat, fbar_bounds = self._expand_step_direct()
+            else:
+                fbar_flat, fbar_bounds = self._expand_step()
         with obs.span("compute", cat="phase"):
-            neighbor_outboxes = self._discover_step(expanded)
+            send_flat, send_bounds = self._discover_step(fbar_flat, fbar_bounds)
         with obs.span("fold", cat="phase"):
-            return self._fold_step(neighbor_outboxes)
+            return self._fold_step(send_flat, send_bounds)
 
-    def _expand_step(self) -> list[np.ndarray]:
-        """Steps 7-11: share frontiers within processor-columns; return F-bar per rank.
+    def _expand_step(self) -> tuple[np.ndarray, np.ndarray]:
+        """Steps 7-11 via the collective machinery; returns F-bar as CSR.
 
         All processor-columns run their collective rounds in lockstep
         (``expand_many``), so their messages contend for the torus in the
-        same simulated round — as they would on the real machine.
+        same simulated round — as they would on the real machine.  This
+        is the fallback for forwarding collectives and faulted runs; the
+        plain direct expand takes :meth:`_expand_step_direct`.
         """
-        if (
-            self._expand.name == "direct"
-            and self._expand_filter_cat is not None
-            and self.comm.faults is None
-        ):
-            return self._expand_step_direct()
+        frontier = self.frontier
         contributions_per_group = [
-            [self.frontier[rank] for rank in group] for group in self._col_groups
+            [frontier[rank] for rank in group] for group in self._col_groups
         ]
         dest_filters = None
-        if self._expand_filters is not None and self._expand.name == "direct":
+        if self._expand.name == "direct" and self.opts.use_expand_filter:
             filter_cat = self._expand_filter_cat
 
             def make_filter(group, contributions):
@@ -257,14 +375,14 @@ class Bfs2DEngine(LevelSyncEngine):
                 incoming = sum(int(a.size) for a in received[idx])
                 inc_sizes[rank] = incoming
                 if incoming:
-                    parts.append(self.frontier[rank])
+                    parts.append(frontier[rank])
                     part_segs.append(rank)
                     for a in received[idx]:
                         if a.size:
                             parts.append(a)
                             part_segs.append(rank)
                 else:
-                    fbar[rank] = self.frontier[rank]
+                    fbar[rank] = frontier[rank]
         self.comm.charge_compute_many(hash_lookups=inc_sizes)
         if parts:
             values = np.concatenate(parts)
@@ -272,111 +390,125 @@ class Bfs2DEngine(LevelSyncEngine):
                 np.array(part_segs, dtype=np.int64),
                 np.array([p.size for p in parts], dtype=np.int64),
             )
-            flat, bounds, _ = segmented_unique(values, segs, nranks, self.n)
+            flat, bounds, _, _ = segmented_unique(values, segs, nranks, self.n)
             for rank in range(nranks):
                 if fbar[rank] is None:
                     fbar[rank] = flat[bounds[rank] : bounds[rank + 1]]
-        return fbar
+        sizes = np.array([f.size for f in fbar], dtype=np.int64)
+        return (
+            np.concatenate(fbar) if fbar else np.empty(0, dtype=VERTEX_DTYPE),
+            np.concatenate(([0], np.cumsum(sizes))),
+        )
 
-    def _expand_step_direct(self) -> list[np.ndarray]:
+    def _expand_step_direct(self) -> tuple[np.ndarray, np.ndarray]:
         """The filtered single-round expand as one batched exchange.
 
         Equivalent to ``DirectExpand.expand_many`` with the per-destination
-        filters, but built directly as message arrays: one membership test
-        per source over its concatenated filters, message payloads as
-        slices of the filtered result, one array exchange, one segmented
-        union for the per-rank merges.  Fault injection decides deliveries
-        per chunk, so faulted runs keep the collective path.
+        filters, but built straight from the per-vertex expand-target CSR:
+        one gather resolves every frontier vertex's destinations, one
+        stable sort produces the messages in the lockstep driver's merged
+        outbox order (column groups ascending — which is ascending owned
+        block, then destination, then vertex), one array exchange, one
+        segmented union for the per-rank merges.  Fault injection decides
+        deliveries per chunk, so faulted runs keep the collective path.
         """
         nranks = self.comm.nranks
-        filter_cat = self._expand_filter_cat
-        src_parts: list[np.ndarray] = []
-        dst_parts: list[np.ndarray] = []
-        size_parts: list[np.ndarray] = []
-        flat_parts: list[np.ndarray] = []
-        # Iterate groups then members — the merged-outbox message order of
-        # the lockstep driver.
-        for group in self._col_groups:
-            for src in group:
-                payload = self.frontier[src]
-                if payload.size == 0:
-                    continue
-                dsts, merged, bounds = filter_cat[src]
-                if merged.size == 0:
-                    continue
-                mask = in_sorted(merged, payload)
-                cum = np.concatenate(([0], np.cumsum(mask)))
-                sizes = cum[bounds[1:]] - cum[bounds[:-1]]
-                nonempty = np.flatnonzero(sizes)
-                if nonempty.size == 0:
-                    continue
-                src_parts.append(np.full(nonempty.size, src, dtype=np.int64))
-                dst_parts.append(np.asarray(dsts, dtype=np.int64)[nonempty])
-                size_parts.append(sizes[nonempty])
-                # filtered is ordered by destination, so it is exactly the
-                # non-empty message payloads back to back
-                flat_parts.append(merged[mask])
-        if src_parts:
-            src_arr = np.concatenate(src_parts)
-            dst_arr = np.concatenate(dst_parts)
-            msg_sizes = np.concatenate(size_parts)
-            flat = np.concatenate(flat_parts)
+        R, C = self.grid.rows, self.grid.cols
+        fflat = self._frontier_flat
+        fbounds = self._frontier_bounds
+        fsizes = np.diff(fbounds)
+        indptr, target_dst = self._expand_targets()
+        starts = indptr[fflat]
+        lengths = indptr[fflat + 1] - starts
+        total = int(lengths.sum())
+        if total:
+            out_offsets = np.concatenate(([0], np.cumsum(lengths)))
+            gather = np.arange(total, dtype=np.int64)
+            gather += np.repeat(starts - out_offsets[:-1], lengths)
+            entry_dst = target_dst[gather]
+            entry_v = np.repeat(fflat, lengths)
+            entry_src = np.repeat(
+                np.repeat(np.arange(nranks, dtype=np.int64), fsizes), lengths
+            )
+            # Dense emission order: column groups ascending, sources
+            # ascending within each group — i.e. ascending owned block —
+            # then destination, then vertex (stable sort keeps the
+            # ascending-vertex payload order within each message).
+            src_block = (entry_src % C) * R + entry_src // C
+            key = src_block * nranks + entry_dst
+            order = np.argsort(key, kind="stable")
+            payload = entry_v[order]
+            skey = key[order]
+            cut = np.flatnonzero(skey[1:] != skey[:-1]) + 1
+            msg_bounds = np.concatenate(([0], cut, [total]))
+            msg_key = skey[msg_bounds[:-1]]
+            msg_dst = msg_key % nranks
+            msg_block = msg_key // nranks
+            msg_src = (msg_block % R) * C + msg_block // R
+            msg_sizes = np.diff(msg_bounds)
+            population = self._expand_population
+            pop_idx = (
+                np.searchsorted(self._expand_pop_keys, msg_key)
+                if population is not None
+                else None
+            )
         else:
-            src_arr = np.empty(0, dtype=np.int64)
-            dst_arr = np.empty(0, dtype=np.int64)
+            payload = np.empty(0, dtype=VERTEX_DTYPE)
+            msg_src = np.empty(0, dtype=np.int64)
+            msg_dst = np.empty(0, dtype=np.int64)
             msg_sizes = np.empty(0, dtype=np.int64)
-            flat = np.empty(0, dtype=VERTEX_DTYPE)
-        msg_bounds = np.concatenate(([0], np.cumsum(msg_sizes)))
+            msg_bounds = np.zeros(1, dtype=np.int64)
+            population = None
+            pop_idx = None
         self.comm.exchange_arrays(
-            src_arr,
-            dst_arr,
-            flat,
+            msg_src,
+            msg_dst,
+            payload,
             msg_bounds[:-1],
             msg_bounds[1:],
             "expand",
-            participants=list(range(nranks)),
+            population=population,
+            pop_idx=pop_idx,
         )
-        self.comm.stats.record_delivery_bulk(dst_arr, msg_sizes, "expand")
+        self.comm.stats.record_delivery_bulk(msg_dst, msg_sizes, "expand")
 
         inc_sizes = np.zeros(nranks, dtype=np.int64)
-        np.add.at(inc_sizes, dst_arr, msg_sizes)
+        np.add.at(inc_sizes, msg_dst, msg_sizes)
         self.comm.charge_compute_many(hash_lookups=inc_sizes)
-        fbar: list[np.ndarray] = [None] * nranks  # type: ignore[list-item]
         with_inc = np.flatnonzero(inc_sizes)
-        if with_inc.size:
-            front_parts = [self.frontier[int(r)] for r in with_inc]
-            front_sizes = np.array([p.size for p in front_parts], dtype=np.int64)
-            values = np.concatenate(front_parts + [flat])
-            segs = np.concatenate(
-                (np.repeat(with_inc, front_sizes), np.repeat(dst_arr, msg_sizes))
-            )
-            uniq, bounds, _ = segmented_unique(values, segs, nranks, self.n)
-            for rank in range(nranks):
-                if inc_sizes[rank]:
-                    fbar[rank] = uniq[bounds[rank] : bounds[rank + 1]]
-                else:
-                    fbar[rank] = self.frontier[rank]
-        else:
-            for rank in range(nranks):
-                fbar[rank] = self.frontier[rank]
-        return fbar
+        if with_inc.size == 0:
+            return fflat, fbounds
+        fvals, _fsegs, fsz = gather_segments(fflat, fbounds, with_inc)
+        values = np.concatenate((fvals, payload))
+        segs = np.concatenate(
+            (np.repeat(with_inc, fsz), np.repeat(msg_dst, msg_sizes))
+        )
+        uniq, ubounds, _, _ = segmented_unique(values, segs, nranks, self.n)
+        # Two-bank merge: ranks with incoming take their union segment,
+        # the rest keep their frontier segment — one gather, no per-rank
+        # assembly loop.
+        mask = inc_sizes > 0
+        bank = np.concatenate((uniq, fflat))
+        sel_starts = np.where(mask, ubounds[:-1], uniq.size + fbounds[:-1])
+        sel_sizes = np.where(mask, np.diff(ubounds), fsizes)
+        out_bounds = np.concatenate(([0], np.cumsum(sel_sizes)))
+        out_total = int(out_bounds[-1])
+        idx = np.arange(out_total, dtype=np.int64)
+        idx += np.repeat(sel_starts - out_bounds[:-1], sel_sizes)
+        return bank[idx], out_bounds
 
-    def _discover_step(self, fbar: list[np.ndarray]) -> list[dict[int, np.ndarray]]:
-        """Step 12 + bucketing: merge partial edge lists, route neighbours to owners."""
+    def _discover_step(
+        self, fbar_flat: np.ndarray, fbar_bounds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Step 12: merge partial edge lists; returns fold candidates as CSR."""
         nranks = self.comm.nranks
         n = self.n
-        R = self.grid.rows
-        offsets = self.partition.dist.offsets
-        # Destination buckets within a processor-row are contiguous vertex
-        # ranges: row member m (mesh column m) owns block rows [m*R, (m+1)*R).
-        col_bounds = offsets[::R]
 
         # One keyed lookup into the concatenated column-CSR resolves every
         # rank's partial edge lists; one gather merges them.
-        fb_sizes = np.array([f.size for f in fbar], dtype=np.int64)
-        fbar_cat = np.concatenate(fbar)
+        fb_sizes = np.diff(fbar_bounds)
         qsegs = np.repeat(np.arange(nranks, dtype=np.int64), fb_sizes)
-        qkeys = qsegs * n + fbar_cat
+        qkeys = qsegs * n + fbar_flat
         pos = np.searchsorted(self._col_keys, qkeys)
         pos_c = np.minimum(pos, max(self._col_keys.size - 1, 0))
         hit = (
@@ -400,39 +532,57 @@ class Bfs2DEngine(LevelSyncEngine):
         self.comm.charge_compute_many(
             edges_scanned=raw_sizes, hash_lookups=raw_sizes + fb_sizes
         )
-        uniq_flat, uniq_bounds, _ = segmented_unique(raw, raw_segs, nranks, n)
-        per_rank = [
-            uniq_flat[uniq_bounds[r] : uniq_bounds[r + 1]] for r in range(nranks)
-        ]
+        uniq_flat, uniq_bounds, _, _ = segmented_unique(raw, raw_segs, nranks, n)
         if self.opts.use_sent_cache:
             self.comm.charge_compute_many(hash_lookups=np.diff(uniq_bounds))
-            per_rank = [
-                self._sent_caches[r].filter_unsent(neighbors)
-                for r, neighbors in enumerate(per_rank)
-            ]
+            return self._sent_pool.filter_unsent_segmented(uniq_flat, uniq_bounds)
+        return uniq_flat, uniq_bounds
+
+    def _fold_step(
+        self, send_flat: np.ndarray, send_bounds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Steps 13-21: deliver neighbours across processor-rows, label fresh ones.
+
+        All processor-rows fold in lockstep so their ring rounds share the
+        wire in the contention model.  With a CSR-capable fold the slot
+        sizes come from one bincount (row-group member ``i*C+j`` sending
+        to member ``d`` is slot ``rank*C + d``, and ``send_flat`` is
+        already in slot order); other folds get per-rank outbox dicts.
+        """
+        nranks = self.comm.nranks
+        R = self.grid.rows
+        offsets = self.partition.dist.offsets
+        # Destination buckets within a processor-row are contiguous vertex
+        # ranges: row member m (mesh column m) owns block rows [m*R, (m+1)*R).
+        col_bounds = offsets[::R]
+        if self._fold.supports_csr:
+            C = self.grid.cols
+            seg = np.repeat(
+                np.arange(nranks, dtype=np.int64), np.diff(send_bounds)
+            )
+            bucket = np.searchsorted(col_bounds, send_flat, side="right") - 1
+            csizes = np.bincount(seg * C + bucket, minlength=nranks * C)
+            incoming, inc_bounds = self._fold.fold_many_csr(
+                self.comm, self._row_groups, csizes, send_flat, "fold"
+            )
+            inc_segs = np.repeat(
+                np.arange(nranks, dtype=np.int64), np.diff(inc_bounds)
+            )
+            return self._label_fresh(incoming, inc_segs)
         outboxes: list[dict[int, np.ndarray]] = []
         for r in range(nranks):
-            neighbors = per_rank[r]
+            neighbors = send_flat[send_bounds[r] : send_bounds[r + 1]]
             bounds = np.searchsorted(neighbors, col_bounds)
             nonempty = np.flatnonzero(bounds[1:] > bounds[:-1])
             outboxes.append(
                 {int(m): neighbors[bounds[m] : bounds[m + 1]] for m in nonempty}
             )
-        return outboxes
-
-    def _fold_step(self, outboxes: list[dict[int, np.ndarray]]) -> list[np.ndarray]:
-        """Steps 13-21: deliver neighbours across processor-rows, label fresh ones.
-
-        All processor-rows fold in lockstep (``fold_many``) so their ring
-        rounds share the wire in the contention model.
-        """
         outboxes_per_group = [
             [outboxes[rank] for rank in group] for group in self._row_groups
         ]
         received_per_group = self._fold.fold_many(
             self.comm, self._row_groups, outboxes_per_group, phase="fold"
         )
-        nranks = self.comm.nranks
         parts: list[np.ndarray] = []
         part_segs: list[int] = []
         for group, group_received in zip(self._row_groups, received_per_group):
@@ -450,17 +600,4 @@ class Bfs2DEngine(LevelSyncEngine):
         else:
             incoming = np.empty(0, dtype=VERTEX_DTYPE)
             inc_segs = np.empty(0, dtype=np.int64)
-        self.comm.charge_compute_many(
-            hash_lookups=np.bincount(inc_segs, minlength=nranks)
-        )
-        cand_flat, cand_bounds, _ = segmented_unique(incoming, inc_segs, nranks, self.n)
-        cand_segs = np.repeat(np.arange(nranks, dtype=np.int64), np.diff(cand_bounds))
-        fresh_mask = self._levels_flat[cand_flat] == UNREACHED
-        fresh_flat = cand_flat[fresh_mask]
-        self._levels_flat[fresh_flat] = self.level + 1
-        fresh_counts = np.bincount(cand_segs[fresh_mask], minlength=nranks)
-        self.comm.charge_compute_many(updates=fresh_counts)
-        fresh_bounds = np.concatenate(([0], np.cumsum(fresh_counts)))
-        return [
-            fresh_flat[fresh_bounds[r] : fresh_bounds[r + 1]] for r in range(nranks)
-        ]
+        return self._label_fresh(incoming, inc_segs)

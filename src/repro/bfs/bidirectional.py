@@ -116,9 +116,9 @@ def _meet_candidate(stepped: LevelSyncEngine, other: LevelSyncEngine) -> float:
     comm = stepped.comm
     nranks = comm.nranks
     candidates = np.full(nranks, _INF)
-    sizes = np.array([f.size for f in stepped.frontier], dtype=np.int64)
+    sizes = np.diff(stepped._frontier_bounds)
     comm.charge_compute_many(hash_lookups=sizes)
-    fresh_cat = np.concatenate(stepped.frontier)
+    fresh_cat = stepped._frontier_flat
     if fresh_cat.size:
         segs = np.repeat(np.arange(nranks, dtype=np.int64), sizes)
         lb = other._levels_flat[fresh_cat]

@@ -44,6 +44,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.types import UNREACHED, VERTEX_DTYPE
+from repro.utils.segmented import pack_segments, segmented_unique
 
 __all__ = ["bottom_up_level_1d", "bottom_up_level_2d"]
 
@@ -105,7 +106,7 @@ def _charge_bitmap_round(
     comm.barrier()
 
 
-def bottom_up_level_1d(engine) -> list[np.ndarray]:
+def bottom_up_level_1d(engine) -> tuple[np.ndarray, np.ndarray]:
     """One bottom-up level of :class:`~repro.bfs.bfs_1d.Bfs1DEngine`.
 
     Ring-allgather of the per-rank frontier bitmaps, then every rank
@@ -154,10 +155,10 @@ def bottom_up_level_1d(engine) -> list[np.ndarray]:
         fresh_counts = np.bincount(seg_rank[found], minlength=nranks)
         comm.charge_compute_many(updates=fresh_counts)
         fresh_bounds = np.concatenate(([0], np.cumsum(fresh_counts)))
-    return [fresh[fresh_bounds[r] : fresh_bounds[r + 1]] for r in range(nranks)]
+    return fresh, fresh_bounds
 
 
-def bottom_up_level_2d(engine) -> list[np.ndarray]:
+def bottom_up_level_2d(engine) -> tuple[np.ndarray, np.ndarray]:
     """One bottom-up level of :class:`~repro.bfs.bfs_2d.Bfs2DEngine`.
 
     Frontier bitmaps along processor rows, unvisited bitmaps along
@@ -172,11 +173,8 @@ def bottom_up_level_2d(engine) -> list[np.ndarray]:
     levels = engine._levels_flat
     part = engine.partition
 
-    spans = np.array(
-        [part.local(r).vertex_hi - part.local(r).vertex_lo for r in range(nranks)],
-        dtype=np.int64,
-    )
-    span_bytes = (spans + 7) // 8
+    engine._owned_bounds()
+    span_bytes = (engine._owned_spans + 7) // 8
 
     def group_pairs(groups):
         src_l: list[np.ndarray] = []
@@ -234,7 +232,7 @@ def bottom_up_level_2d(engine) -> list[np.ndarray]:
     # processor column).  Real messages: codec, chunking, contention.
     with obs.span("bottom-up-fold", cat="phase"):
         outbox: dict[int, dict[int, np.ndarray]] = {}
-        arrived: dict[int, list[np.ndarray]] = {}
+        arrived: list[tuple[int, np.ndarray]] = []
         if found_v.size:
             pair = finder * nranks + owner
             order = np.argsort(pair, kind="stable")
@@ -245,7 +243,7 @@ def bottom_up_level_2d(engine) -> list[np.ndarray]:
                 f, o = int(sf[b]), int(so[b])
                 payload = sv[b:e]
                 if f == o:
-                    arrived.setdefault(o, []).append(payload)
+                    arrived.append((o, payload))
                 else:
                     outbox.setdefault(f, {})[o] = payload
         inbox = comm.exchange(outbox, "fold")
@@ -254,7 +252,7 @@ def bottom_up_level_2d(engine) -> list[np.ndarray]:
         for dest, items in inbox.items():
             for _, chunk in items:
                 if chunk.size:
-                    arrived.setdefault(dest, []).append(chunk)
+                    arrived.append((dest, chunk))
                     dsts.append(dest)
                     counts.append(int(chunk.size))
         if dsts:
@@ -264,25 +262,15 @@ def bottom_up_level_2d(engine) -> list[np.ndarray]:
                 "fold",
             )
         # Owner-side dedup (several column peers can find the same
-        # vertex) and labelling.
-        new_frontiers: list[np.ndarray] = []
-        incoming_counts = np.zeros(nranks, dtype=np.int64)
-        fresh_counts = np.zeros(nranks, dtype=np.int64)
-        dup_total = 0
-        for r in range(nranks):
-            parts = arrived.get(r)
-            if not parts:
-                new_frontiers.append(np.empty(0, dtype=VERTEX_DTYPE))
-                continue
-            merged = np.concatenate(parts)
-            fresh = np.unique(merged)
-            dup_total += merged.size - fresh.size
-            incoming_counts[r] = merged.size
-            fresh_counts[r] = fresh.size
-            levels[fresh] = engine.level + 1
-            new_frontiers.append(fresh)
-        comm.stats.record_duplicates(dup_total)
+        # vertex) and labelling — one segmented unique over every owner's
+        # arrivals at once.
+        values, vsegs = pack_segments(arrived)
+        flat, fresh_bounds, dups, _ = segmented_unique(values, vsegs, nranks, n)
+        incoming_counts = np.bincount(vsegs, minlength=nranks)
+        fresh_counts = np.diff(fresh_bounds)
+        levels[flat] = engine.level + 1
+        comm.stats.record_duplicates(int(dups))
         comm.charge_compute_many(
             hash_lookups=incoming_counts, updates=fresh_counts
         )
-    return new_frontiers
+    return flat, fresh_bounds

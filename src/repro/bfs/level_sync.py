@@ -22,6 +22,7 @@ from repro.observability.artifacts import collect_observability
 from repro.runtime.comm import Communicator
 from repro.types import LEVEL_DTYPE, UNREACHED, VERTEX_DTYPE
 from repro.utils.logging import get_logger
+from repro.utils.segmented import segmented_unique
 
 logger = get_logger("bfs")
 
@@ -36,10 +37,20 @@ class LevelSyncEngine(abc.ABC):
         self.level = 0
         #: global level array indexed by vertex id (backing storage)
         self._levels_flat: np.ndarray = np.empty(0, dtype=LEVEL_DTYPE)
-        #: per-rank level views over each rank's owned slice of ``_levels_flat``
-        self.owned_levels: list[np.ndarray] = []
-        #: per-rank current frontier (global vertex ids, sorted)
-        self.frontier: list[np.ndarray] = []
+        #: pooled per-rank frontier: sorted global vertex ids of rank ``r``
+        #: are ``_frontier_flat[_frontier_bounds[r]:_frontier_bounds[r+1]]``.
+        #: One flat array + one bounds vector instead of P Python lists —
+        #: per-level bookkeeping is NumPy ops over the pool, never a
+        #: Python iteration of all P ranks.
+        self._frontier_flat: np.ndarray = np.empty(0, dtype=VERTEX_DTYPE)
+        self._frontier_bounds: np.ndarray = np.zeros(
+            comm.nranks + 1, dtype=np.int64
+        )
+        #: pooled owned-slice spans (``_owned_lo[r]``, ``_owned_hi[r]``);
+        #: static for the engine's lifetime, built once on first start()
+        self._owned_lo: np.ndarray | None = None
+        self._owned_hi: np.ndarray | None = None
+        self._owned_spans: np.ndarray | None = None
         self._started = False
         #: resolved per-level direction policy (opts coerces bare names)
         self._direction_policy: DirectionPolicy = DirectionPolicy.coerce(opts.direction)
@@ -61,15 +72,17 @@ class LevelSyncEngine(abc.ABC):
         """Global vertex range ``[lo, hi)`` owned by ``rank``."""
 
     @abc.abstractmethod
-    def _expand_level(self) -> list[np.ndarray]:
+    def _expand_level(self) -> tuple[np.ndarray, np.ndarray]:
         """Run one level's communication + discovery.
 
-        Returns, per rank, the sorted duplicate-free array of *newly
-        labelled* owned vertices (the next frontier).  Implementations must
-        update ``owned_levels`` themselves and charge compute/comm costs.
+        Returns the next frontier as pooled CSR ``(flat, bounds)``: rank
+        ``r``'s sorted duplicate-free newly labelled vertices are
+        ``flat[bounds[r]:bounds[r+1]]``.  Implementations must write the
+        new labels into ``_levels_flat`` themselves and charge
+        compute/comm costs.
         """
 
-    def _expand_level_bottom_up(self) -> list[np.ndarray]:
+    def _expand_level_bottom_up(self) -> tuple[np.ndarray, np.ndarray]:
         """Run one *bottom-up* level (unvisited vertices probe the frontier).
 
         Same contract as :meth:`_expand_level`.  Layouts that support
@@ -97,6 +110,84 @@ class LevelSyncEngine(abc.ABC):
 
     def _restore_layout_state(self, snapshot) -> None:
         """Reinstate state captured by :meth:`_snapshot_layout_state`."""
+
+    # ------------------------------------------------------------------ #
+    # pooled per-rank state
+    # ------------------------------------------------------------------ #
+    @property
+    def frontier(self) -> list[np.ndarray]:
+        """Per-rank frontier views over the pooled CSR storage.
+
+        Compatibility accessor: materialises P views, so hot paths should
+        read ``_frontier_flat`` / ``_frontier_bounds`` directly.
+        """
+        bounds = self._frontier_bounds
+        flat = self._frontier_flat
+        return [
+            flat[bounds[r] : bounds[r + 1]] for r in range(self.comm.nranks)
+        ]
+
+    @frontier.setter
+    def frontier(self, parts: list[np.ndarray]) -> None:
+        sizes = np.array([p.size for p in parts], dtype=np.int64)
+        self._frontier_bounds = np.concatenate(([0], np.cumsum(sizes)))
+        self._frontier_flat = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=VERTEX_DTYPE)
+        ).astype(VERTEX_DTYPE, copy=False)
+
+    @property
+    def owned_levels(self) -> list[np.ndarray]:
+        """Per-rank level views over each rank's owned slice (compat)."""
+        lo, hi = self._owned_bounds()
+        return [
+            self._levels_flat[lo[r] : hi[r]] for r in range(self.comm.nranks)
+        ]
+
+    def _owned_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Pooled owned-slice bounds, computed once per engine.
+
+        The partition is immutable, so the per-rank ``owned_slice`` spans
+        are static: one pass at first use replaces the per-call Python
+        rebuild the checkpoint sizing used to pay.
+        """
+        if self._owned_lo is None:
+            nranks = self.comm.nranks
+            lo = np.empty(nranks, dtype=np.int64)
+            hi = np.empty(nranks, dtype=np.int64)
+            for rank in range(nranks):
+                lo[rank], hi[rank] = self.owned_slice(rank)
+            self._owned_lo, self._owned_hi = lo, hi
+            self._owned_spans = hi - lo
+        return self._owned_lo, self._owned_hi
+
+    def _label_fresh(
+        self, incoming: np.ndarray, inc_segs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Owner-side labelling shared by the fold epilogues.
+
+        ``incoming`` holds every delivered candidate vertex, tagged by
+        owner rank in ``inc_segs``.  Charges the per-owner hash probes,
+        dedups per owner, labels the still-unreached vertices with
+        ``level + 1``, charges the updates, and returns the new frontier
+        as pooled CSR ``(flat, bounds)``.
+        """
+        nranks = self.comm.nranks
+        self.comm.charge_compute_many(
+            hash_lookups=np.bincount(inc_segs, minlength=nranks)
+        )
+        cand_flat, cand_bounds, _, _ = segmented_unique(
+            incoming, inc_segs, nranks, self.n
+        )
+        cand_segs = np.repeat(
+            np.arange(nranks, dtype=np.int64), np.diff(cand_bounds)
+        )
+        fresh_mask = self._levels_flat[cand_flat] == UNREACHED
+        fresh_flat = cand_flat[fresh_mask]
+        self._levels_flat[fresh_flat] = self.level + 1
+        fresh_counts = np.bincount(cand_segs[fresh_mask], minlength=nranks)
+        self.comm.charge_compute_many(updates=fresh_counts)
+        fresh_bounds = np.concatenate(([0], np.cumsum(fresh_counts)))
+        return fresh_flat, fresh_bounds
 
     # ------------------------------------------------------------------ #
     # re-entrant serving
@@ -132,19 +223,17 @@ class LevelSyncEngine(abc.ABC):
         if not (0 <= source < self.n):
             raise SearchError(f"source {source} out of range [0, {self.n})")
         nranks = self.comm.nranks
-        # One flat global array; each rank's owned_levels entry is a view of
-        # its owned slice, so per-rank writes and whole-search reads (the
-        # batched kernels, assemble_levels) share the same storage.
+        # One flat global level array plus the pooled frontier CSR: a new
+        # search allocates O(1) arrays, never P per-rank objects — the
+        # session server runs many queries over one engine, and only the
+        # source's rank has a non-empty frontier at level 0.
         self._levels_flat = np.full(self.n, UNREACHED, dtype=LEVEL_DTYPE)
-        self.owned_levels = []
-        self.frontier = []
-        for rank in range(nranks):
-            lo, hi = self.owned_slice(rank)
-            self.owned_levels.append(self._levels_flat[lo:hi])
-            self.frontier.append(np.empty(0, dtype=VERTEX_DTYPE))
         owner = self.owner_rank(source)
         self._levels_flat[source] = 0
-        self.frontier[owner] = np.array([source], dtype=VERTEX_DTYPE)
+        bounds = np.zeros(nranks + 1, dtype=np.int64)
+        bounds[owner + 1 :] = 1
+        self._frontier_flat = np.array([source], dtype=VERTEX_DTYPE)
+        self._frontier_bounds = bounds
         self.level = 0
         if self._direction_policy.may_go_bottom_up and self.comm.faults is not None:
             # Bottom-up levels charge bitmap broadcasts outside the
@@ -197,7 +286,7 @@ class LevelSyncEngine(abc.ABC):
         # allreduced totals.  Charge-free by design — a pure top-down
         # policy leaves every simulated clock bit-identical to a build
         # without direction optimization.
-        frontier_total = sum(f.size for f in self.frontier)
+        frontier_total = int(self._frontier_bounds[-1])
         direction = self._direction_policy.decide(
             self.level, frontier_total, self._unvisited, self.n, self._direction
         )
@@ -227,10 +316,10 @@ class LevelSyncEngine(abc.ABC):
             elapsed_before = clock.elapsed
             self.comm.begin_level(self.level)
             if direction == BOTTOM_UP:
-                new_frontiers = self._expand_level_bottom_up()
+                new_flat, new_bounds = self._expand_level_bottom_up()
             else:
-                new_frontiers = self._expand_level()
-            sizes = np.array([f.size for f in new_frontiers], dtype=np.float64)
+                new_flat, new_bounds = self._expand_level()
+            sizes = np.diff(new_bounds).astype(np.float64)
             total_new = int(self.comm.allreduce_sum(sizes))
             if replay_span is not None:
                 obs.end(replay_span)
@@ -280,7 +369,8 @@ class LevelSyncEngine(abc.ABC):
                 logger.debug(
                     "level %d rolled back after an unrecovered loss", self.level
                 )
-        self.frontier = new_frontiers
+        self._frontier_flat = new_flat
+        self._frontier_bounds = new_bounds
         self._direction = direction
         self._unvisited -= total_new
         level_stats = stats.end_level(
@@ -314,12 +404,9 @@ class LevelSyncEngine(abc.ABC):
         whatever layout-specific cache the engine carries (the
         sent-neighbours cache, via :meth:`_layout_checkpoint_nbytes`).
         """
-        nranks = self.comm.nranks
-        spans = np.empty(nranks, dtype=np.int64)
-        for rank in range(nranks):
-            lo, hi = self.owned_slice(rank)
-            spans[rank] = hi - lo
-        frontier_sizes = np.array([f.size for f in self.frontier], dtype=np.int64)
+        self._owned_bounds()
+        spans = self._owned_spans
+        frontier_sizes = np.diff(self._frontier_bounds)
         levels_bytes = spans * self._levels_flat.dtype.itemsize
         frontier_bytes = frontier_sizes * np.dtype(VERTEX_DTYPE).itemsize
         bitmap_bytes = (spans + 7) // 8
@@ -336,19 +423,21 @@ class LevelSyncEngine(abc.ABC):
         """Snapshot every mutable per-search structure at a level boundary."""
         return (
             self._levels_flat.copy(),
-            [f.copy() for f in self.frontier],
+            self._frontier_flat.copy(),
+            self._frontier_bounds.copy(),
             self._snapshot_layout_state(),
         )
 
     def _restore(self, snapshot) -> None:
         """Roll the search back to a :meth:`_checkpoint` snapshot.
 
-        The flat level array is restored *in place* so the per-rank
+        The flat level array is restored *in place* so any outstanding
         ``owned_levels`` views stay valid.
         """
-        levels_flat, frontier, layout = snapshot
+        levels_flat, frontier_flat, frontier_bounds, layout = snapshot
         self._levels_flat[:] = levels_flat
-        self.frontier = frontier
+        self._frontier_flat = frontier_flat
+        self._frontier_bounds = frontier_bounds
         self._restore_layout_state(layout)
 
     # ------------------------------------------------------------------ #
@@ -360,9 +449,7 @@ class LevelSyncEngine(abc.ABC):
 
     def level_of(self, vertex: int) -> int:
         """Current label of ``vertex`` (``UNREACHED`` if not labelled yet)."""
-        owner = self.owner_rank(vertex)
-        lo, _ = self.owned_slice(owner)
-        return int(self.owned_levels[owner][vertex - lo])
+        return int(self._levels_flat[vertex])
 
 
 def run_bfs(

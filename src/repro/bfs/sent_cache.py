@@ -58,3 +58,78 @@ class SentCache:
     def restore(self, snapshot: np.ndarray) -> None:
         """Reinstate flags captured by :meth:`snapshot` (level rollback)."""
         self._sent[:] = snapshot
+
+
+class PooledSentCache:
+    """All P ranks' sent filters in one flat bitset over pooled universes.
+
+    Semantically identical to a list of per-rank :class:`SentCache`
+    objects, but the flags live in a single array and the per-level
+    filter runs as one segmented kernel over every rank's candidates at
+    once — per-level cost scales with the candidates (active ranks),
+    never with P.  Universes are immutable, so one pool serves every
+    search of an engine's lifetime; :meth:`reset` rewinds it per run.
+    """
+
+    __slots__ = ("_universes", "_keys", "bounds", "_sent", "_nranks", "_domain")
+
+    def __init__(self, universes: list[VertexIndexMap], domain: int) -> None:
+        self._universes = universes
+        self._nranks = len(universes)
+        self._domain = int(domain)
+        sizes = np.array([len(u) for u in universes], dtype=np.int64)
+        #: per-rank slice bounds into the pooled flag array
+        self.bounds = np.concatenate(([0], np.cumsum(sizes)))
+        self._keys = (
+            np.concatenate(
+                [r * self._domain + u.ids for r, u in enumerate(universes)]
+            )
+            if universes
+            else np.empty(0, dtype=np.int64)
+        )
+        self._sent = np.zeros(self._keys.size, dtype=bool)
+
+    def view(self, rank: int) -> SentCache:
+        """A :class:`SentCache` aliasing rank ``rank``'s slice of the pool."""
+        cache = SentCache.__new__(SentCache)
+        cache.index = self._universes[rank]
+        cache._sent = self._sent[self.bounds[rank] : self.bounds[rank + 1]]
+        return cache
+
+    def filter_unsent_segmented(
+        self, flat: np.ndarray, bounds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-rank ``filter_unsent`` over CSR-packed candidates.
+
+        Segment ``r`` of ``(flat, bounds)`` holds rank ``r``'s sorted
+        duplicate-free candidates, all drawn from its universe.  Returns
+        the not-yet-sent subset in the same CSR form and marks it sent —
+        element-for-element what P per-rank :meth:`SentCache.filter_unsent`
+        calls produce.
+        """
+        if flat.size == 0:
+            return flat, np.zeros(self._nranks + 1, dtype=np.int64)
+        segs = np.repeat(
+            np.arange(self._nranks, dtype=np.int64), np.diff(bounds)
+        )
+        pos = np.searchsorted(self._keys, segs * self._domain + flat)
+        fresh_mask = ~self._sent[pos]
+        self._sent[pos[fresh_mask]] = True
+        out_counts = np.bincount(segs[fresh_mask], minlength=self._nranks)
+        return flat[fresh_mask], np.concatenate(([0], np.cumsum(out_counts)))
+
+    def reset(self) -> None:
+        """Forget all sent marks (start of a new search)."""
+        self._sent[:] = False
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the pooled flags (level-boundary checkpointing)."""
+        return self._sent.copy()
+
+    def restore(self, snapshot: np.ndarray) -> None:
+        """Reinstate flags captured by :meth:`snapshot` (level rollback)."""
+        self._sent[:] = snapshot
+
+    def checkpoint_nbytes(self) -> np.ndarray:
+        """Per-rank bitset size of the buddy-replicated cache state."""
+        return (np.diff(self.bounds) + 7) // 8

@@ -105,6 +105,10 @@ class FoldCollective(abc.ABC):
     """
 
     name: str = "fold-base"
+    #: True when the collective accepts pre-packed CSR outboxes via a
+    #: ``fold_many_csr`` method (see :class:`UnionRingFold`); engines use
+    #: it to skip dict packing on their hot paths
+    supports_csr: bool = False
 
     @abc.abstractmethod
     def _schedule(

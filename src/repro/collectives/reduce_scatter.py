@@ -31,7 +31,7 @@ from repro.collectives.union import union_merge
 from repro.runtime.comm import Communicator
 from repro.runtime.stats import CommStats
 from repro.types import as_vertex_array
-from repro.utils.segmented import gather_segments, segmented_unique
+from repro.utils.segmented import segmented_unique
 
 
 @register_fold
@@ -39,6 +39,10 @@ class UnionRingFold(FoldCollective):
     """Reduce-scatter over a ring with set-union as the reduction operation."""
 
     name = "union-ring"
+    #: the engines may hand this fold pre-packed CSR outboxes and take the
+    #: merged result back as CSR (:meth:`fold_many_csr`) — no per-rank
+    #: dict packing or nested received lists on the hot path
+    supports_csr = True
 
     def _schedule(
         self,
@@ -123,18 +127,6 @@ class UnionRingFold(FoldCollective):
         size = sizes.pop()
         num_groups = len(groups)
         nseg = num_groups * size
-        stats = comm.stats
-        participants = sorted(rank for group in groups for rank in group)
-
-        # Segment layout: seg = i * size + g for member g of group i.
-        member_rank = np.array(groups, dtype=np.int64).ravel()
-        seg_ids = np.arange(nseg, dtype=np.int64)
-        g_of = seg_ids % size
-        seg_base = seg_ids - g_of
-        succ_rank = member_rank[seg_base + (g_of + 1) % size]
-        # The chunk member g receives each round is the one its ring
-        # predecessor held before the exchange.
-        pred_seg = seg_base + (g_of - 1) % size
 
         # Pack every contribution into one CSR indexed slot = seg * size + d
         # (member seg's payload for in-group destination d).
@@ -154,42 +146,113 @@ class UnionRingFold(FoldCollective):
                 csizes[slot] = a.size
         else:
             cflat = _empty()
-        cbounds = np.concatenate(([0], np.cumsum(csizes)))
         if cflat.size and int(cflat.min()) < 0:
             # The offset-key segmented union needs non-negative values.
             return super().fold_many(comm, groups, outboxes_per_group, phase)
-        domain = int(cflat.max()) + 1 if cflat.size else 1
+        flat, bounds = self.fold_many_csr(comm, groups, csizes, cflat, phase)
+        received: list[list[list[np.ndarray]]] = [
+            [[] for _ in range(size)] for _ in range(num_groups)
+        ]
+        for i in range(num_groups):
+            base = i * size
+            for g in range(size):
+                merged = flat[bounds[base + g] : bounds[base + g + 1]]
+                if merged.size:
+                    received[i][g].append(merged)
+        return received
 
-        def batched_union(parts_values, parts_segs):
-            values = (
-                np.concatenate(parts_values) if parts_values else _empty()
-            )
-            segs = (
-                np.concatenate(parts_segs)
-                if parts_segs
-                else np.empty(0, dtype=np.int64)
-            )
-            flat, bounds, dups = segmented_unique(values, segs, nseg, domain)
-            stats.record_duplicates(int(dups.sum()))
+    def fold_many_csr(
+        self,
+        comm: Communicator,
+        groups: list[list[int]],
+        csizes: np.ndarray,
+        cflat: np.ndarray,
+        phase: str = "fold",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The batched driver on pre-packed CSR outboxes.
+
+        ``csizes[(i * size + g) * size + d]`` is the payload length member
+        ``g`` of group ``i`` sends to in-group destination ``d``, and
+        ``cflat`` holds the payloads back to back in slot order (values
+        must be non-negative, e.g. vertex ids).  Groups must share one
+        size.  Returns the merged per-member unions as CSR ``(flat,
+        bounds)`` over segment ``seg = i * size + g`` — the same sets,
+        message schedule, and statistics as :meth:`fold_many`, without
+        building P outbox dicts or nested received lists.
+        """
+        size = len(groups[0])
+        num_groups = len(groups)
+        nseg = num_groups * size
+        stats = comm.stats
+        seg_ids = np.arange(nseg, dtype=np.int64)
+        domain = int(cflat.max()) + 1 if cflat.size else 1
+        if size == 1:
+            # Single-member groups exchange nothing: each member's result
+            # is the union of its self-addressed payload.
+            segs = np.repeat(seg_ids, csizes)
+            flat, bounds, dups, _ = segmented_unique(cflat, segs, nseg, domain)
+            stats.record_duplicates(int(dups))
             return flat, bounds
+        member_rank = np.asarray(groups, dtype=np.int64).ravel()
+        participants = np.sort(member_rank)
+        if (
+            participants.size == comm.nranks
+            and participants[0] == 0
+            and participants[-1] == comm.nranks - 1
+            and bool((np.diff(participants) == 1).all())
+        ):
+            # The groups cover the whole machine (the engines' row groups
+            # always do): a full barrier needs no participant indexing.
+            participants = None
+        g_of = seg_ids % size
+        seg_base = seg_ids - g_of
+        succ_seg = seg_base + (g_of + 1) % size
+        succ_rank = member_rank[succ_seg]
+        # The chunk member g receives each round is the one its ring
+        # predecessor held before the exchange.
+        pred_seg = seg_base + (g_of - 1) % size
+
+        def batched_union(values, segs):
+            flat, bounds, dups, seg_of = segmented_unique(
+                values, segs, nseg, domain
+            )
+            stats.record_duplicates(int(dups))
+            return flat, bounds, seg_of
+
+        # Pre-slice every contribution by the round that unions it in:
+        # member g folds its payload for destination d at priming when
+        # d == (g-1) % size, in ring round r when d == (g-2-r) % size, and
+        # in the final round when d == g — i.e. consumption round
+        # rk = ((g-2-d) % size + 1) % size (0 = priming, r+1 = round r).
+        # One stable sort by (rk, seg) replaces a per-round gather; within
+        # each (rk, seg) block the payload keeps its slot order.
+        slot_e = np.repeat(np.arange(nseg * size, dtype=np.int64), csizes)
+        seg_e = slot_e // size
+        rk_e = ((seg_e % size - 2 - slot_e % size) % size + 1) % size
+        order = np.argsort(rk_e * nseg + seg_e, kind="stable")
+        own_flat = cflat[order]
+        own_seg = seg_e[order]
+        round_off = np.searchsorted(
+            rk_e[order], np.arange(size + 1, dtype=np.int64)
+        )
 
         # Priming: the chunk for destination d starts at member (d+1) % size,
         # reduced with the starter's own contribution — i.e. member g starts
         # out holding its payload for destination (g-1) % size.
-        prime_vals, prime_segs, _ = gather_segments(
-            cflat, cbounds, seg_ids * size + (g_of - 1) % size
+        flat, bounds, flat_seg = batched_union(
+            own_flat[: round_off[1]], own_seg[: round_off[1]]
         )
-        flat, bounds = batched_union([prime_vals], [prime_segs])
 
-        received: list[list[list[np.ndarray]]] = [
-            [[] for _ in range(size)] for _ in range(num_groups)
-        ]
+        # Every round's wire pairs come from the fixed member -> successor
+        # ring; pre-analyse their routes once so rounds charge the network
+        # by indexing the population (no per-round route resolution).
+        population = comm.network.prepare_pairs(member_rank, succ_rank)
+
         obs = comm.obs
         for round_idx in range(size - 1):
             # Message order matches the lockstep driver's merged outbox:
             # groups in order, members ascending, empty chunks skipped.
             chunk_sizes = np.diff(bounds)
-            nonempty = np.flatnonzero(chunk_sizes)
             round_span = (
                 obs.begin(
                     f"round {round_idx}", cat="round", phase=phase, groups=num_groups
@@ -197,34 +260,50 @@ class UnionRingFold(FoldCollective):
                 if obs.enabled
                 else None
             )
-            comm.exchange_arrays(
-                member_rank[nonempty],
-                succ_rank[nonempty],
-                flat,
-                bounds[nonempty],
-                bounds[nonempty + 1],
-                phase,
-                participants=participants,
-            )
+            if chunk_sizes.all():
+                # No empty chunk: the round is the whole ring population
+                # in order — skip the subset indexing entirely.
+                comm.exchange_arrays(
+                    member_rank,
+                    succ_rank,
+                    flat,
+                    bounds[:-1],
+                    bounds[1:],
+                    phase,
+                    participants=participants,
+                    population=population,
+                    pop_idx=None,
+                )
+            else:
+                nonempty = np.flatnonzero(chunk_sizes)
+                comm.exchange_arrays(
+                    member_rank[nonempty],
+                    succ_rank[nonempty],
+                    flat,
+                    bounds[nonempty],
+                    bounds[nonempty + 1],
+                    phase,
+                    participants=participants,
+                    population=population,
+                    pop_idx=nonempty,
+                )
             if round_span is not None:
                 obs.end(round_span)
             final = round_idx == size - 2
             if final:
                 stats.record_delivery_bulk(member_rank, chunk_sizes[pred_seg], phase)
-            in_vals, in_segs, _ = gather_segments(flat, bounds, pred_seg)
-            d_vec = g_of if final else (g_of - 2 - round_idx) % size
-            own_vals, own_segs, _ = gather_segments(
-                cflat, cbounds, seg_ids * size + d_vec
-            )
+            # Received chunks need no gather: every element of ``flat``
+            # lands on its holder's ring successor, so only the segment
+            # tags change (the union sorts anyway).
+            in_segs = succ_seg[flat_seg]
+            a, b = round_off[round_idx + 1], round_off[round_idx + 2]
             union_span = obs.begin("union", cat="phase") if obs.enabled else None
-            flat, bounds = batched_union([in_vals, own_vals], [in_segs, own_segs])
+            flat, bounds, flat_seg = batched_union(
+                np.concatenate((flat, own_flat[a:b])),
+                np.concatenate((in_segs, own_seg[a:b])),
+            )
             if union_span is not None:
                 obs.end(union_span)
-            if final:
-                for i in range(num_groups):
-                    base = i * size
-                    for g in range(size):
-                        merged = flat[bounds[base + g] : bounds[base + g + 1]]
-                        if merged.size:
-                            received[i][g].append(merged)
-        return received
+        # After the last union every segment holds its member's final
+        # merged set — exactly what the final round delivered.
+        return flat, bounds

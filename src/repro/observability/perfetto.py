@@ -93,7 +93,9 @@ def _message_events(messages: Iterable["MessageEvent"]) -> list[dict]:
     return events
 
 
-def _metadata_events(nranks: int, have_spans: bool, have_messages: bool) -> list[dict]:
+def _metadata_events(
+    rank_tracks: Iterable[int], have_spans: bool, have_messages: bool
+) -> list[dict]:
     events: list[dict] = []
     if have_spans:
         events.append(
@@ -115,7 +117,11 @@ def _metadata_events(nranks: int, have_spans: bool, have_messages: bool) -> list
                 "args": {"name": "virtual ranks (messages)"},
             }
         )
-        for rank in range(nranks):
+        # Only ranks that actually appear in the message stream get a
+        # track: on large sparse runs (thousands of virtual ranks, a
+        # handful active) naming every rank would swamp the trace with
+        # O(P) metadata for tracks that render empty.
+        for rank in rank_tracks:
             events.append(
                 {
                     "name": "thread_name", "ph": "M", "pid": RANKS_PID, "tid": rank,
@@ -133,15 +139,16 @@ def to_chrome_trace(
 ) -> dict:
     """Build the Chrome trace-event document (a plain JSON-able dict).
 
-    ``nranks`` names that many per-rank tracks up front; when omitted,
-    only ranks that actually sent or received a message get a track name.
+    Only ranks that actually sent or received a message get a track name;
+    ``nranks``, when given, caps which rank ids are eligible (events from
+    out-of-range ranks still export, just without a named track).
     """
     spans = list(spans)
     messages = list(messages)
-    if nranks is None:
-        touched = {e.src for e in messages} | {e.dst for e in messages}
-        nranks = max(touched) + 1 if touched else 0
-    events = _metadata_events(nranks, bool(spans), bool(messages))
+    touched = {e.src for e in messages} | {e.dst for e in messages}
+    if nranks is not None:
+        touched = {r for r in touched if r < nranks}
+    events = _metadata_events(sorted(touched), bool(spans), bool(messages))
     events += _span_events(spans)
     events += _message_events(messages)
     return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -61,7 +61,13 @@ class SimClock:
         The idle wait is attributed to communication time.  Returns the
         post-barrier time.
         """
-        idx = np.arange(self.nranks) if ranks is None else np.asarray(ranks, dtype=np.int64)
+        if ranks is None:
+            # Whole machine — no indexed scatter needed.
+            horizon = float(self.time.max())
+            self.comm_time += horizon - self.time
+            self.time[:] = horizon
+            return horizon
+        idx = np.asarray(ranks, dtype=np.int64)
         horizon = float(self.time[idx].max()) if idx.size else 0.0
         wait = horizon - self.time[idx]
         self.comm_time[idx] += wait

@@ -280,6 +280,8 @@ class Communicator:
         stops: np.ndarray,
         phase: str,
         participants: list[int] | None = None,
+        population=None,
+        pop_idx: np.ndarray | None = None,
     ) -> None:
         """Array form of :meth:`exchange` for batched collectives (no inbox).
 
@@ -290,6 +292,11 @@ class Communicator:
         or fault injection active, this rebuilds the outbox and defers to
         :meth:`exchange` — the fast path below is reserved for the
         byte-identical plain case.
+
+        ``population``/``pop_idx`` forward to
+        :meth:`~repro.runtime.network.Network.round_times_arrays` — the
+        prepared-pair-population contention shortcut (ignored on the
+        dict-outbox fallback, which re-analyses from scratch).
         """
         if (
             self.faults is not None
@@ -314,7 +321,9 @@ class Communicator:
         self.stats.record_message_bulk(
             src.size, int(sizes.sum()), total_bytes, total_bytes
         )
-        send_time, recv_time, _ = self.network.round_times_arrays(src, dst, nbytes)
+        send_time, recv_time, _ = self.network.round_times_arrays(
+            src, dst, nbytes, population=population, pop_idx=pop_idx
+        )
         self.clock.advance_many(np.maximum(send_time, recv_time), kind="comm")
         self.barrier(participants)
         if span is not None:

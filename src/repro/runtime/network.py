@@ -28,6 +28,37 @@ from repro.machine.mapping import TaskMapping
 
 
 @dataclass(frozen=True, slots=True)
+class PairPopulation:
+    """Pre-analysed routes for a fixed (src, dst) pair population.
+
+    Collectives whose every round draws its wire transfers from one fixed
+    pair set (a ring's member -> successor pairs) prepare the population
+    once and then charge each round by *indexing* into it, skipping the
+    per-round route resolution entirely:
+
+    * ``hops[k]`` — hop count of input pair ``k``;
+    * ``links[indptr[k]:indptr[k+1]]`` — pair ``k``'s link ids (CSR, so
+      the per-round load analysis touches only real links, no padding);
+    * ``lens[k]`` — pair ``k``'s link count (``np.diff(indptr)``);
+    * ``full_cont[k]`` — pair ``k``'s contention when the *whole*
+      population is in flight at once (the common case in a collective's
+      heavy rounds, where no chunk is empty — then the per-round load
+      analysis collapses to one gather);
+    * ``disjoint`` — no physical link is shared by two pairs of the
+      population.  Then *any* subset of pairs in flight together sees a
+      per-link load of at most 1, i.e. contention is identically 1.0 and
+      no load analysis is needed at all.
+    """
+
+    hops: np.ndarray
+    links: np.ndarray
+    indptr: np.ndarray
+    lens: np.ndarray
+    full_cont: np.ndarray
+    disjoint: bool
+
+
+@dataclass(frozen=True, slots=True)
 class Transfer:
     """One point-to-point message within a round (lengths in vertices).
 
@@ -42,11 +73,22 @@ class Transfer:
     nbytes: int | None = None
 
 
+def _dim_steps(
+    a: np.ndarray, b: np.ndarray, dim: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised e-cube per-dimension decision: (step sign, hop count).
+
+    Matches ``Torus3D._dim_step`` exactly (ties go forward)."""
+    fwd = (b - a) % dim
+    bwd = (a - b) % dim
+    return np.where(fwd <= bwd, 1, -1), np.minimum(fwd, bwd)
+
+
 class Network:
     """Charges simulated time for rounds of transfers over a mapped topology."""
 
-    __slots__ = ("mapping", "model", "_route_cache", "_link_ids",
-                 "_route_id_cache", "_pattern_cache",
+    __slots__ = ("mapping", "model", "_route_cache", "_num_links",
+                 "_pattern_cache", "_population_cache",
                  "_pair_keys", "_pair_starts", "_pair_lens", "_pair_links")
 
     def __init__(self, mapping: TaskMapping, model: MachineModel) -> None:
@@ -54,12 +96,13 @@ class Network:
         self.model = model
         #: lazy tuple-list routes, kept for inspection/debugging callers only
         self._route_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
-        #: directed physical link -> dense id, interned on first traversal
-        self._link_ids: dict[tuple[int, int], int] = {}
-        #: (src, dst) -> int-encoded link-id route array
-        self._route_id_cache: dict[tuple[int, int], np.ndarray] = {}
+        #: dense directed-link id space: ``node * 6 + dim * 2 + (step > 0)``
+        self._num_links = 6 * mapping.torus.num_nodes
         #: (src-seq, dst-seq) -> (hops, contention) per-transfer arrays
         self._pattern_cache: dict[tuple[bytes, bytes], tuple[np.ndarray, np.ndarray]] = {}
+        #: (src-seq, dst-seq) -> prepared PairPopulation (ring pair sets
+        #: recur every level; populations are immutable)
+        self._population_cache: dict[tuple[bytes, bytes], PairPopulation] = {}
         #: interned (src * P + dst) pair table: sorted keys with parallel
         #: CSR (start, length) views into one concatenated link-id array
         self._pair_keys = np.empty(0, dtype=np.int64)
@@ -123,17 +166,77 @@ class Network:
         dst: np.ndarray,
         nbytes: np.ndarray,
         multipliers: np.ndarray | None = None,
+        population: PairPopulation | None = None,
+        pop_idx: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Array-native round analysis: per-rank times + per-transfer seconds.
 
         ``src``/``dst``/``nbytes`` are parallel arrays (``nbytes`` is the
         on-wire byte count of each transfer); ``multipliers``, when given,
         is parallel too.  Self-sends (``src == dst``) cost 0.0.
+
+        ``population``/``pop_idx``: transfer ``k`` is pair ``pop_idx[k]``
+        of a prepared :class:`PairPopulation` (``pop_idx=None`` means the
+        transfers are the whole population in preparation order; no
+        self-sends allowed) —
+        hop counts come from the population table, and contention comes
+        from the padded link matrix, or is identically 1.0 for a
+        link-disjoint population.  Same floats as the generic analysis.
         """
         nranks = self.mapping.grid.size
         send_time = np.zeros(nranks, dtype=np.float64)
         recv_time = np.zeros(nranks, dtype=np.float64)
         per_transfer = np.zeros(src.shape[0], dtype=np.float64)
+        if population is not None:
+            if src.size == 0:
+                return send_time, recv_time, per_transfer
+            if pop_idx is None:
+                # The whole population in preparation order — the common
+                # heavy-round case, with zero per-round indexing.
+                hops = population.hops
+                contention = 1.0 if population.disjoint else population.full_cont
+            elif population.disjoint:
+                hops = population.hops[pop_idx]
+                contention = 1.0
+            elif pop_idx.size == population.lens.size:
+                # The whole population is in flight: the load analysis was
+                # done at preparation time.
+                hops = population.hops[pop_idx]
+                contention = population.full_cont[pop_idx]
+            else:
+                hops = population.hops[pop_idx]
+                lens = population.lens[pop_idx]
+                total = int(lens.sum())
+                if total:
+                    out_off = np.concatenate(([0], np.cumsum(lens)))
+                    gidx = np.arange(total, dtype=np.int64)
+                    gidx += np.repeat(
+                        population.indptr[pop_idx] - out_off[:-1], lens
+                    )
+                    act = population.links[gidx]
+                    loads = np.bincount(act)
+                    # per-pair max link load over each CSR run; empty runs
+                    # (ranks sharing a node) keep the generic path's 1.0
+                    red_at = np.minimum(out_off[:-1], total - 1)
+                    cont = np.maximum.reduceat(loads[act], red_at)
+                    cont[lens == 0] = 1
+                    contention = np.maximum(cont.astype(np.float64), 1.0)
+                else:
+                    contention = 1.0
+            model = self.model
+            seconds = (
+                model.alpha
+                + hops * model.per_hop
+                + contention * nbytes.astype(np.float64) / model.bandwidth
+            )
+            if multipliers is not None:
+                seconds = seconds * multipliers
+            per_transfer[:] = seconds
+            # bincount accumulates in traversal order like np.add.at but
+            # runs a single fused pass
+            send_time += np.bincount(src, weights=seconds, minlength=nranks)
+            recv_time += np.bincount(dst, weights=seconds, minlength=nranks)
+            return send_time, recv_time, per_transfer
         wire_mask = src != dst
         if not wire_mask.any():
             return send_time, recv_time, per_transfer
@@ -202,7 +305,7 @@ class Network:
             all_links = self._pair_links[gather]
         else:
             all_links = np.empty(0, dtype=np.int64)
-        loads = np.bincount(all_links, minlength=len(self._link_ids))
+        loads = np.bincount(all_links, minlength=self._num_links)
         contention = np.ones(lengths.size, dtype=np.float64)
         nonempty = lengths > 0
         if nonempty.all() and all_links.size:
@@ -223,15 +326,69 @@ class Network:
         self._pattern_cache[key] = cached
         return cached
 
+    def prepare_pairs(self, src: np.ndarray, dst: np.ndarray) -> PairPopulation:
+        """Pre-analyse a recurring pair population (one route per input pair).
+
+        Interns any unseen routes in one batch (so no later round pays an
+        incremental pair-table rebuild) and returns a
+        :class:`PairPopulation` aligned with the input arrays, for use
+        with :meth:`round_times_arrays`'s ``population`` fast path.  The
+        input must not contain self-sends or repeated pairs.  Pure
+        analysis: charges nothing, changes no result.
+        """
+        cache_key = (src.tobytes(), dst.tobytes())
+        cached = self._population_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        nranks = self.mapping.grid.size
+        keys = src * nranks + dst
+        sorted_new = np.unique(keys)
+        idx = np.searchsorted(self._pair_keys, sorted_new)
+        idx_c = np.minimum(idx, max(self._pair_keys.size - 1, 0))
+        known = (
+            self._pair_keys[idx_c] == sorted_new
+            if self._pair_keys.size
+            else np.zeros(sorted_new.shape, dtype=bool)
+        )
+        if not known.all():
+            self._intern_pairs(sorted_new[~known])
+        idx = np.searchsorted(self._pair_keys, keys)
+        starts = self._pair_starts[idx]
+        lens = self._pair_lens[idx]
+        total = int(lens.sum())
+        indptr = np.concatenate(([0], np.cumsum(lens)))
+        if total:
+            gather = np.arange(total, dtype=np.int64)
+            gather += np.repeat(starts - indptr[:-1], lens)
+            all_links = self._pair_links[gather]
+            loads = np.bincount(all_links)
+            disjoint = int(loads.max()) <= 1
+            red_at = np.minimum(indptr[:-1], total - 1)
+            full_cont = np.maximum.reduceat(loads[all_links], red_at)
+            full_cont[lens == 0] = 1
+            full_cont = np.maximum(full_cont.astype(np.float64), 1.0)
+        else:
+            all_links = np.empty(0, dtype=np.int64)
+            disjoint = True
+            full_cont = np.ones(keys.size, dtype=np.float64)
+        population = PairPopulation(
+            hops=lens.astype(np.float64),
+            links=all_links,
+            indptr=indptr,
+            lens=lens,
+            full_cont=full_cont,
+            disjoint=disjoint,
+        )
+        self._population_cache[cache_key] = population
+        return population
+
     def _intern_pairs(self, new_keys: np.ndarray) -> None:
         """Route ``new_keys`` (sorted unique ``src * P + dst``, none interned
-        yet) and rebuild the key-sorted pair table once."""
+        yet) with the batch router and rebuild the key-sorted pair table once."""
         nranks = self.mapping.grid.size
-        routes = [
-            self._route_ids(int(k // nranks), int(k % nranks)) for k in new_keys
-        ]
-        new_lens = np.fromiter(
-            (r.size for r in routes), dtype=np.int64, count=len(routes)
+        nodes = self.mapping.rank_to_node
+        links, new_lens = self._batch_route(
+            nodes[new_keys // nranks], nodes[new_keys % nranks]
         )
         new_starts = self._pair_links.size + np.concatenate(
             ([0], np.cumsum(new_lens)[:-1])
@@ -243,26 +400,53 @@ class Network:
         self._pair_keys = keys[order]
         self._pair_starts = starts[order]
         self._pair_lens = lens[order]
-        self._pair_links = np.concatenate([self._pair_links, *routes])
+        self._pair_links = np.concatenate((self._pair_links, links))
 
-    def _route_ids(self, src: int, dst: int) -> np.ndarray:
-        """Int-encoded link-id route of one (src, dst) pair (cached)."""
-        key = (src, dst)
-        cached = self._route_id_cache.get(key)
-        if cached is None:
-            route = self.mapping.torus.route(
-                self.mapping.node_of(src), self.mapping.node_of(dst)
+    def _batch_route(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dimension-ordered routes of node pairs ``a[k] -> b[k]``, batched.
+
+        Returns ``(links, lens)``: one concatenated link-id array (pair
+        ``k``'s route is the ``lens[k]`` ids after ``lens[:k].sum()``, in
+        x-then-y-then-z traversal order) plus the per-pair hop counts.
+        Link ids use the arithmetic encoding ``node * 6 + dim * 2 +
+        (step > 0)`` — a bijection with the directed physical links the
+        scalar :meth:`~repro.machine.torus.Torus3D.route` walks, so link
+        loads (and hence contention) are unchanged.
+        """
+        X, Y, Z = self.mapping.torus.dims
+        ax, bx = a % X, b % X
+        ay, by = (a // X) % Y, (b // X) % Y
+        az, bz = a // (X * Y), b // (X * Y)
+        sx, cx = _dim_steps(ax, bx, X)
+        sy, cy = _dim_steps(ay, by, Y)
+        sz, cz = _dim_steps(az, bz, Z)
+        lens = cx + cy + cz
+        pair_off = np.concatenate(([0], np.cumsum(lens)))
+        out = np.empty(int(pair_off[-1]), dtype=np.int64)
+
+        def emit(cnt, start, step, dim_axis, base, stride, dim, dim_off):
+            # the t-th link of this dimension leaves coordinate
+            # start + t*step (mod dim); earlier dimensions are already at
+            # their targets (folded into ``base``), later ones still at
+            # their starts
+            total = int(cnt.sum())
+            if not total:
+                return
+            offs = np.concatenate(([0], np.cumsum(cnt)[:-1]))
+            t = np.arange(total, dtype=np.int64) - np.repeat(offs, cnt)
+            step_r = np.repeat(step, cnt)
+            coord = (np.repeat(start, cnt) + t * step_r) % dim
+            u = np.repeat(base, cnt) + coord * stride
+            out[np.repeat(pair_off[:-1] + dim_off, cnt) + t] = (
+                u * 6 + 2 * dim_axis + (step_r > 0)
             )
-            link_ids = self._link_ids
-            cached = np.empty(len(route), dtype=np.int64)
-            for k, link in enumerate(route):
-                lid = link_ids.get(link)
-                if lid is None:
-                    lid = len(link_ids)
-                    link_ids[link] = lid
-                cached[k] = lid
-            self._route_id_cache[key] = cached
-        return cached
+
+        emit(cx, ax, sx, 0, X * (ay + Y * az), 1, X, np.int64(0))
+        emit(cy, ay, sy, 1, bx + X * Y * az, X, Y, cx)
+        emit(cz, az, sz, 2, bx + X * by, X * Y, Z, cx + cy)
+        return out, lens
 
     def _route(self, src: int, dst: int) -> list[tuple[int, int]]:
         key = (src, dst)

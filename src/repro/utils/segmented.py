@@ -21,34 +21,39 @@ from repro.types import VERTEX_DTYPE
 
 def segmented_unique(
     values: np.ndarray, segs: np.ndarray, nseg: int, domain: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, int]:
     """Per-segment sorted unique of ``values`` tagged with segment ids.
 
     ``values`` must be non-negative and < ``domain``; ``segs`` is parallel
     to ``values`` with entries in ``[0, nseg)``.  Returns ``(flat, bounds,
-    dups)``: segment ``s``'s unique values are ``flat[bounds[s]:bounds[s+1]]``
-    (equal to ``np.unique`` of that segment's values) and ``dups[s]`` is
-    the number of entries the unique eliminated within segment ``s`` — the
-    union-fold's duplicate tally.
+    dups, seg_of)``: segment ``s``'s unique values are
+    ``flat[bounds[s]:bounds[s+1]]`` (equal to ``np.unique`` of that
+    segment's values), ``dups`` is the total number of entries the unique
+    eliminated across all segments — the union-fold's duplicate tally —
+    and ``seg_of`` tags each element of ``flat`` with its segment id (a
+    byproduct of the offset-key split, free for callers that need it).
     """
     if values.size == 0:
         return (
             np.empty(0, dtype=VERTEX_DTYPE),
             np.zeros(nseg + 1, dtype=np.int64),
-            np.zeros(nseg, dtype=np.int64),
+            0,
+            np.empty(0, dtype=np.int64),
         )
     keys = segs * domain + values
     # Sorted-unique via sort + mask: identical output to np.unique, and
     # much faster here because fold payloads are concatenations of already
     # sorted runs (timsort exploits them; the hash path cannot).
     keys.sort(kind="stable")
-    uk = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
-    bounds = np.searchsorted(uk, np.arange(nseg + 1, dtype=np.int64) * domain)
-    out_counts = np.diff(bounds)
-    in_counts = np.bincount(segs, minlength=nseg)
-    seg_of = np.repeat(np.arange(nseg, dtype=np.int64), out_counts)
-    flat = uk - seg_of * domain
-    return flat, bounds, in_counts - out_counts
+    mask = np.empty(keys.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+    uk = keys[mask]
+    seg_of, flat = np.divmod(uk, domain)
+    bounds = np.empty(nseg + 1, dtype=np.int64)
+    bounds[0] = 0
+    np.cumsum(np.bincount(seg_of, minlength=nseg), out=bounds[1:])
+    return flat, bounds, values.size - uk.size, seg_of
 
 
 def gather_segments(

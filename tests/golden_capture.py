@@ -1,0 +1,34 @@
+"""Capture golden digests of the scheduling hot paths (run once per rework).
+
+Runs the byte-identity matrix of test_sparse_schedule.py against whatever
+scheduler implementation is currently checked out and writes
+``tests/data/schedule_digests.json``.  The committed file was produced by
+the pre-sparse *dense* scheduler, so the test suite proves the sparse
+rework is byte-identical to it.  Regenerate only when an intentional
+simulated-behaviour change lands:
+
+    PYTHONPATH=src python tests/golden_capture.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def main() -> None:
+    import sys
+
+    sys.path.insert(0, str(HERE))
+    from test_sparse_schedule import capture_all
+
+    out = HERE / "data" / "schedule_digests.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(capture_all(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

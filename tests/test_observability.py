@@ -235,11 +235,16 @@ class TestPerfettoExport:
         validate_chrome_trace(doc)
         events = doc["traceEvents"]
         assert doc["displayTimeUnit"] == "ms"
-        # one named track per virtual rank
+        # one named track per rank that actually sent or received a message
+        messages = reference_observed.observability.messages
+        touched = {e.src for e in messages} | {e.dst for e in messages}
         thread_names = [
             e for e in events if e["ph"] == "M" and e["name"] == "thread_name"
         ]
-        assert sum(1 for e in thread_names if e["pid"] == 1) == 16
+        rank_tracks = {e["tid"] for e in thread_names if e["pid"] == 1}
+        assert rank_tracks == touched
+        # the 4x4 reference run exercises every rank
+        assert len(rank_tracks) == 16
         slices = [e for e in events if e["ph"] == "X"]
         instants = [e for e in events if e["ph"] == "i"]
         assert len(slices) == len(reference_observed.observability.spans)
@@ -274,6 +279,17 @@ class TestPerfettoExport:
         phases = [e["ph"] for e in doc["traceEvents"]]
         assert "i" in phases  # the instant is kept
         assert "s" not in phases and "f" not in phases  # no arrow to itself
+
+    def test_idle_ranks_get_no_track(self):
+        events = [MessageEvent(0.5, 3, 7, 10, 40, 40, "expand")]
+        doc = to_chrome_trace((), events, nranks=4096)
+        validate_chrome_trace(doc)
+        tracks = {
+            e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 1
+        }
+        assert tracks == {3, 7}
 
     def test_write_trace(self, small_observed, tmp_path):
         path = tmp_path / "trace.json"

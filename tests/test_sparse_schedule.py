@@ -1,0 +1,154 @@
+"""Byte-identity of the O(active-ranks) scheduler against the dense baseline.
+
+``tests/data/schedule_digests.json`` was captured from the pre-rework
+*dense* scheduler (P-length per-rank frontier lists, eager rank
+iteration) by ``tests/golden_capture.py``.  Every test here re-runs one
+configuration on the current scheduler and asserts the result digests —
+levels, stats (message/byte/duplicate counters and per-level simulated
+times), clock, trace, and fault-report counters — are byte-identical.
+
+The matrix spans 1D/2D/bidirectional/hybrid scheduling on Poisson and
+R-MAT graphs, wire codecs, buffered chunking, ring collectives, crash
+recovery (spare and shrink), rollback-heavy wire faults, and the
+paper-scale 64x64 grid on the reference n=20k/k=8 workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import bidirectional_bfs, build_engine, distributed_bfs
+from repro.bfs.level_sync import run_bfs
+from repro.bfs.options import BfsOptions
+from repro.graph.generators import build_graph
+from repro.observability.digest import result_digests
+from repro.types import GraphSpec, SystemSpec
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "data" / "schedule_digests.json"
+
+POISSON = GraphSpec(n=600, k=6.0, seed=3)
+RMAT = GraphSpec.rmat(9, edge_factor=8, seed=5)
+REFERENCE = GraphSpec(n=20_000, k=8.0, seed=7)
+
+_GRAPH_CACHE: dict[GraphSpec, object] = {}
+
+
+def _graph(spec: GraphSpec):
+    cached = _GRAPH_CACHE.get(spec)
+    if cached is None:
+        cached = _GRAPH_CACHE[spec] = build_graph(spec)
+    return cached
+
+
+def _report_counters(report) -> dict:
+    if report is None:
+        return {}
+    return {
+        "injected": report.injected,
+        "retries": report.retries,
+        "recovered": report.recovered,
+        "unrecovered": report.unrecovered,
+        "rollbacks": report.rollbacks,
+        "crashes": report.crashes,
+        "spare_failovers": report.spare_failovers,
+        "shrink_failovers": report.shrink_failovers,
+        "replayed_levels": report.replayed_levels,
+        "checkpoint_bytes": report.checkpoint_bytes,
+    }
+
+
+def _run(
+    graph_spec: GraphSpec,
+    grid: tuple[int, int],
+    *,
+    layout: str = "2d",
+    wire: str = "raw",
+    faults: str | None = None,
+    observe: str = "off",
+    opts: BfsOptions | None = None,
+    source: int = 0,
+    target: int | None = None,
+) -> dict:
+    system = SystemSpec(
+        layout=layout, wire=wire, faults=faults, observe=observe
+    )
+    result = distributed_bfs(
+        _graph(graph_spec), grid, source, target=target,
+        opts=opts, system=system,
+    )
+    row = dict(result_digests(result))
+    row["num_levels"] = result.num_levels
+    if target is not None:
+        row["target_level"] = result.target_level
+    row.update(_report_counters(result.faults))
+    return row
+
+
+def _run_bidirectional(graph_spec: GraphSpec, grid: tuple[int, int]) -> dict:
+    graph = _graph(graph_spec)
+    result = bidirectional_bfs(graph, grid, 0, graph.n - 1)
+    return {
+        "path_length": result.path_length,
+        "forward_levels": result.forward_levels,
+        "backward_levels": result.backward_levels,
+        "elapsed": result.elapsed.hex(),
+        "comm_time": result.comm_time.hex(),
+        "compute_time": result.compute_time.hex(),
+    }
+
+
+CONFIGS = {
+    "poisson-1d": lambda: _run(POISSON, (1, 8), layout="1d"),
+    "poisson-2d": lambda: _run(POISSON, (4, 4)),
+    "poisson-2d-target": lambda: _run(POISSON, (4, 4), target=POISSON.n - 1),
+    "poisson-2d-observed": lambda: _run(POISSON, (4, 4), observe="full"),
+    "poisson-2d-varint": lambda: _run(POISSON, (4, 4), wire="delta-varint"),
+    "poisson-2d-buffered": lambda: _run(
+        POISSON, (4, 4), opts=BfsOptions(buffer_capacity=64)
+    ),
+    "poisson-2d-ring": lambda: _run(
+        POISSON, (4, 4),
+        opts=BfsOptions(expand_collective="ring", fold_collective="ring"),
+    ),
+    "poisson-2d-two-phase": lambda: _run(
+        POISSON, (4, 4),
+        opts=BfsOptions(expand_collective="two-phase", fold_collective="two-phase"),
+    ),
+    "poisson-2d-no-cache": lambda: _run(
+        POISSON, (4, 4), opts=BfsOptions(use_sent_cache=False)
+    ),
+    "rmat-1d": lambda: _run(RMAT, (8, 1), layout="1d"),
+    "rmat-2d": lambda: _run(RMAT, (4, 4)),
+    "rmat-2d-hybrid": lambda: _run(
+        RMAT, (4, 4), opts=BfsOptions(direction="hybrid")
+    ),
+    "rmat-1d-hybrid": lambda: _run(
+        RMAT, (8, 1), layout="1d", opts=BfsOptions(direction="hybrid")
+    ),
+    "poisson-2d-bidirectional": lambda: _run_bidirectional(POISSON, (4, 4)),
+    "poisson-2d-mild-faults": lambda: _run(POISSON, (4, 4), faults="mild"),
+    "poisson-2d-crash-spare": lambda: _run(POISSON, (4, 4), faults="crash-spare"),
+    "poisson-2d-crash-shrink": lambda: _run(POISSON, (4, 4), faults="crash-shrink"),
+    "reference-64x64": lambda: _run(REFERENCE, (64, 64)),
+}
+
+
+def capture_all() -> dict:
+    """Run the whole matrix (used by golden_capture.py)."""
+    return {name: fn() for name, fn in CONFIGS.items()}
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if not GOLDEN_PATH.exists():  # pragma: no cover - capture-time guard
+        pytest.skip("no golden digests; run tests/golden_capture.py")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_byte_identical_to_dense_baseline(name: str, golden: dict) -> None:
+    assert name in golden, f"golden file lacks {name}; re-run golden_capture.py"
+    assert CONFIGS[name]() == golden[name]
