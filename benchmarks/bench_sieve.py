@@ -1,0 +1,267 @@
+"""Communication sieve — fold wire bytes with and without the sieve.
+
+Runs the reference Poisson workload across every wire codec with the
+cross-level sieve off and on, and reports fold-phase encoded bytes, the
+summary-broadcast overhead, and the number of candidates the sieve kept
+off the wire.  Expected shape: levels are byte-identical in every pair
+(the sieve only drops guaranteed-duplicates), and on the reference
+n=20k/k=8 workload at 8x8 the sieve cuts measured fold traffic by at
+least 25% under the raw, delta-varint, and adaptive codecs.  The bitmap
+codec's fold messages are span-priced rather than vertex-priced, so its
+reduction is real but smaller and carries no 25% bar — see
+docs/PERFORMANCE.md for when the sieve beats codec-only compression.
+
+Also runnable as a plain script (the sieve baseline for CI):
+
+    PYTHONPATH=src python benchmarks/bench_sieve.py --tiny --check
+
+It writes ``BENCH_sieve.json`` (repo root).  Byte counts are fully
+deterministic, so ``--check`` fails when a scenario drifts by more than
+``--tolerance`` (default 30%) against the committed baseline, and
+*always* fails if a sieved run stops matching the unsieved levels or the
+reference reduction drops below the 25% bar (refresh intentional
+cost-model changes with ``--update-baseline``).  The reference gate rows
+run even under ``--tiny``: they are the acceptance contract, not a
+scaling study.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from conftest import emit  # noqa: E402
+from repro.api import distributed_bfs  # noqa: E402
+from repro.graph.generators import build_graph  # noqa: E402
+from repro.observability.digest import levels_digest  # noqa: E402
+from repro.types import GraphSpec, GridShape, SystemSpec  # noqa: E402
+
+CODECS = ("raw", "delta-varint", "bitmap", "adaptive")
+
+#: the acceptance workload: every gate below is evaluated on these rows
+REFERENCE = ("reference", GraphSpec(n=20_000, k=8.0, seed=7), GridShape(8, 8))
+
+#: (name, spec, grid) density sweep around the reference point
+FULL = [
+    ("sparse", GraphSpec(n=20_000, k=4.0, seed=7), GridShape(8, 8)),
+    REFERENCE,
+    ("dense", GraphSpec(n=20_000, k=16.0, seed=7), GridShape(8, 8)),
+]
+TINY = [
+    ("smoke", GraphSpec(n=2_000, k=8.0, seed=7), GridShape(4, 4)),
+    REFERENCE,
+]
+
+SOURCE = 0
+
+#: the acceptance bar: sieve-on must cut fold encoded bytes by >= 25% on
+#: the reference workload under these codecs (bitmap is span-priced, so
+#: it only owes a strictly positive reduction)
+REDUCTION_BAR = 0.25
+BARRED_CODECS = ("raw", "delta-varint", "adaptive")
+
+
+def _run(graph, grid: GridShape, wire: str, sieve: bool):
+    return distributed_bfs(
+        graph, grid, SOURCE, system=SystemSpec(wire=wire, sieve=sieve)
+    )
+
+
+def _measure(workloads: list) -> list[dict]:
+    rows: list[dict] = []
+    for name, spec, grid in workloads:
+        graph = build_graph(spec)
+        for wire in CODECS:
+            off = _run(graph, grid, wire, sieve=False)
+            on = _run(graph, grid, wire, sieve=True)
+            fold_off = int(off.stats.encoded_bytes_by_phase.get("fold", 0))
+            fold_on = int(on.stats.encoded_bytes_by_phase.get("fold", 0))
+            frontier_off = [int(s.frontier_size) for s in off.stats.levels]
+            frontier_on = [int(s.frontier_size) for s in on.stats.levels]
+            rows.append({
+                "scenario": f"{name}:{wire}",
+                "workload": name,
+                "wire": wire,
+                "fold_bytes_off": fold_off,
+                "fold_bytes_on": fold_on,
+                "fold_reduction": (fold_off - fold_on) / max(1, fold_off),
+                "sieve_summary_bytes": int(
+                    on.stats.encoded_bytes_by_phase.get("sieve", 0)
+                ),
+                "sieved_vertices": int(on.stats.total_sieved),
+                "num_levels": on.num_levels,
+                "sim_s_off": off.elapsed.hex(),
+                "sim_s_on": on.elapsed.hex(),
+                "levels_match": bool(
+                    levels_digest(on.levels) == levels_digest(off.levels)
+                    and np.array_equal(on.levels, off.levels)
+                ),
+                "schedule_match": bool(
+                    on.num_levels == off.num_levels
+                    and frontier_on == frontier_off
+                ),
+            })
+    return rows
+
+
+def _print_rows(rows: list[dict]) -> None:
+    for row in rows:
+        print(
+            f"  {row['scenario']:>24}  fold={row['fold_bytes_off']:>8} -> "
+            f"{row['fold_bytes_on']:>8}  (-{100 * row['fold_reduction']:.1f}%)  "
+            f"summaries={row['sieve_summary_bytes']:>7}  "
+            f"sieved={row['sieved_vertices']:>6}  "
+            f"match={'yes' if row['levels_match'] else 'NO'}"
+        )
+
+
+def _gate_failures(rows: list[dict]) -> list[str]:
+    """The hard gates, independent of the baseline file."""
+    failures = []
+    for row in rows:
+        if not row["levels_match"]:
+            failures.append(f"{row['scenario']}: sieved levels diverged")
+        if not row["schedule_match"]:
+            failures.append(f"{row['scenario']}: level schedule diverged")
+    gate = {r["wire"]: r for r in rows if r["workload"] == "reference"}
+    for wire in BARRED_CODECS:
+        reduction = gate[wire]["fold_reduction"]
+        if reduction < REDUCTION_BAR:
+            failures.append(
+                f"reference:{wire}: fold reduction {100 * reduction:.1f}% "
+                f"below the {100 * REDUCTION_BAR:.0f}% bar"
+            )
+    if gate["bitmap"]["fold_reduction"] <= 0.0:
+        failures.append("reference:bitmap: sieve no longer reduces fold bytes")
+    return failures
+
+
+# --------------------------------------------------------------------- #
+# pytest mode: the qualitative shape
+# --------------------------------------------------------------------- #
+def test_sieve_traffic(once):
+    rows = once(_measure, TINY)
+    emit(
+        "Communication sieve  fold wire bytes (tiny + reference workloads)",
+        "\n".join(
+            f"{r['scenario']:>24}: {r['fold_bytes_off']} -> "
+            f"{r['fold_bytes_on']} bytes ({r['sieved_vertices']} sieved)"
+            for r in rows
+        ),
+    )
+    # Correctness before economics: sieved runs reproduce the exact
+    # unsieved level labels and level schedule under every codec.
+    assert all(r["levels_match"] for r in rows)
+    assert all(r["schedule_match"] for r in rows)
+    # The sieve actually fired everywhere...
+    assert all(r["sieved_vertices"] > 0 for r in rows)
+    # ...and the reference gates hold.
+    assert _gate_failures(rows) == []
+
+
+# --------------------------------------------------------------------- #
+# script mode: the regression baseline (BENCH_sieve.json)
+# --------------------------------------------------------------------- #
+def _check(report: dict, baseline_path: Path, tolerance: float) -> int:
+    import json
+
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run with --update-baseline first")
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    key = "tiny" if report["tiny"] else "full"
+    expected = baseline.get(key)
+    if expected is None:
+        print(f"baseline has no {key!r} section; run with --update-baseline")
+        return 2
+    want = {row["scenario"]: row for row in expected}
+    failures = []
+    for row in report["results"]:
+        base = want.get(row["scenario"])
+        if base is None:
+            failures.append(f"{row['scenario']}: not in baseline")
+            continue
+        for field in ("fold_bytes_on", "sieve_summary_bytes"):
+            got, exp = row[field], base[field]
+            if exp and abs(got - exp) / exp > tolerance:
+                failures.append(
+                    f"{row['scenario']}: {field} drifted "
+                    f"{exp} -> {got} ({100 * (got - exp) / exp:+.1f}%)"
+                )
+        if row["sieved_vertices"] != base["sieved_vertices"]:
+            failures.append(
+                f"{row['scenario']}: sieved_vertices changed "
+                f"{base['sieved_vertices']} -> {row['sieved_vertices']}"
+            )
+    if failures:
+        print(f"sieve baseline DIVERGED (tolerance {100 * tolerance:.0f}%):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"sieve report within {100 * tolerance:.0f}% of the committed baseline")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke size (still runs the reference gate rows)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >tolerance drift vs the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative drift (default 0.30)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="merge this run's section into the baseline file")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_sieve.json")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write this run's report here")
+    args = parser.parse_args(argv)
+
+    size = "tiny" if args.tiny else "full"
+    workloads = TINY if args.tiny else FULL
+    print(f"communication sieve sweep ({size}: {CODECS} x "
+          f"{[name for name, _, _ in workloads]})")
+    rows = _measure(workloads)
+    _print_rows(rows)
+    report = {"tiny": args.tiny, "results": rows}
+
+    # Hard gates, independent of the baseline: correctness and the 25% bar.
+    failures = _gate_failures(rows)
+    gate = {r["wire"]: r for r in rows if r["workload"] == "reference"}
+    for wire in CODECS:
+        bar = f"bar {100 * REDUCTION_BAR:.0f}%" if wire in BARRED_CODECS else "bar >0%"
+        print(f"reference {wire} fold reduction: "
+              f"{100 * gate[wire]['fold_reduction']:.1f}% ({bar})")
+    if failures:
+        for line in failures:
+            print(f"FATAL: {line}")
+        return 1
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=1), encoding="utf-8")
+        print(f"report written to {args.output}")
+    if args.update_baseline:
+        merged = (
+            json.loads(args.baseline.read_text(encoding="utf-8"))
+            if args.baseline.exists() else {}
+        )
+        merged[size] = rows
+        args.baseline.write_text(json.dumps(merged, indent=1), encoding="utf-8")
+        print(f"baseline section {size!r} written to {args.baseline}")
+        return 0
+    if args.check:
+        return _check(report, args.baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,210 @@
+"""Unified benchmark gate runner — one entry point for every CI bench gate.
+
+Each gate wraps one benchmark's CI smoke invocation (the exact commands
+the workflow used to spell inline, per job) behind a registered name, so
+the workflow reduces to a single matrixed job::
+
+    PYTHONPATH=src python benchmarks/run_gates.py --gate sieve
+    python benchmarks/run_gates.py --all          # local pre-push sweep
+    python benchmarks/run_gates.py --list
+
+Gates run from the repo root with ``PYTHONPATH=src`` injected, so the
+runner works from any cwd and without ambient environment.  A gate
+passes when every one of its steps exits 0; the runner exits with the
+number of failed gates.  Report artifacts (``BENCH_*.json``, traces,
+chaos/server reports) land in the repo root where the workflow's upload
+step collects them.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _env(extra: dict[str, str] | None = None) -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.update(extra or {})
+    return env
+
+
+@dataclass
+class Gate:
+    """One named bench gate: a sequence of commands that must all pass."""
+
+    name: str
+    description: str
+    steps: list[tuple[list[str], dict[str, str]]]
+    #: report files the workflow uploads (informational; missing is fine)
+    artifacts: list[str] = field(default_factory=list)
+
+    def run(self) -> bool:
+        for cmd, extra_env in self.steps:
+            print(f"[{self.name}] $ {' '.join(cmd)}", flush=True)
+            proc = subprocess.run(cmd, cwd=REPO_ROOT, env=_env(extra_env))
+            if proc.returncode != 0:
+                print(f"[{self.name}] FAILED (exit {proc.returncode})")
+                return False
+        print(f"[{self.name}] ok")
+        return True
+
+
+_SERVER_PROBE = """
+import asyncio
+from repro.server import TcpQueryClient
+
+async def main():
+    async with TcpQueryClient("127.0.0.1", {port}) as client:
+        assert (await client.ping()).ok
+        replies = [await client.query(s) for s in range(10)]
+        assert all(r.ok for r in replies), replies
+        stats = await client.stats()
+        assert stats.extra["stats"]["served"] == 10
+        print("served:", stats.extra["stats"])
+
+asyncio.run(main())
+"""
+
+
+class ServerGate(Gate):
+    """The server gate boots the TCP session server around its steps."""
+
+    def run(self) -> bool:
+        port = int(os.environ.get("REPRO_GATE_PORT", "7475"))
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--n", "2000", "--k", "8", "--seed", "7",
+             "--grid", "2x2", "--port", str(port)],
+            cwd=REPO_ROOT, env=_env(),
+        )
+        try:
+            if not self._wait_for_server(port, server):
+                return False
+            print(f"[{self.name}] $ <TCP probe: ping + 10 queries>", flush=True)
+            probe = subprocess.run(
+                [sys.executable, "-c", _SERVER_PROBE.format(port=port)],
+                cwd=REPO_ROOT, env=_env(),
+            )
+            if probe.returncode != 0:
+                print(f"[{self.name}] FAILED (probe exit {probe.returncode})")
+                return False
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+        return super().run()
+
+    def _wait_for_server(self, port: int, server: subprocess.Popen) -> bool:
+        import socket
+
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if server.poll() is not None:
+                print(f"[{self.name}] FAILED (server died, exit {server.returncode})")
+                return False
+            try:
+                with socket.create_connection(("127.0.0.1", port), timeout=1.0):
+                    return True
+            except OSError:
+                time.sleep(0.25)
+        print(f"[{self.name}] FAILED (server never opened port {port})")
+        return False
+
+
+def _py(*args: str) -> list[str]:
+    return [sys.executable, *args]
+
+
+GATES: dict[str, Gate] = {
+    gate.name: gate
+    for gate in [
+        Gate(
+            "compression",
+            "wire-codec benchmark smoke (tiny workloads)",
+            [(_py("-m", "pytest", "benchmarks/bench_compression.py", "-q"),
+              {"REPRO_BENCH_TINY": "1"})],
+        ),
+        Gate(
+            "simulator",
+            "simulator throughput smoke + regression gate",
+            [(_py("benchmarks/bench_simulator_throughput.py",
+                  "--tiny", "--check"), {})],
+            artifacts=["BENCH_simulator.json", "benchmarks/simulator_baseline.json"],
+        ),
+        Gate(
+            "observability",
+            "observability overhead smoke + Perfetto trace",
+            [(_py("benchmarks/bench_observability_overhead.py",
+                  "--tiny", "--check", "--tolerance", "0.35",
+                  "--trace-out", "perfetto-trace-tiny.json"), {})],
+            artifacts=["BENCH_observability.json", "perfetto-trace-tiny.json"],
+        ),
+        Gate(
+            "chaos",
+            "seeded chaos sweep + exact fault-resilience baseline",
+            [(_py("src/repro/harness/chaos_sweep.py",
+                  "--tiny", "--seeds", "25", "--out", "chaos-report.json"), {}),
+             (_py("benchmarks/bench_fault_overhead.py", "--tiny", "--check"), {})],
+            artifacts=["chaos-report.json"],
+        ),
+        ServerGate(
+            "server",
+            "TCP server boot + probe, loadgen digests, batched-throughput gate",
+            [(_py("-m", "repro.server.loadgen",
+                  "--tiny", "--queries", "100", "--transport", "tcp"), {}),
+             (_py("-m", "repro.server.loadgen", "--tiny", "--check"), {})],
+            artifacts=["BENCH_server.json"],
+        ),
+        Gate(
+            "hybrid",
+            "direction-optimizing regression gate",
+            [(_py("benchmarks/bench_hybrid_direction.py",
+                  "--tiny", "--check", "--output", "hybrid-report.json"), {})],
+            artifacts=["hybrid-report.json"],
+        ),
+        Gate(
+            "sieve",
+            "communication-sieve traffic gate (reference 25% bar)",
+            [(_py("benchmarks/bench_sieve.py",
+                  "--tiny", "--check", "--output", "sieve-report.json"), {})],
+            artifacts=["sieve-report.json"],
+        ),
+    ]
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--gate", action="append", default=[],
+                        choices=sorted(GATES), metavar="NAME",
+                        help="run this gate (repeatable)")
+    parser.add_argument("--all", action="store_true", help="run every gate")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered gates and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for gate in GATES.values():
+            print(f"{gate.name:>14}  {gate.description}")
+        return 0
+    names = list(GATES) if args.all else args.gate
+    if not names:
+        parser.error("pick --gate NAME (repeatable), --all, or --list")
+
+    failed = [name for name in names if not GATES[name].run()]
+    print(f"\n{len(names) - len(failed)}/{len(names)} gates passed"
+          + (f"; FAILED: {', '.join(failed)}" if failed else ""))
+    return len(failed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,6 +115,53 @@ def predicted_level_traffic_bytes(
     return total * p
 
 
+def predicted_sieved_level_traffic_bytes(
+    n: float,
+    k: float,
+    grid: GridShape,
+    model: MachineModel,
+    wire: str = "raw",
+    *,
+    visited_fraction: float = 0.5,
+) -> float:
+    """Expected encoded wire bytes of one 2D level with the sieve on.
+
+    The sieve-aware companion of :func:`predicted_level_traffic_bytes`:
+    expand traffic is untouched, but each fold message only carries the
+    candidates the sender's shadow does not already mark as visited at
+    the destination.  ``visited_fraction`` is the expected fraction of
+    fold candidates so suppressed — in a dense mid-search level roughly
+    the fraction of the graph already reached, since each candidate's
+    probability of being old is the fraction of earlier-level
+    discoveries.  On top of the shrunken fold messages, each rank pays
+    ``C-1`` end-of-level summary broadcasts: a bitmap over its owned
+    block (``n/P`` bits) plus a fixed header word, to every row peer.
+    """
+    check_positive("n", n)
+    if not 0.0 <= visited_fraction <= 1.0:
+        raise ValueError(
+            f"visited_fraction must be in [0, 1], got {visited_fraction}"
+        )
+    p = grid.size
+    rows, cols = grid.rows, grid.cols
+    bpv = model.bytes_per_vertex
+    total = 0.0
+    if rows > 1:
+        per_message = expected_expand_length_2d(n, k, p, rows) / (rows - 1)
+        total += (rows - 1) * predicted_message_bytes(
+            wire, per_message, n / p, bytes_per_vertex=bpv
+        )
+    if cols > 1:
+        per_message = expected_fold_length_2d(n, k, p, cols) / (cols - 1)
+        per_message *= 1.0 - visited_fraction
+        total += (cols - 1) * predicted_message_bytes(
+            wire, per_message, n / cols, bytes_per_vertex=bpv
+        )
+        # summary broadcasts: raw bitmaps, never run through the codec
+        total += (cols - 1) * (8.0 + math.ceil((n / p) / 8.0))
+    return total * p
+
+
 def predicted_compression_ratio(
     n: float, k: float, grid: GridShape, model: MachineModel, wire: str
 ) -> float:

@@ -19,6 +19,7 @@ when they are used.
 from __future__ import annotations
 
 import warnings
+from dataclasses import replace
 
 from repro.bfs.bfs_1d import Bfs1DEngine
 from repro.bfs.bfs_2d import Bfs2DEngine
@@ -50,6 +51,7 @@ def resolve_entry_system(
     wire: str | object | None = None,
     faults: FaultSpec | str | None = None,
     observe: str | object | None = None,
+    sieve: bool | None = None,
 ) -> SystemSpec:
     """The one resolver path behind every public ``system=`` entry point.
 
@@ -72,7 +74,7 @@ def resolve_entry_system(
         )
     return resolve_system(
         system, machine=machine, mapping=mapping, layout=layout, wire=wire,
-        faults=faults, observe=observe,
+        faults=faults, observe=observe, sieve=sieve,
     )
 
 
@@ -178,6 +180,10 @@ def build_engine(
         faults=faults, observe=observe,
     )
     opts = opts or BfsOptions()
+    if spec.sieve and not opts.use_sieve:
+        # The spec's sieve axis is the system-level switch; the engines
+        # only read BfsOptions, so fold the axis into the options here.
+        opts = replace(opts, use_sieve=True)
     if comm is None:
         comm = build_communicator(grid, system=spec, buffer_capacity=opts.buffer_capacity)
     if spec.layout == "2d":

@@ -71,8 +71,9 @@ def spmd_bfs(
     wire: WireCodec | str | None = None,
     faults: FaultSpec | str | None = None,
     return_report: bool = False,
+    return_sieved: bool = False,
     timeout: float = 120.0,
-) -> np.ndarray | tuple[np.ndarray, FaultReport | None]:
+) -> np.ndarray | tuple:
     """Run a 2D-partitioned BFS with one OS process per rank.
 
     Returns the global level array (identical to the simulated engine and
@@ -82,8 +83,13 @@ def spmd_bfs(
     ``faults`` injects seeded transient drops that agree chunk for chunk
     with the simulator (see the module docstring); ``return_report=True``
     returns ``(levels, FaultReport-or-None)`` instead of bare levels.
-    ``timeout`` bounds the whole run; a hung or dead worker raises
-    :class:`CommunicationError` instead of deadlocking.
+    With ``opts.use_sieve`` the workers run the communication sieve in
+    lockstep with the simulated engines (same shadows, same dropped
+    candidates); ``return_sieved=True`` appends the machine-wide count of
+    sieved fold candidates to the return tuple so tests can assert exact
+    cross-backend parity.  ``timeout`` bounds the whole run; a hung or
+    dead worker raises :class:`CommunicationError` instead of
+    deadlocking.
     """
     if not isinstance(grid, GridShape):
         grid = GridShape(*grid)
@@ -115,20 +121,35 @@ def spmd_bfs(
             "(mirroring the simulated engines); use direction='top-down' "
             "with faults"
         )
+    if opts.use_sieve and faults is not None:
+        raise CommunicationError(
+            "the communication sieve does not support fault injection "
+            "(mirroring the simulated engines); disable use_sieve or the "
+            "fault schedule"
+        )
+    if opts.use_sieve and opts.fold_collective != "union-ring":
+        raise CommunicationError(
+            "the communication sieve requires the union-ring fold "
+            f"(mirroring the simulated engines), not {opts.fold_collective!r}"
+        )
     codec = resolve_wire(wire)
     partition = TwoDPartition(graph, grid)
     nranks = grid.size
 
     if nranks == 1:
         levels = _single_rank_bfs(partition, source)
+        out: tuple = (levels,)
         if return_report:
             report = (
                 FaultSchedule(faults, 1).snapshot_report(0.0)
                 if faults is not None
                 else None
             )
-            return levels, report
-        return levels
+            out = out + (report,)
+        if return_sieved:
+            # a single rank has no fold peers, so nothing is ever sieved
+            out = out + (0,)
+        return out if len(out) > 1 else levels
 
     ctx = mp.get_context("fork")
     pipes = [ctx.Pipe(duplex=True) for _ in range(nranks)]
@@ -144,8 +165,15 @@ def spmd_bfs(
         w.start()
     hub_ends = [p[0] for p in pipes]
     try:
-        levels, report = _run_hub(hub_ends, workers, partition, timeout, faults)
-        return (levels, report) if return_report else levels
+        levels, report, sieved = _run_hub(
+            hub_ends, workers, partition, timeout, faults
+        )
+        out: tuple = (levels,)
+        if return_report:
+            out = out + (report,)
+        if return_sieved:
+            out = out + (sieved,)
+        return out if len(out) > 1 else levels
     finally:
         for w in workers:
             if w.is_alive():
@@ -165,13 +193,14 @@ def _run_hub(
     partition: TwoDPartition,
     timeout: float,
     spec: FaultSpec | None = None,
-) -> tuple[np.ndarray, FaultReport | None]:
+) -> tuple[np.ndarray, FaultReport | None, int]:
     import time
 
     deadline = time.monotonic() + timeout
     nranks = len(conns)
     done_levels: dict[int, np.ndarray] = {}
     done_counters: dict[int, tuple[int, int, int, int] | None] = {}
+    total_sieved = 0
     # the hub plays the engine's role in the fault lifecycle: it counts
     # level rollbacks and enforces the per-level replay budget
     rollbacks = 0
@@ -213,9 +242,10 @@ def _run_hub(
             for rank in range(nranks):
                 conns[rank].send((total, int(failed)))
         elif kinds == {"done"}:
-            for rank, (_kind, (levels, counters)) in enumerate(batch):
+            for rank, (_kind, (levels, counters, sieved)) in enumerate(batch):
                 done_levels[rank] = levels
                 done_counters[rank] = counters
+                total_sieved += int(sieved)
         else:
             raise CommunicationError(f"workers desynchronised: saw kinds {sorted(kinds)}")
 
@@ -241,7 +271,7 @@ def _run_hub(
             merged.unrecovered += unrecovered
         merged.rollbacks = rollbacks
         report = schedule.snapshot_report(0.0)
-    return global_levels, report
+    return global_levels, report, total_sieved
 
 
 def _recv(conn, worker, deadline: float, rank: int):
@@ -316,6 +346,12 @@ def _worker_main(
     col_group = grid.col_members(loc.mesh_col)
     row_group = grid.row_members(loc.mesh_row)
     sent_cache = SentCache(loc.row_map) if opts.use_sent_cache else None
+    # Communication sieve: this worker's shadow of its row peers' visited
+    # sets, fed by their end-of-level summary broadcasts.  Own vertices
+    # are never received, so self-addressed fold contributions always
+    # pass — exactly the simulated PooledSieve semantics.
+    shadow = np.zeros(partition.n, dtype=bool) if opts.use_sieve else None
+    sieved = 0
     R = grid.rows
     offsets = partition.dist.offsets
     col_bounds = offsets[::R]
@@ -357,6 +393,12 @@ def _worker_main(
             neighbors = np.unique(loc.partial_neighbors(fbar))
             if sent_cache is not None:
                 neighbors = sent_cache.filter_unsent(neighbors)
+            if shadow is not None:
+                # the sieve: candidates whose owner is already known to
+                # have visited them never enter a fold contribution
+                keep = ~shadow[neighbors]
+                sieved += int(neighbors.size - keep.sum())
+                neighbors = neighbors[keep]
 
             # --- fold: route neighbours to their owners along the row --- #
             bounds = np.searchsorted(neighbors, col_bounds)
@@ -377,6 +419,22 @@ def _worker_main(
                 fresh = candidates
             if fresh.size:
                 levels[fresh - loc.vertex_lo] = level + 1
+
+            if shadow is not None:
+                # --- sieve summaries: broadcast the freshly labelled
+                # vertices to the row peers, mark what they broadcast.
+                # One lockstep xchg round per top-down level (bottom-up
+                # levels skip it, mirroring the simulated engines); the
+                # round runs even with nothing fresh so the protocol
+                # stays deadlock-free on the final level. --- #
+                sends = (
+                    {peer: fresh for peer in row_group if peer != rank}
+                    if fresh.size
+                    else {}
+                )
+                inbox = _exchange(conn, rank, sends, codec, None, lossy=True)
+                for _src, payload in inbox:
+                    shadow[payload] = True
 
         failed = int(faults.failed) if faults is not None else 0
         conn.send(("sum", (int(fresh.size), failed)))
@@ -399,7 +457,9 @@ def _worker_main(
         if total == 0:
             break
 
-    conn.send(("done", (levels, faults.counters() if faults is not None else None)))
+    conn.send(
+        ("done", (levels, faults.counters() if faults is not None else None, sieved))
+    )
 
 
 def _bottom_up_level(

@@ -24,6 +24,7 @@ from repro.bfs.bottom_up import bottom_up_level_1d
 from repro.bfs.level_sync import LevelSyncEngine
 from repro.bfs.options import BfsOptions
 from repro.bfs.sent_cache import PooledSentCache, SentCache
+from repro.bfs.sieve import PooledSieve
 from repro.collectives.base import get_fold
 from repro.errors import ConfigurationError
 from repro.partition.indexing import VertexIndexMap
@@ -61,6 +62,17 @@ class Bfs1DEngine(LevelSyncEngine):
             for r in range(partition.nranks)
         ]
         self._sent_pool = PooledSentCache(self._sent_universe, partition.n)
+        if opts.use_sieve:
+            if not self._fold.supports_csr:
+                raise ConfigurationError(
+                    "the communication sieve requires a CSR-capable fold "
+                    f"collective (union-ring), not {opts.fold_collective!r}"
+                )
+            # The 1D fold spans the whole machine, so every rank shadows
+            # every other rank's owned block.
+            self._sieve = PooledSieve(
+                [self._group], np.diff(partition.dist.offsets), partition.n
+            )
         # Concatenated CSR over every rank's local block (the blocks tile
         # [0, n) in rank order, so this is the global CSR re-assembled) —
         # one gather expands all P frontiers at once.
@@ -97,17 +109,30 @@ class Bfs1DEngine(LevelSyncEngine):
 
     def _reset_layout_state(self) -> None:
         self._sent_pool.reset()
+        if self._sieve is not None:
+            self._sieve.reset()
 
     def _snapshot_layout_state(self):
+        if self._sieve is not None:
+            return self._sent_pool.snapshot(), self._sieve.snapshot()
         return self._sent_pool.snapshot()
 
     def _restore_layout_state(self, snapshot) -> None:
-        self._sent_pool.restore(snapshot)
+        if self._sieve is not None:
+            sent, shadows = snapshot
+            self._sent_pool.restore(sent)
+            self._sieve.restore(shadows)
+        else:
+            self._sent_pool.restore(snapshot)
 
     def _layout_checkpoint_nbytes(self) -> np.ndarray:
         # the sent-neighbours cache travels in the buddy checkpoint as a
-        # bitset over each rank's sent universe
-        return self._sent_pool.checkpoint_nbytes()
+        # bitset over each rank's sent universe (plus the sieve's shadow
+        # bitsets when it is enabled)
+        nbytes = self._sent_pool.checkpoint_nbytes()
+        if self._sieve is not None:
+            nbytes = nbytes + self._sieve.checkpoint_nbytes()
+        return nbytes
 
     def _expand_level_bottom_up(self) -> tuple[np.ndarray, np.ndarray]:
         return bottom_up_level_1d(self)
@@ -178,7 +203,8 @@ class Bfs1DEngine(LevelSyncEngine):
         with obs.span("fold", cat="phase"):
             if csr_fold:
                 incoming, inc_bounds = self._fold.fold_many_csr(
-                    self.comm, [self._group], csizes, send_flat, "fold"
+                    self.comm, [self._group], csizes, send_flat, "fold",
+                    sieve=self._sieve,
                 )
                 inc_segs = np.repeat(
                     np.arange(nranks, dtype=np.int64), np.diff(inc_bounds)
@@ -209,4 +235,6 @@ class Bfs1DEngine(LevelSyncEngine):
         result = self._label_fresh(incoming, inc_segs)
         if label_span is not None:
             obs.end(label_span)
+        if self._sieve is not None:
+            self._sieve_update(*result)
         return result

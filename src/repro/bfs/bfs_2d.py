@@ -26,6 +26,7 @@ from repro.bfs.bottom_up import bottom_up_level_2d
 from repro.bfs.level_sync import LevelSyncEngine
 from repro.bfs.options import BfsOptions
 from repro.bfs.sent_cache import PooledSentCache, SentCache
+from repro.bfs.sieve import PooledSieve
 from repro.collectives.base import get_expand, get_fold
 from repro.errors import ConfigurationError
 from repro.partition.two_d import TwoDPartition
@@ -83,6 +84,22 @@ class Bfs2DEngine(LevelSyncEngine):
             [partition.local(r).row_map for r in range(partition.nranks)],
             partition.n,
         )
+        if opts.use_sieve:
+            if not self._fold.supports_csr:
+                raise ConfigurationError(
+                    "the communication sieve requires a CSR-capable fold "
+                    f"collective (union-ring), not {opts.fold_collective!r}"
+                )
+            # Fold candidates only ever travel along processor-rows, so
+            # each rank shadows exactly its row peers' owned blocks.
+            spans = np.array(
+                [
+                    partition.local(r).vertex_hi - partition.local(r).vertex_lo
+                    for r in range(partition.nranks)
+                ],
+                dtype=np.int64,
+            )
+            self._sieve = PooledSieve(self._row_groups, spans, partition.n)
         # Concatenated column-CSR of every rank, keyed by rank * n + column
         # id (ascending: ranks ascend, ids are sorted per rank) — one
         # searchsorted resolves all ranks' partial-edge-list lookups.
@@ -275,17 +292,30 @@ class Bfs2DEngine(LevelSyncEngine):
 
     def _reset_layout_state(self) -> None:
         self._sent_pool.reset()
+        if self._sieve is not None:
+            self._sieve.reset()
 
     def _snapshot_layout_state(self):
+        if self._sieve is not None:
+            return self._sent_pool.snapshot(), self._sieve.snapshot()
         return self._sent_pool.snapshot()
 
     def _restore_layout_state(self, snapshot) -> None:
-        self._sent_pool.restore(snapshot)
+        if self._sieve is not None:
+            sent, shadows = snapshot
+            self._sent_pool.restore(sent)
+            self._sieve.restore(shadows)
+        else:
+            self._sent_pool.restore(snapshot)
 
     def _layout_checkpoint_nbytes(self) -> np.ndarray:
         # the sent-neighbours cache travels in the buddy checkpoint as a
-        # bitset over each rank's sent universe
-        return self._sent_pool.checkpoint_nbytes()
+        # bitset over each rank's sent universe (plus the sieve's shadow
+        # bitsets when it is enabled)
+        nbytes = self._sent_pool.checkpoint_nbytes()
+        if self._sieve is not None:
+            nbytes = nbytes + self._sieve.checkpoint_nbytes()
+        return nbytes
 
     def _expand_level_bottom_up(self) -> tuple[np.ndarray, np.ndarray]:
         return bottom_up_level_2d(self)
@@ -307,7 +337,10 @@ class Bfs2DEngine(LevelSyncEngine):
         with obs.span("compute", cat="phase"):
             send_flat, send_bounds = self._discover_step(fbar_flat, fbar_bounds)
         with obs.span("fold", cat="phase"):
-            return self._fold_step(send_flat, send_bounds)
+            fresh = self._fold_step(send_flat, send_bounds)
+        if self._sieve is not None:
+            self._sieve_update(*fresh)
+        return fresh
 
     def _expand_step(self) -> tuple[np.ndarray, np.ndarray]:
         """Steps 7-11 via the collective machinery; returns F-bar as CSR.
@@ -563,7 +596,8 @@ class Bfs2DEngine(LevelSyncEngine):
             bucket = np.searchsorted(col_bounds, send_flat, side="right") - 1
             csizes = np.bincount(seg * C + bucket, minlength=nranks * C)
             incoming, inc_bounds = self._fold.fold_many_csr(
-                self.comm, self._row_groups, csizes, send_flat, "fold"
+                self.comm, self._row_groups, csizes, send_flat, "fold",
+                sieve=self._sieve,
             )
             inc_segs = np.repeat(
                 np.arange(nranks, dtype=np.int64), np.diff(inc_bounds)

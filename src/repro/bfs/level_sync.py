@@ -52,6 +52,9 @@ class LevelSyncEngine(abc.ABC):
         self._owned_hi: np.ndarray | None = None
         self._owned_spans: np.ndarray | None = None
         self._started = False
+        #: communication sieve (``repro.bfs.sieve``): a layout engine that
+        #: supports it installs a PooledSieve here when opts.use_sieve
+        self._sieve = None
         #: resolved per-level direction policy (opts coerces bare names)
         self._direction_policy: DirectionPolicy = DirectionPolicy.coerce(opts.direction)
         #: direction the previous level ran (the policy's hysteresis input)
@@ -189,6 +192,28 @@ class LevelSyncEngine(abc.ABC):
         fresh_bounds = np.concatenate(([0], np.cumsum(fresh_counts)))
         return fresh_flat, fresh_bounds
 
+    def _sieve_update(
+        self, fresh_flat: np.ndarray, fresh_bounds: np.ndarray
+    ) -> None:
+        """End-of-level sieve maintenance (top-down levels only).
+
+        Every rank with freshly labelled vertices broadcasts a bitmap
+        summary of them to its fold-group peers, who mark their shadows;
+        next level's fold candidates for those vertices never reach the
+        wire.  The broadcast pays real network time and bytes (phase
+        ``"sieve"``) and the shadow marking pays per-rank update work, so
+        the sieve's cost stays on the books next to its savings.
+        """
+        sieve = self._sieve
+        obs = self.comm.obs
+        span = obs.begin("sieve", cat="phase") if obs.enabled else None
+        src, dst, nbytes = sieve.summary_messages(np.diff(fresh_bounds))
+        self.comm.exchange_summaries(src, dst, nbytes)
+        marks = sieve.observe_segmented(fresh_flat, fresh_bounds)
+        self.comm.charge_compute_many(updates=marks)
+        if span is not None:
+            obs.end(span)
+
     # ------------------------------------------------------------------ #
     # re-entrant serving
     # ------------------------------------------------------------------ #
@@ -242,6 +267,15 @@ class LevelSyncEngine(abc.ABC):
             raise ConfigurationError(
                 "direction-optimizing BFS does not support fault injection; "
                 "use direction='top-down' with faults"
+            )
+        if self._sieve is not None and self.comm.faults is not None:
+            # Summary broadcasts travel outside the droppable-message
+            # path, so a fault schedule could never touch them — and a
+            # rolled-back level would leave shadows claiming vertices the
+            # re-execution has not visited yet.
+            raise ConfigurationError(
+                "the communication sieve does not support fault injection; "
+                "disable use_sieve or the fault schedule"
             )
         self._direction = TOP_DOWN
         self._unvisited = self.n - 1

@@ -33,6 +33,14 @@ class BfsOptions:
     use_sent_cache:
         Keep per-rank track of neighbours already sent and never resend
         them (Section 2.4.3).
+    use_sieve:
+        Filter fold candidates against a sender-side shadow of each
+        destination's visited set before they are encoded, so vertices
+        the owner already visited in an earlier level never hit the wire
+        (:mod:`repro.bfs.sieve`).  Requires a CSR-capable fold collective
+        (``"union-ring"``) and is incompatible with fault injection.
+        Labelled levels are byte-identical with the sieve on or off —
+        only the fold traffic shrinks.
     use_expand_filter:
         With the ``direct`` expand, only send a frontier vertex to column
         peers that hold non-empty partial edge lists for it (Section 2.2).
@@ -63,6 +71,7 @@ class BfsOptions:
     expand_collective: str = "direct"
     fold_collective: str = "union-ring"
     use_sent_cache: bool = True
+    use_sieve: bool = False
     use_expand_filter: bool = True
     buffer_capacity: int | None = None
     collective_shape: tuple[int, int] | None = None

@@ -5,6 +5,13 @@ a fold; a vertex sent once never needs to be sent again, because the
 receiving owner would ignore the duplicate anyway.  Storage is one flag per
 *unique vertex appearing in the rank's edge lists* — O(n/P) in expectation
 (Section 2.4.1), which the tests verify statistically.
+
+The cache only suppresses duplicates *this* sender has shipped before; a
+vertex another rank discovered and delivered in an earlier level still
+costs a first send from here.  The communication sieve
+(:mod:`repro.bfs.sieve`) closes that gap with a cross-level shadow of
+each destination's visited set, extending the same idea beyond
+self-sent tracking.
 """
 
 from __future__ import annotations

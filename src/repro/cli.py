@@ -114,6 +114,12 @@ def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--beta", type=float, default=24.0,
                         help="hybrid: return top-down when frontier < n/beta")
     parser.add_argument("--no-sent-cache", action="store_true")
+    parser.add_argument(
+        "--sieve", action="store_true",
+        help="filter fold candidates against sender-side shadows of each "
+             "destination's visited set so already-visited vertices never "
+             "hit the wire (union-ring fold only, no fault injection)",
+    )
     parser.add_argument("--buffer-capacity", type=int, default=None)
     parser.add_argument(
         "--observe", choices=sorted(OBSERVE_PRESETS), default=None,
@@ -147,6 +153,7 @@ def _options_from(args) -> BfsOptions:
         expand_collective=args.expand,
         fold_collective=args.fold,
         use_sent_cache=not args.no_sent_cache,
+        use_sieve=args.sieve,
         buffer_capacity=args.buffer_capacity,
         direction=direction,
     )
@@ -181,6 +188,7 @@ def _system_from(args, observe: str | None) -> SystemSpec:
         wire=args.wire_codec,
         faults=_faults_from(args),
         observe=observe,
+        sieve=args.sieve or None,
     )
 
 

@@ -168,6 +168,7 @@ class UnionRingFold(FoldCollective):
         csizes: np.ndarray,
         cflat: np.ndarray,
         phase: str = "fold",
+        sieve=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """The batched driver on pre-packed CSR outboxes.
 
@@ -179,12 +180,34 @@ class UnionRingFold(FoldCollective):
         bounds)`` over segment ``seg = i * size + g`` — the same sets,
         message schedule, and statistics as :meth:`fold_many`, without
         building P outbox dicts or nested received lists.
+
+        ``sieve`` is an optional :class:`repro.bfs.sieve.PooledSieve`:
+        every contribution is probed against its sender's shadow of the
+        destination's visited set before the ring starts, and candidates
+        the destination already knows are visited never enter a chunk.
+        Self-addressed payloads always pass (a sieve never shadows a
+        rank's own vertices), so dropped candidates could only ever have
+        been duplicates at the destination — the merged unions' *fresh*
+        content is unchanged.
         """
         size = len(groups[0])
         num_groups = len(groups)
         nseg = num_groups * size
         stats = comm.stats
         seg_ids = np.arange(nseg, dtype=np.int64)
+        if sieve is not None and cflat.size:
+            member_rank_all = np.asarray(groups, dtype=np.int64).ravel()
+            slot_all = np.repeat(np.arange(nseg * size, dtype=np.int64), csizes)
+            senders = member_rank_all[slot_all // size]
+            keep = sieve.keep_mask(senders, cflat)
+            comm.charge_compute_many(
+                hash_lookups=np.bincount(senders, minlength=comm.nranks)
+            )
+            dropped = int(keep.size - keep.sum())
+            if dropped:
+                stats.record_sieved(dropped)
+                cflat = cflat[keep]
+                csizes = np.bincount(slot_all[keep], minlength=csizes.size)
         domain = int(cflat.max()) + 1 if cflat.size else 1
         if size == 1:
             # Single-member groups exchange nothing: each member's result

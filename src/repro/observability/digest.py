@@ -69,6 +69,12 @@ def stats_digest(stats: "CommStats") -> str:
         _feed_float(h, s.comm_seconds)
         _feed_float(h, s.compute_seconds)
         _feed_float(h, s.fault_seconds)
+    if getattr(stats, "total_sieved", 0):
+        # sieve-free runs keep their historical digests: the sieve block
+        # only takes part when the sieve actually dropped candidates
+        h.update(str(int(stats.total_sieved)).encode())
+        for s in stats.levels:
+            h.update(str(int(getattr(s, "sieved", 0))).encode())
     return h.hexdigest()
 
 

@@ -218,7 +218,7 @@ class Communicator:
                         if delivered:
                             codec_seconds[dst] += wire.decode_seconds(chunk)
         self.stats.record_message_bulk(
-            msg_count, msg_vertices, msg_raw_bytes, msg_enc_bytes
+            msg_count, msg_vertices, msg_raw_bytes, msg_enc_bytes, phase=phase
         )
 
         count = len(src_list)
@@ -319,7 +319,7 @@ class Communicator:
         nbytes = sizes * self.model.bytes_per_vertex
         total_bytes = int(nbytes.sum())
         self.stats.record_message_bulk(
-            src.size, int(sizes.sum()), total_bytes, total_bytes
+            src.size, int(sizes.sum()), total_bytes, total_bytes, phase=phase
         )
         send_time, recv_time, _ = self.network.round_times_arrays(
             src, dst, nbytes, population=population, pop_idx=pop_idx
@@ -333,6 +333,39 @@ class Communicator:
                 vertices=int(sizes.sum()),
                 raw_bytes=total_bytes,
                 encoded_bytes=total_bytes,
+            )
+
+    def exchange_summaries(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        nbytes: np.ndarray,
+        phase: str = "sieve",
+    ) -> None:
+        """Ship pre-sized control messages (the sieve's visited summaries).
+
+        Message ``k`` carries ``nbytes[k]`` bytes from ``src[k]`` to
+        ``dst[k]``.  Summaries are fixed-size bitmaps, not vertex lists:
+        they bypass the wire codec (raw == encoded), carry zero frontier
+        vertices, and are charged to the network and statistics under
+        ``phase`` so the sieve's overhead stays visible next to the fold
+        bytes it saves.  Only valid without fault injection (the engines
+        reject ``sieve + faults`` configurations up front).
+        """
+        obs = self.obs
+        span = obs.begin("exchange", cat="exchange", phase=phase) if obs.enabled else None
+        total = int(nbytes.sum())
+        self.stats.record_message_bulk(int(src.size), 0, total, total, phase=phase)
+        send_time, recv_time, _ = self.network.round_times_arrays(src, dst, nbytes)
+        self.clock.advance_many(np.maximum(send_time, recv_time), kind="comm")
+        self.barrier()
+        if span is not None:
+            obs.end(
+                span,
+                messages=int(src.size),
+                vertices=0,
+                raw_bytes=total,
+                encoded_bytes=total,
             )
 
     def barrier(self, participants: list[int] | None = None) -> None:

@@ -56,6 +56,9 @@ class LevelStats:
     #: edges examined this level across all ranks (the direction-optimizing
     #: literature's "traversed edges" — bottom-up's early exit shrinks it)
     edges_scanned: int = 0
+    #: fold candidates dropped before encoding by the communication sieve
+    #: (vertices whose owner was already known to have visited them)
+    sieved: int = 0
 
     @property
     def total_received(self) -> int:
@@ -87,6 +90,12 @@ class CommStats:
         self.total_rollbacks = 0
         #: edges examined over the whole run (sum of per-level edges_scanned)
         self.total_edges_scanned = 0
+        #: fold candidates dropped pre-encoding by the communication sieve
+        self.total_sieved = 0
+        #: raw payload bytes split by phase ("expand", "fold", "sieve", ...)
+        self.raw_bytes_by_phase: dict[str, int] = {}
+        #: encoded wire bytes split by phase (what each phase actually shipped)
+        self.encoded_bytes_by_phase: dict[str, int] = {}
         #: per-rank delivered vertex counts, split by phase
         self.recv_by_rank: dict[str, np.ndarray] = {}
         self._current: LevelStats | None = None
@@ -157,6 +166,12 @@ class CommStats:
         self.total_bytes += int(nbytes)
         self.total_encoded_bytes += encoded
         self.total_processed += int(num_vertices)
+        self.raw_bytes_by_phase[phase] = (
+            self.raw_bytes_by_phase.get(phase, 0) + int(nbytes)
+        )
+        self.encoded_bytes_by_phase[phase] = (
+            self.encoded_bytes_by_phase.get(phase, 0) + encoded
+        )
         if self._current is not None:
             self._current.messages += 1
             self._current.raw_bytes += int(nbytes)
@@ -169,16 +184,27 @@ class CommStats:
         num_vertices: int,
         nbytes: int,
         encoded_nbytes: int,
+        *,
+        phase: str | None = None,
     ) -> None:
         """Record ``count`` wire messages' totals in one call.
 
         Integer-sum equivalent of ``count`` :meth:`record_message` calls
-        (the communicator's batched accounting path).
+        (the communicator's batched accounting path).  When ``phase`` is
+        given the bytes also land in the per-phase splits; legacy callers
+        that never cared about the split keep the positional signature.
         """
         self.total_messages += int(count)
         self.total_bytes += int(nbytes)
         self.total_encoded_bytes += int(encoded_nbytes)
         self.total_processed += int(num_vertices)
+        if phase is not None:
+            self.raw_bytes_by_phase[phase] = (
+                self.raw_bytes_by_phase.get(phase, 0) + int(nbytes)
+            )
+            self.encoded_bytes_by_phase[phase] = (
+                self.encoded_bytes_by_phase.get(phase, 0) + int(encoded_nbytes)
+            )
         if self._current is not None:
             self._current.messages += int(count)
             self._current.raw_bytes += int(nbytes)
@@ -232,6 +258,12 @@ class CommStats:
         if self._current is not None:
             self._current.duplicates_eliminated += int(count)
 
+    def record_sieved(self, count: int) -> None:
+        """Record ``count`` fold candidates dropped pre-encoding by the sieve."""
+        self.total_sieved += int(count)
+        if self._current is not None:
+            self._current.sieved += int(count)
+
     # ------------------------------------------------------------------ #
     # derived series (figure/table inputs)
     # ------------------------------------------------------------------ #
@@ -266,6 +298,10 @@ class CommStats:
     def edges_scanned_per_level(self) -> np.ndarray:
         """Edge examinations per level (the traversed-edges series)."""
         return np.array([s.edges_scanned for s in self.levels], dtype=np.int64)
+
+    def sieved_per_level(self) -> np.ndarray:
+        """Fold candidates dropped pre-encoding by the sieve, per level."""
+        return np.array([s.sieved for s in self.levels], dtype=np.int64)
 
     def direction_counts(self) -> dict[str, int]:
         """Number of levels run in each direction (``{mode: count}``)."""

@@ -25,6 +25,7 @@ application wants the path itself).
 from __future__ import annotations
 
 import threading
+from dataclasses import replace
 
 import numpy as np
 
@@ -101,6 +102,10 @@ class BfsSession:
             system, machine=machine, mapping=mapping, layout=layout, wire=wire,
             faults=faults, observe=observe,
         )
+        if self.system.sieve and not self.opts.use_sieve:
+            # The spec's sieve axis is the system-level switch; engines
+            # only read BfsOptions (mirrors repro.api.build_engine).
+            self.opts = replace(self.opts, use_sieve=True)
         self.machine = self.system.machine
         self.mapping = self.system.mapping
         self.layout = self.system.layout

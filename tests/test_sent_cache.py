@@ -8,7 +8,7 @@ import pytest
 from repro.api import build_engine
 from repro.bfs.level_sync import run_bfs
 from repro.bfs.options import BfsOptions
-from repro.bfs.sent_cache import SentCache
+from repro.bfs.sent_cache import PooledSentCache, SentCache
 from repro.partition.indexing import VertexIndexMap
 from repro.types import GridShape
 
@@ -46,6 +46,84 @@ class TestSentCache:
 
     def test_len_is_universe_size(self):
         assert len(SentCache(VertexIndexMap([5, 6, 7]))) == 3
+
+    def test_full_universe_saturation(self):
+        """Once every vertex is marked, every further call filters to empty."""
+        cache = SentCache(VertexIndexMap([1, 2, 3]))
+        cache.filter_unsent(np.array([1, 2, 3]))
+        assert cache.num_sent == len(cache)
+        assert cache.filter_unsent(np.array([1, 2, 3])).size == 0
+        assert cache.filter_unsent(np.array([2])).size == 0
+        assert cache.num_sent == len(cache)
+
+    def test_num_sent_monotone(self):
+        """num_sent never decreases under filter calls, only under reset."""
+        cache = SentCache(VertexIndexMap(list(range(10))))
+        rng = np.random.default_rng(0)
+        seen = 0
+        for _ in range(8):
+            batch = np.unique(rng.integers(0, 10, size=4))
+            cache.filter_unsent(batch)
+            assert cache.num_sent >= seen
+            seen = cache.num_sent
+        cache.reset()
+        assert cache.num_sent == 0
+
+
+class TestPooledSentCache:
+    def _pool(self):
+        universes = [VertexIndexMap([0, 2, 4]), VertexIndexMap([1, 2, 3])]
+        return PooledSentCache(universes, domain=5)
+
+    def test_empty_segmented_filter(self):
+        """A fully-empty candidate set is a no-op with well-formed bounds."""
+        pool = self._pool()
+        flat = np.empty(0, dtype=np.int64)
+        bounds = np.zeros(3, dtype=np.int64)
+        out_flat, out_bounds = pool.filter_unsent_segmented(flat, bounds)
+        assert out_flat.size == 0
+        assert out_bounds.tolist() == [0, 0, 0]
+        assert pool.snapshot().sum() == 0
+
+    def test_empty_segment_between_active_ranks(self):
+        """Rank 0 active, rank 1 idle: the idle segment stays empty."""
+        pool = self._pool()
+        flat = np.array([0, 4], dtype=np.int64)
+        bounds = np.array([0, 2, 2], dtype=np.int64)
+        out_flat, out_bounds = pool.filter_unsent_segmented(flat, bounds)
+        assert out_flat.tolist() == [0, 4]
+        assert out_bounds.tolist() == [0, 2, 2]
+
+    def test_full_universe_saturation_segmented(self):
+        pool = self._pool()
+        flat = np.array([0, 2, 4, 1, 2, 3], dtype=np.int64)
+        bounds = np.array([0, 3, 6], dtype=np.int64)
+        out_flat, _ = pool.filter_unsent_segmented(flat, bounds)
+        assert out_flat.size == 6
+        out_flat, out_bounds = pool.filter_unsent_segmented(flat, bounds)
+        assert out_flat.size == 0
+        assert out_bounds.tolist() == [0, 0, 0]
+
+    def test_views_share_pool_flags(self):
+        """Marks through a per-rank view are visible to the segmented path."""
+        pool = self._pool()
+        pool.view(0).filter_unsent(np.array([2]))
+        flat = np.array([0, 2], dtype=np.int64)
+        bounds = np.array([0, 2, 2], dtype=np.int64)
+        out_flat, _ = pool.filter_unsent_segmented(flat, bounds)
+        assert out_flat.tolist() == [0]
+        # rank 1's own vertex 2 is a different flag
+        assert pool.view(1).filter_unsent(np.array([2])).tolist() == [2]
+
+    def test_snapshot_restore_round_trip(self):
+        pool = self._pool()
+        before = pool.snapshot()
+        pool.view(0).filter_unsent(np.array([0, 4]))
+        after = pool.snapshot()
+        pool.restore(before)
+        assert pool.view(0).filter_unsent(np.array([0])).tolist() == [0]
+        pool.restore(after)
+        assert pool.view(0).filter_unsent(np.array([4])).size == 0
 
 
 class TestCacheEffectOnTraffic:

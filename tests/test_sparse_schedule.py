@@ -128,6 +128,18 @@ CONFIGS = {
     "rmat-1d-hybrid": lambda: _run(
         RMAT, (8, 1), layout="1d", opts=BfsOptions(direction="hybrid")
     ),
+    "poisson-2d-sieve": lambda: _run(
+        POISSON, (4, 4), opts=BfsOptions(use_sieve=True)
+    ),
+    "poisson-1d-sieve": lambda: _run(
+        POISSON, (1, 8), layout="1d", opts=BfsOptions(use_sieve=True)
+    ),
+    "poisson-2d-sieve-adaptive": lambda: _run(
+        POISSON, (4, 4), wire="adaptive", opts=BfsOptions(use_sieve=True)
+    ),
+    "rmat-2d-sieve-hybrid": lambda: _run(
+        RMAT, (4, 4), opts=BfsOptions(direction="hybrid", use_sieve=True)
+    ),
     "poisson-2d-bidirectional": lambda: _run_bidirectional(POISSON, (4, 4)),
     "poisson-2d-mild-faults": lambda: _run(POISSON, (4, 4), faults="mild"),
     "poisson-2d-crash-spare": lambda: _run(POISSON, (4, 4), faults="crash-spare"),

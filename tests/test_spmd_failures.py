@@ -68,8 +68,8 @@ class TestRecv:
 
 
 def _done(levels):
-    """A worker's final message: owned levels plus its drop counters (None)."""
-    return ("done", (levels, None))
+    """A worker's final message: owned levels, drop counters, sieved count."""
+    return ("done", (levels, None, 0))
 
 
 class TestHubProtocol:
@@ -81,9 +81,10 @@ class TestHubProtocol:
             FakeConn([("xchg", {}), _done(np.zeros(2, dtype=LEVEL_DTYPE))]),
         ]
         workers = [FakeWorker(), FakeWorker()]
-        levels, report = _run_hub(conns, workers, part, timeout=5)
+        levels, report, sieved = _run_hub(conns, workers, part, timeout=5)
         assert levels.shape == (4,)
         assert report is None
+        assert sieved == 0
         # rank 1 received [(0, payload)] in the routed inbox
         inbox = conns[1].sent[0]
         assert inbox[0][0] == 0 and inbox[0][1].tolist() == [7]
@@ -129,7 +130,9 @@ class TestHubProtocol:
         lv0 = np.array([0, 1], dtype=LEVEL_DTYPE)
         lv1 = np.array([2, 3], dtype=LEVEL_DTYPE)
         conns = [FakeConn([_done(lv0)]), FakeConn([_done(lv1)])]
-        levels, _report = _run_hub(conns, [FakeWorker(), FakeWorker()], part, timeout=5)
+        levels, _report, _sieved = _run_hub(
+            conns, [FakeWorker(), FakeWorker()], part, timeout=5
+        )
         assert levels.tolist() == [0, 1, 2, 3]
 
     def test_level_retry_budget_exhaustion_raises(self):
