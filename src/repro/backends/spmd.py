@@ -37,8 +37,13 @@ locally), so the payload is delivered anyway.  Either way the level is
 flagged, every worker rolls back to its level-entry snapshot, and the
 level replays with fresh draws — the hub counts the rollback and raises
 :class:`~repro.errors.FaultError` after ``max_level_retries`` failures
-of one level.  Rank crashes (``crash_rate > 0``) are rejected: crash
-recovery needs the simulator's global clock and spare-rank model.
+of one level.  The level-entry snapshot covers every piece of mutable
+traversal state, including the sent-cache and the communication-sieve
+shadow, so the sieve composes with fault schedules exactly as in the
+simulated engines (the sieved tally accumulates across replayed
+attempts, mirroring ``CommStats.abort_level``).  Rank crashes
+(``crash_rate > 0``) are rejected: crash recovery needs the simulator's
+global clock and spare-rank model.
 """
 
 from __future__ import annotations
@@ -120,12 +125,6 @@ def spmd_bfs(
             "direction-optimizing BFS does not support fault injection "
             "(mirroring the simulated engines); use direction='top-down' "
             "with faults"
-        )
-    if opts.use_sieve and faults is not None:
-        raise CommunicationError(
-            "the communication sieve does not support fault injection "
-            "(mirroring the simulated engines); disable use_sieve or the "
-            "fault schedule"
         )
     if opts.use_sieve and opts.fold_collective != "union-ring":
         raise CommunicationError(
@@ -368,11 +367,15 @@ def _worker_main(
     while True:
         if faults is not None:
             # level-entry snapshot: frontier arrays are never mutated in
-            # place, so only the level labels and the sent-cache need copies
+            # place, so only the level labels, the sent-cache, and the
+            # sieve shadow need copies (the sieved tally is deliberately
+            # left out — like CommStats.abort_level it accumulates across
+            # replayed attempts)
             snapshot = (
                 levels.copy(),
                 frontier,
                 sent_cache.snapshot() if sent_cache is not None else None,
+                shadow.copy() if shadow is not None else None,
             )
 
         direction = policy.decide(
@@ -447,6 +450,8 @@ def _worker_main(
             frontier = snapshot[1]
             if sent_cache is not None:
                 sent_cache.restore(snapshot[2])
+            if shadow is not None:
+                shadow[:] = snapshot[3]
             faults.failed = False
             continue
         frontier = fresh

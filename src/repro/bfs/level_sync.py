@@ -263,19 +263,10 @@ class LevelSyncEngine(abc.ABC):
         if self._direction_policy.may_go_bottom_up and self.comm.faults is not None:
             # Bottom-up levels charge bitmap broadcasts outside the
             # droppable-message path, so the fault schedule cannot touch
-            # them (the MS-BFS restriction, for the same reason).
+            # them.
             raise ConfigurationError(
                 "direction-optimizing BFS does not support fault injection; "
                 "use direction='top-down' with faults"
-            )
-        if self._sieve is not None and self.comm.faults is not None:
-            # Summary broadcasts travel outside the droppable-message
-            # path, so a fault schedule could never touch them — and a
-            # rolled-back level would leave shadows claiming vertices the
-            # re-execution has not visited yet.
-            raise ConfigurationError(
-                "the communication sieve does not support fault injection; "
-                "disable use_sieve or the fault schedule"
             )
         self._direction = TOP_DOWN
         self._unvisited = self.n - 1

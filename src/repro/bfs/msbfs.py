@@ -29,9 +29,15 @@ end of the level that labels its target (exactly where the sequential
 driver stops).  The test suite asserts this property across seeds,
 layouts, and codecs.
 
-Fault injection is not supported on the batched path (a lost chunk would
-need mask-aware rollback): attach no fault schedule, or serve faulted
-systems through the sequential path.
+Fault injection rides the same level-boundary checkpoint/replay protocol
+as the sequential loop: each batch level snapshots the per-source level
+rows, the per-vertex visited mask words, and the ``(vertex, mask)``
+frontier, and buddy-replicates the per-rank slice of that state when
+crashes are possible.  A lost chunk or a rank crash rolls the batch level
+back to its entry state and re-executes it (mask-aware rollback), so
+crash-spare/crash-shrink recovery and wire-drop retry work inside a
+batched traversal — per-source rows stay byte-identical to fault-free
+sequential runs.
 """
 
 from __future__ import annotations
@@ -43,7 +49,8 @@ import numpy as np
 from repro.bfs.bfs_2d import Bfs2DEngine
 from repro.bfs.level_sync import LevelSyncEngine
 from repro.bfs.result import QueryResult
-from repro.errors import ConfigurationError, SearchError
+from repro.errors import ConfigurationError, FaultError, SearchError
+from repro.faults.report import FaultReport
 from repro.runtime.stats import CommStats
 from repro.types import LEVEL_DTYPE, UNREACHED, VERTEX_DTYPE
 from repro.utils.arrays import in_sorted
@@ -79,6 +86,8 @@ class MsBfsResult:
     comm_time: float
     compute_time: float
     stats: CommStats
+    #: structured fault tally when a schedule was attached (None otherwise)
+    faults: FaultReport | None = None
 
     @property
     def batch_size(self) -> int:
@@ -159,11 +168,6 @@ class _MsBfsRun:
         targets: list[int | None] | None,
         max_levels: int | None,
     ) -> None:
-        if engine.comm.faults is not None:
-            raise ConfigurationError(
-                "MS-BFS does not support fault injection; run faulted systems "
-                "through the sequential per-query path"
-            )
         if not sources:
             raise SearchError("MS-BFS needs at least one source")
         if len(sources) > MAX_BATCH:
@@ -245,7 +249,14 @@ class _MsBfsRun:
             for src in order:
                 chunks = chunks_by_src[src]
                 verts = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-                out.append((verts, mask_outbox[src][dst]))
+                sent = vert_outbox[src][dst]
+                masks = mask_outbox[src][dst]
+                if verts.size != sent.size:
+                    # a fault withheld chunks of this message: re-pair the
+                    # surviving vertices (a sorted subset of the sorted
+                    # unique send) with their mask words by position
+                    masks = masks[np.searchsorted(sent, verts)]
+                out.append((verts, masks))
             paired[dst] = out
         return paired
 
@@ -286,6 +297,11 @@ class _MsBfsRun:
             for r in range(nranks)
         ]
 
+        faults = comm.faults
+        checkpointing = engine.opts.checkpoint
+        if checkpointing is None:
+            checkpointing = faults is not None and faults.spec.needs_checkpoint
+
         any_targets = any(t is not None for t in self.targets)
         run_span = (
             obs.begin("msbfs", cat="run", sources=B) if obs.enabled else None
@@ -300,12 +316,80 @@ class _MsBfsRun:
             comm_before = clock.max_comm_time
             compute_before = clock.max_compute_time
             fault_before = clock.max_fault_time
-            comm.begin_level(t)
-            if self.is_2d:
-                frontier, new_entries = self._level_2d(frontier, seen, levels, t)
-            else:
-                frontier, new_entries = self._level_1d(frontier, seen, levels, t)
-            total_new = int(comm.allreduce_sum(new_entries.astype(np.float64)))
+            if checkpointing and faults is not None and faults.spec.buddy_checkpointing:
+                # buddy replication makes the batch-level snapshot
+                # crash-proof: each rank streams its owned level rows,
+                # visited mask words, and (vertex, mask) frontier to its
+                # ring partner
+                comm.replicate_checkpoint(self._checkpoint_nbytes(frontier))
+            attempts_left = faults.spec.max_level_retries if faults is not None else 0
+            rollbacks = 0
+            replays = 0
+            replay_span = None
+            entry_frontier = frontier
+            while True:
+                snapshot = (
+                    (levels.copy(), seen.copy()) if checkpointing else None
+                )
+                elapsed_before = clock.elapsed
+                comm.begin_level(t)
+                if self.is_2d:
+                    frontier, new_entries = self._level_2d(
+                        entry_frontier, seen, levels, t
+                    )
+                else:
+                    frontier, new_entries = self._level_1d(
+                        entry_frontier, seen, levels, t
+                    )
+                total_new = int(comm.allreduce_sum(new_entries.astype(np.float64)))
+                if replay_span is not None:
+                    obs.end(replay_span)
+                    replay_span = None
+                crashes = comm.consume_crashes()
+                failed = comm.consume_level_failure()
+                if not crashes and not failed:
+                    break
+                if snapshot is None:
+                    raise FaultError(
+                        f"batch state lost at level {t} and checkpointing is "
+                        "disabled (BfsOptions.checkpoint=False)",
+                        report=comm.fault_report(),
+                    )
+                if attempts_left <= 0:
+                    raise FaultError(
+                        f"batch level {t} still failing after "
+                        f"{faults.spec.max_level_retries} rollbacks",
+                        report=comm.fault_report(),
+                    )
+                attempts_left -= 1
+                # the entry frontier's arrays are never mutated in place,
+                # so rolling back only restores the level rows and the
+                # visited mask words; the next attempt re-expands
+                # entry_frontier under fresh fault draws
+                if crashes:
+                    replays += 1
+                    with obs.span(
+                        "crash-recovery",
+                        cat="phase",
+                        level=t,
+                        ranks=[event.rank for event in crashes],
+                    ):
+                        stats.abort_level()
+                        levels[:] = snapshot[0]
+                        seen[:] = snapshot[1]
+                        comm.recover_crashes(
+                            crashes, self._checkpoint_nbytes(entry_frontier)
+                        )
+                        faults.record_replay(clock.elapsed - elapsed_before)
+                    if obs.enabled:
+                        replay_span = obs.begin("replay", cat="phase", level=t)
+                else:
+                    rollbacks += 1
+                    with obs.span("fault-recovery", cat="phase", level=t):
+                        stats.abort_level()
+                        levels[:] = snapshot[0]
+                        seen[:] = snapshot[1]
+                        faults.record_rollback(clock.elapsed - elapsed_before)
             stats.end_level(
                 total_new,
                 comm_seconds=clock.max_comm_time - comm_before,
@@ -343,7 +427,12 @@ class _MsBfsRun:
                         for v, m in frontier
                     ]
             if level_span is not None:
-                obs.end(level_span, frontier=total_new)
+                obs.end(
+                    level_span,
+                    frontier=total_new,
+                    rollbacks=rollbacks,
+                    replays=replays,
+                )
             if total_new == 0 or not active.any():
                 break
             if self.max_levels is not None and t >= self.max_levels:
@@ -374,7 +463,33 @@ class _MsBfsRun:
             comm_time=clock.max_comm_time,
             compute_time=clock.max_compute_time,
             stats=stats,
+            faults=comm.fault_report(),
         )
+
+    # ------------------------------------------------------------------ #
+    # level-boundary checkpointing (fault recovery)
+    # ------------------------------------------------------------------ #
+    def _checkpoint_nbytes(self, frontier) -> np.ndarray:
+        """Per-rank byte size of the buddy-replicated batch checkpoint.
+
+        The O(n/P) state a partner must hold to resurrect a rank inside a
+        batched traversal: the owned slice of every source's level row
+        (``B`` level words per vertex), the owned slice of the visited
+        mask words (8 bytes per vertex), and the rank's current frontier
+        as ``(vertex, mask)`` pairs.
+        """
+        engine = self.engine
+        engine._owned_bounds()
+        spans = engine._owned_spans
+        frontier_sizes = np.array(
+            [verts.size for verts, _ in frontier], dtype=np.int64
+        )
+        level_bytes = spans * (self.B * np.dtype(LEVEL_DTYPE).itemsize)
+        mask_bytes = spans * np.dtype(MASK_DTYPE).itemsize
+        frontier_bytes = frontier_sizes * (
+            np.dtype(VERTEX_DTYPE).itemsize + np.dtype(MASK_DTYPE).itemsize
+        )
+        return level_bytes + mask_bytes + frontier_bytes
 
     # ------------------------------------------------------------------ #
     # one batch level — 2D (expand / discover / fold)

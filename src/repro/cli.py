@@ -118,7 +118,7 @@ def _add_bfs_option_args(parser: argparse.ArgumentParser) -> None:
         "--sieve", action="store_true",
         help="filter fold candidates against sender-side shadows of each "
              "destination's visited set so already-visited vertices never "
-             "hit the wire (union-ring fold only, no fault injection)",
+             "hit the wire (union-ring fold only; composes with --faults)",
     )
     parser.add_argument("--buffer-capacity", type=int, default=None)
     parser.add_argument(
@@ -308,7 +308,11 @@ def cmd_serve(args) -> int:
         system=_system_from(args, _observe_from(args)),
     )
     service = BfsService(
-        session, max_batch=args.max_batch, max_queue=args.max_queue
+        session, max_batch=args.max_batch, max_queue=args.max_queue,
+        default_deadline=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+        fault_retries=args.fault_retries,
     )
 
     async def _serve() -> None:
@@ -441,6 +445,13 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-queue", type=int, default=1024,
                      help="admission bound: queries waiting beyond this are "
                           "rejected as overloaded (default 1024)")
+    srv.add_argument("--deadline-ms", type=float, default=None,
+                     help="default per-query deadline in milliseconds; "
+                          "queries still waiting past it fail with "
+                          "error_code='deadline' (default: none)")
+    srv.add_argument("--fault-retries", type=int, default=2,
+                     help="batch retries (reseeded fault schedule, backoff) "
+                          "after an unrecoverable FaultError (default 2)")
     srv.set_defaults(func=cmd_serve)
 
     dig = sub.add_parser(

@@ -26,7 +26,10 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.api import distributed_bfs
+import numpy as np
+
+from repro.api import build_engine, distributed_bfs
+from repro.bfs.msbfs import run_ms_bfs
 from repro.bfs.options import BfsOptions
 from repro.errors import FaultError, ReproError
 from repro.faults.spec import FaultSpec
@@ -158,6 +161,7 @@ def run_chaos(
     *,
     opts: BfsOptions | None = None,
     layout: str | None = None,
+    batch_sources: list[int] | None = None,
 ) -> ChaosReport:
     """Run every seed's sampled schedule and classify the outcomes.
 
@@ -165,18 +169,37 @@ def run_chaos(
     reproduce its levels byte-for-byte (plus pass every check in
     :func:`~repro.faults.validate.validate_run`) or raise a structured
     :class:`FaultError`.  Anything else is ``invalid``.
+
+    With ``batch_sources`` the sweep exercises the *batched* traversal:
+    every case runs one MS-BFS over those sources under the sampled
+    schedule, and each per-source row must match its own fault-free
+    *sequential* baseline byte for byte — the serving path's invariant.
+    ``source`` is ignored in batch mode.
     """
     if not isinstance(grid, GridShape):
         grid = GridShape(*grid)
-    baseline = distributed_bfs(graph, grid, source, opts=opts, layout=layout)
+    if batch_sources is not None:
+        source = int(batch_sources[0])
+        baseline_rows = np.stack([
+            distributed_bfs(graph, grid, s, opts=opts, layout=layout).levels
+            for s in batch_sources
+        ])
+    else:
+        baseline = distributed_bfs(graph, grid, source, opts=opts, layout=layout)
     report = ChaosReport(n=graph.n, grid=(grid.rows, grid.cols), source=source)
     for seed in seeds:
         spec = sample_chaos_spec(int(seed))
         case = ChaosCase(seed=int(seed), spec=repr(spec), outcome="ok")
         try:
-            result = distributed_bfs(
-                graph, grid, source, opts=opts, layout=layout, faults=spec
-            )
+            if batch_sources is not None:
+                engine = build_engine(
+                    graph, grid, opts=opts, layout=layout, faults=spec
+                )
+                result = run_ms_bfs(engine, list(batch_sources))
+            else:
+                result = distributed_bfs(
+                    graph, grid, source, opts=opts, layout=layout, faults=spec
+                )
         except FaultError as exc:
             # A loud, structured failure is an acceptable chaos outcome —
             # but only when the error carries the fault report.
@@ -192,7 +215,10 @@ def run_chaos(
             case.error = f"{type(exc).__name__}: {exc}"
             case.problems = ["run died with an unstructured error"]
         else:
-            case.problems = validate_run(graph, source, result, baseline.levels)
+            expected = (
+                baseline_rows if batch_sources is not None else baseline.levels
+            )
+            case.problems = validate_run(graph, source, result, expected)
             if case.problems:
                 case.outcome = "invalid"
             _case_counters(case, result.faults)

@@ -2,7 +2,9 @@
 
 The chaos harness's core claim: *a recoverable fault schedule never
 changes the answer*.  :func:`validate_run` checks one faulted
-:class:`~repro.bfs.result.BfsResult` from four independent angles:
+:class:`~repro.bfs.result.BfsResult` — or one batched
+:class:`~repro.bfs.msbfs.MsBfsResult`, whose per-source rows are each
+held to the same standard — from four independent angles:
 
 1. **Byte-identity** — the level array equals the fault-free baseline
    (or the serial oracle when no baseline is given) bit for bit.
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bfs.msbfs import MsBfsResult
 from repro.bfs.result import BfsResult
 from repro.bfs.serial import serial_bfs
 from repro.bfs.tree import build_parent_tree, validate_bfs_result
@@ -39,32 +42,64 @@ from repro.graph.csr import CsrGraph
 _EPS = 1e-9
 
 
+def _check_levels(
+    graph: CsrGraph,
+    source: int,
+    levels: np.ndarray,
+    expected: np.ndarray | None,
+    label: str = "",
+) -> list[str]:
+    """Byte-identity plus structural checks for one level array."""
+    problems: list[str] = []
+    if expected is None:
+        expected = serial_bfs(graph, source)
+    if not np.array_equal(levels, expected):
+        diff = int((np.asarray(levels) != np.asarray(expected)).sum())
+        problems.append(
+            f"levels{label} differ from the fault-free baseline at {diff} vertices"
+        )
+    try:
+        parents = build_parent_tree(graph, levels)
+    except SearchError as exc:
+        problems.append(f"parent tree construction{label} failed: {exc}")
+    else:
+        report = validate_bfs_result(graph, source, levels, parents)
+        if not report.ok:
+            problems.extend(
+                f"structural check{label} failed — {m}" for m in report.messages
+            )
+    return problems
+
+
 def validate_run(
     graph: CsrGraph,
     source: int,
-    result: BfsResult,
+    result: BfsResult | MsBfsResult,
     baseline_levels: np.ndarray | None = None,
 ) -> list[str]:
-    """Validate one faulted run; returns problem strings (empty = valid)."""
-    problems: list[str] = []
+    """Validate one faulted run; returns problem strings (empty = valid).
 
-    # 1. byte-identity against the fault-free answer
-    expected = baseline_levels if baseline_levels is not None else serial_bfs(graph, source)
-    if not np.array_equal(result.levels, expected):
-        diff = int((np.asarray(result.levels) != np.asarray(expected)).sum())
-        problems.append(
-            f"levels differ from the fault-free baseline at {diff} vertices"
-        )
-
-    # 2. structural validation (independent of any second BFS)
-    try:
-        parents = build_parent_tree(graph, result.levels)
-    except SearchError as exc:
-        problems.append(f"parent tree construction failed: {exc}")
+    Accepts a sequential :class:`BfsResult` or a batched
+    :class:`MsBfsResult`.  For a batch, ``source`` is ignored in favour
+    of ``result.sources``, ``baseline_levels`` (when given) must be the
+    stacked ``(batch, n)`` fault-free rows, and rows searched with a
+    target skip the byte-identity/structural checks (an early-terminated
+    row is not a full BFS labelling).
+    """
+    if isinstance(result, MsBfsResult):
+        problems = []
+        for i, src in enumerate(result.sources):
+            if result.targets[i] is not None:
+                continue
+            expected = baseline_levels[i] if baseline_levels is not None else None
+            problems.extend(
+                _check_levels(
+                    graph, src, result.levels_of(i), expected,
+                    label=f" of batched source {src}",
+                )
+            )
     else:
-        report = validate_bfs_result(graph, source, result.levels, parents)
-        if not report.ok:
-            problems.extend(f"structural check failed — {m}" for m in report.messages)
+        problems = _check_levels(graph, source, result.levels, baseline_levels)
 
     # 3. message conservation between the fault report and the statistics
     faults, stats = result.faults, result.stats

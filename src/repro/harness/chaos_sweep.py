@@ -10,6 +10,11 @@ gate on it directly::
     PYTHONPATH=src python src/repro/harness/chaos_sweep.py --tiny --seeds 25
     PYTHONPATH=src python src/repro/harness/chaos_sweep.py \
         --n 400 --k 8 --grid 4x4 --seeds 200 --out chaos-report.json
+
+``--batch`` points the sweep at the *batched* traversal instead: each
+schedule runs one MS-BFS over that many sources and every per-source row
+must reproduce its fault-free sequential baseline — the serving path's
+chaos invariant.
 """
 
 from __future__ import annotations
@@ -44,6 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="first chaos seed (cases use base..base+seeds-1)")
     parser.add_argument("--tiny", action="store_true",
                         help="shrink to a 120-vertex graph on a 2x2 grid (CI smoke)")
+    parser.add_argument("--batch", type=int, default=0, metavar="B",
+                        help="chaos-verify the batched MS-BFS path over B "
+                             "sources (0 = sequential, the default)")
     parser.add_argument("--out", type=str, default=None,
                         help="write the JSON chaos report here")
     return parser
@@ -56,7 +64,12 @@ def main(argv: list[str] | None = None) -> int:
         n, k, grid = 120, 6.0, (2, 2)
     graph = poisson_random_graph(GraphSpec(n=n, k=k, seed=args.graph_seed))
     seeds = range(args.base_seed, args.base_seed + args.seeds)
-    report = run_chaos(graph, grid, args.source, seeds)
+    batch_sources = None
+    if args.batch:
+        # spread the batch across the vertex range, source first
+        step = max(1, n // args.batch)
+        batch_sources = sorted({args.source, *range(0, n, step)})[: args.batch]
+    report = run_chaos(graph, grid, args.source, seeds, batch_sources=batch_sources)
     print(report.summary())
     for case in report.invalid_cases():
         print(f"  INVALID seed={case.seed} spec={case.spec}")

@@ -349,8 +349,10 @@ class Communicator:
         they bypass the wire codec (raw == encoded), carry zero frontier
         vertices, and are charged to the network and statistics under
         ``phase`` so the sieve's overhead stays visible next to the fold
-        bytes it saves.  Only valid without fault injection (the engines
-        reject ``sieve + faults`` configurations up front).
+        bytes it saves.  Summaries ride the reliable control plane: fault
+        schedules never drop them, and because the exchange runs inside
+        the retried level body, a rollback replays the broadcast against
+        the restored shadows deterministically.
         """
         obs = self.obs
         span = obs.begin("exchange", cat="exchange", phase=phase) if obs.enabled else None

@@ -9,6 +9,13 @@ for both.  The batched/sequential ratio is the speedup the server
 architecture exists to deliver; the gate requires it ≥ 3x at 64
 concurrent sources.
 
+A third pass re-runs the batched and sequential modes against a session
+carrying a fault schedule (``--faults``, default ``crash-spare``): the
+checkpointed MS-BFS path recovers inside the batch, every faulted reply
+is digest-verified against the fault-free sequential answers, and the
+faulted-batched/faulted-sequential ratio must stay ≥ 5x — serving under
+faults must not quietly fall back to sequential throughput.
+
     PYTHONPATH=src python -m repro.server.loadgen
     PYTHONPATH=src python -m repro.server.loadgen --tiny --check
     PYTHONPATH=src python -m repro.server.loadgen --transport tcp
@@ -31,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.faults import FaultSpec
 from repro.graph.generators import poisson_random_graph
 from repro.server.protocol import QueryReply
 from repro.server.service import BfsService, QueryClient, TcpQueryClient, serve_tcp
@@ -92,6 +100,7 @@ async def _run_mode(
     transport: str,
     host: str,
     port: int,
+    label: str | None = None,
 ) -> tuple[list[QueryReply], dict]:
     service = BfsService(session, batching=batching)
     if transport == "tcp":
@@ -116,7 +125,7 @@ async def _run_mode(
             )
     snap = service.metrics.snapshot()
     report = {
-        "mode": "batched" if batching else "sequential",
+        "mode": label or ("batched" if batching else "sequential"),
         "queries": len(sources),
         "concurrency": concurrency,
         "wall_s": round(wall, 6),
@@ -126,6 +135,8 @@ async def _run_mode(
         "batches": snap["batches"],
         "mean_batch_size": snap["mean_batch_size"],
         "max_queue_depth": snap["max_queue_depth"],
+        "fault_retries": snap["fault_retries"],
+        "fault_failures": snap["fault_failures"],
         "simulated_s": round(snap["simulated_seconds"], 6),
     }
     return replies, report
@@ -146,10 +157,17 @@ def _verify(batched: list[QueryReply], sequential: list[QueryReply]) -> int:
 def check(report: dict, baseline_path: Path, tolerance: float) -> int:
     """Gate against the committed baseline; exit status for ``--check``."""
     speedup_floor = 3.0
+    faulted_floor = 5.0
     failures = []
     if report["speedup"] < speedup_floor:
         failures.append(
             f"speedup {report['speedup']:.2f}x below required {speedup_floor:.1f}x"
+        )
+    if "faulted" in report and report["faulted_speedup"] < faulted_floor:
+        failures.append(
+            f"faulted speedup {report['faulted_speedup']:.2f}x below required "
+            f"{faulted_floor:.1f}x — faulted batches must not degrade to "
+            "sequential throughput"
         )
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; run with --update-baseline first")
@@ -169,7 +187,23 @@ def check(report: dict, baseline_path: Path, tolerance: float) -> int:
                 f"batched throughput below {floor:.1f} q/s "
                 f"(-{tolerance:.0%} of baseline)"
             )
+        if "faulted" in report and "faulted" in base:
+            ffloor = base["faulted"]["qps"] * (1.0 - tolerance)
+            fstatus = "ok" if report["faulted"]["qps"] >= ffloor else "REGRESSION"
+            print(
+                f"  faulted {report['faulted']['qps']:.1f} q/s "
+                f"(baseline {base['faulted']['qps']:.1f}, floor {ffloor:.1f})  "
+                f"{fstatus}"
+            )
+            if fstatus != "ok":
+                failures.append(
+                    f"faulted throughput below {ffloor:.1f} q/s "
+                    f"(-{tolerance:.0%} of baseline)"
+                )
     print(f"  speedup {report['speedup']:.2f}x (floor {speedup_floor:.1f}x)")
+    if "faulted" in report:
+        print(f"  faulted speedup {report['faulted_speedup']:.2f}x "
+              f"(floor {faulted_floor:.1f}x)")
     if failures:
         for f in failures:
             print(f"GATE FAILURE: {f}")
@@ -189,8 +223,8 @@ async def run(args) -> dict:
     rng = np.random.default_rng(args.seed)
     sources = [int(s) for s in rng.integers(0, n, size=num_queries)]
 
-    def fresh_session() -> BfsSession:
-        return BfsSession(graph, grid, system=args.system)
+    def fresh_session(faults: FaultSpec | None = None) -> BfsSession:
+        return BfsSession(graph, grid, system=args.system, faults=faults)
 
     print(
         f"server loadgen ({'tiny' if args.tiny else 'full'}): n={n}, "
@@ -218,11 +252,13 @@ async def run(args) -> dict:
     speedup = round(batched["qps"] / sequential["qps"], 3) if sequential["qps"] else 0.0
     print(f"  speedup: {speedup}x; {answered}/{num_queries} answered, "
           f"{mismatches} digest mismatches")
-    return {
+
+    report = {
         "workload": {"n": n, "k": workload["k"], "graph_seed": workload["graph_seed"],
                      "grid": f"{grid.rows}x{grid.cols}", "system": args.system,
                      "queries": num_queries, "concurrency": args.concurrency,
-                     "transport": args.transport, "query_seed": args.seed},
+                     "transport": args.transport, "query_seed": args.seed,
+                     "faults": args.faults},
         "tiny": args.tiny,
         "batched": batched,
         "sequential": sequential,
@@ -230,6 +266,48 @@ async def run(args) -> dict:
         "answered": answered,
         "digest_mismatches": mismatches,
     }
+    if args.faults != "none":
+        spec = FaultSpec.parse(args.faults)
+        faulted_replies, faulted = await _run_mode(
+            fresh_session(spec), sources, batching=True,
+            concurrency=args.concurrency, transport=args.transport,
+            host=args.host, port=args.port, label="faulted-batched",
+        )
+        print(
+            f"  faulted-batched ({args.faults}): {faulted['qps']:>9.1f} q/s  "
+            f"p50={faulted['p50_ms']}ms p99={faulted['p99_ms']}ms  "
+            f"retries={faulted['fault_retries']} "
+            f"failures={faulted['fault_failures']}"
+        )
+        faulted_seq_replies, faulted_seq = await _run_mode(
+            fresh_session(spec), sources, batching=False,
+            concurrency=args.concurrency, transport=args.transport,
+            host=args.host, port=args.port, label="faulted-sequential",
+        )
+        print(
+            f"  faulted-sequential:       {faulted_seq['qps']:>9.1f} q/s  "
+            f"p50={faulted_seq['p50_ms']}ms p99={faulted_seq['p99_ms']}ms"
+        )
+        # byte-identity under faults: every faulted reply (batched and
+        # sequential dispatch alike) must carry the fault-free digest
+        faulted_mismatches = _verify(faulted_replies, sequential_replies)
+        faulted_mismatches += _verify(faulted_seq_replies, sequential_replies)
+        faulted_answered = sum(
+            1 for r in faulted_replies if r is not None and r.ok
+        )
+        faulted_speedup = (
+            round(faulted["qps"] / faulted_seq["qps"], 3)
+            if faulted_seq["qps"] else 0.0
+        )
+        print(f"  faulted speedup: {faulted_speedup}x; "
+              f"{faulted_answered}/{num_queries} answered, "
+              f"{faulted_mismatches} digest mismatches vs fault-free")
+        report["faulted"] = faulted
+        report["faulted_sequential"] = faulted_seq
+        report["faulted_speedup"] = faulted_speedup
+        report["faulted_answered"] = faulted_answered
+        report["faulted_digest_mismatches"] = faulted_mismatches
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -248,6 +326,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="SystemSpec preset for the session (default bluegene-2d)")
     parser.add_argument("--seed", type=int, default=1234,
                         help="query-stream seed (default 1234)")
+    parser.add_argument("--faults", default="crash-spare",
+                        help="fault schedule for the faulted pass: a preset "
+                             "name, key=value string, or 'none' to skip "
+                             "(default crash-spare)")
     parser.add_argument("--transport", choices=("inproc", "tcp"), default="inproc",
                         help="drive the service in-process or over TCP")
     parser.add_argument("--host", default="127.0.0.1")
@@ -275,17 +357,29 @@ def main(argv: list[str] | None = None) -> int:
     if report["answered"] != report["workload"]["queries"]:
         print("GATE FAILURE: not every query was answered")
         return 1
+    if "faulted" in report:
+        if report["faulted_digest_mismatches"]:
+            print(f"GATE FAILURE: {report['faulted_digest_mismatches']} faulted "
+                  "replies disagree with fault-free digests")
+            return 1
+        if report["faulted_answered"] != report["workload"]["queries"]:
+            print("GATE FAILURE: not every faulted query was answered")
+            return 1
 
     if args.update_baseline:
         baseline = (
             json.loads(args.baseline.read_text(encoding="utf-8"))
             if args.baseline.exists() else {}
         )
-        baseline["tiny" if args.tiny else "full"] = {
+        entry = {
             "batched": {"qps": report["batched"]["qps"]},
             "sequential": {"qps": report["sequential"]["qps"]},
             "speedup": report["speedup"],
         }
+        if "faulted" in report:
+            entry["faulted"] = {"qps": report["faulted"]["qps"]}
+            entry["faulted_speedup"] = report["faulted_speedup"]
+        baseline["tiny" if args.tiny else "full"] = entry
         args.baseline.write_text(
             json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
         )

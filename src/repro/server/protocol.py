@@ -3,12 +3,19 @@
 One request per line, one reply per line, UTF-8, newline-terminated.
 Requests are objects with an ``op`` field:
 
-``{"op": "query", "source": 17, "target": 42, "id": 7}``
+``{"op": "query", "source": 17, "target": 42, "id": 7, "deadline_ms": 500}``
     A BFS query.  ``target`` is optional (full traversal when absent);
-    ``id`` is an optional client correlation token echoed in the reply.
+    ``id`` is an optional client correlation token echoed in the reply;
+    ``deadline_ms`` is an optional per-query latency budget — a query
+    still unanswered when it expires is failed with error code
+    ``"deadline"`` instead of occupying the worker forever.
 
 ``{"op": "stats"}``
     A snapshot of the server's admission/batching metrics.
+
+``{"op": "health"}``
+    Readiness probe: the service state (``"ok"``/``"draining"``/
+    ``"closed"``), queue depth, and whether new queries are admitted.
 
 ``{"op": "ping"}``
     Liveness probe.
@@ -18,7 +25,13 @@ where ``result`` is a :meth:`~repro.bfs.result.QueryResult.to_dict`
 payload (scalars plus the level-array SHA-256 ``levels_digest`` — clients
 verify batched answers against sequential ones by digest, never by
 shipping O(n) level arrays).  Failures carry ``{"ok": false, "error":
-"..."}``; an admission rejection uses the error string ``"overloaded"``.
+"...", "error_code": "..."}`` — the ``error`` string is for humans, the
+``error_code`` is the stable machine-readable discriminator
+(``"overloaded"``, ``"closed"``, ``"bad_request"``, ``"deadline"``,
+``"fault"``, ``"protocol"``, ``"internal"``).  A ``"fault"`` failure
+additionally carries the fault-report counters under ``"fault"`` so
+clients see *what* the fault layer observed (injected drops, rollbacks,
+crashes) instead of an opaque string.
 """
 
 from __future__ import annotations
@@ -42,6 +55,8 @@ class Query:
     source: int
     target: int | None = None
     id: int | None = None
+    #: per-query latency budget in milliseconds (None = server default)
+    deadline_ms: float | None = None
 
     def to_json(self) -> str:
         """The request line (without trailing newline)."""
@@ -50,6 +65,8 @@ class Query:
             payload["target"] = self.target
         if self.id is not None:
             payload["id"] = self.id
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
         return json.dumps(payload)
 
 
@@ -61,12 +78,16 @@ class QueryReply:
     id: int | None = None
     result: dict | None = None
     error: str | None = None
+    #: stable machine-readable failure discriminator (see module docstring)
+    error_code: str | None = None
     extra: dict = field(default_factory=dict)
 
     @property
     def overloaded(self) -> bool:
         """Whether this reply is an admission-control rejection."""
-        return not self.ok and self.error == "overloaded"
+        return not self.ok and (
+            self.error_code == "overloaded" or self.error == "overloaded"
+        )
 
     def to_json(self) -> str:
         """The reply line (without trailing newline)."""
@@ -77,6 +98,8 @@ class QueryReply:
             payload["result"] = self.result
         if self.error is not None:
             payload["error"] = self.error
+        if self.error_code is not None:
+            payload["error_code"] = self.error_code
         payload.update(self.extra)
         return json.dumps(payload)
 
@@ -89,12 +112,13 @@ class QueryReply:
             raise ProtocolError(f"malformed reply line: {exc}") from exc
         if not isinstance(payload, dict) or "ok" not in payload:
             raise ProtocolError(f"reply is not an object with 'ok': {line!r}")
-        known = {"ok", "id", "result", "error"}
+        known = {"ok", "id", "result", "error", "error_code"}
         return cls(
             ok=bool(payload["ok"]),
             id=payload.get("id"),
             result=payload.get("result"),
             error=payload.get("error"),
+            error_code=payload.get("error_code"),
             extra={k: v for k, v in payload.items() if k not in known},
         )
 
@@ -112,7 +136,7 @@ def decode_request(line: str) -> dict:
     if not isinstance(payload, dict):
         raise ProtocolError(f"request is not an object: {line!r}")
     op = payload.get("op")
-    if op not in ("query", "stats", "ping"):
+    if op not in ("query", "stats", "ping", "health"):
         raise ProtocolError(f"unknown op {op!r}")
     if op == "query":
         if "source" not in payload:
@@ -123,4 +147,13 @@ def decode_request(line: str) -> dict:
                 payload["target"] = int(payload["target"])
         except (TypeError, ValueError) as exc:
             raise ProtocolError(f"non-integer source/target: {exc}") from exc
+        if payload.get("deadline_ms") is not None:
+            try:
+                payload["deadline_ms"] = float(payload["deadline_ms"])
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"non-numeric deadline_ms: {exc}") from exc
+            if not payload["deadline_ms"] > 0:
+                raise ProtocolError(
+                    f"deadline_ms must be positive, got {payload['deadline_ms']}"
+                )
     return payload

@@ -13,12 +13,27 @@ The service's job is the serving-side machinery:
   source) and runs them as *one* MS-BFS traversal.  Under load, batches
   grow naturally: the deeper the queue, the more queries each traversal
   amortizes.  A single-entry batch degrades to a plain sequential query.
+  Fault schedules batch too: MS-BFS checkpoints and replays levels, so a
+  faulted session no longer falls back to sequential serving.
+* **Fault retry** — a traversal that dies with
+  :class:`~repro.errors.FaultError` (replay budget exhausted) is retried
+  up to ``fault_retries`` times with exponential backoff, each attempt
+  under a *fresh* fault seed — replaying the spec's own seed would lose
+  the identical chunks again.  A batch that still fails is answered with
+  the structured ``"fault"`` error payload (code + report counters).
+* **Deadlines** — a query may carry ``deadline_ms`` (or inherit
+  ``default_deadline``); when it expires before a traversal answers it,
+  the waiter gets a ``"deadline"`` failure and the query is dropped from
+  any batch it has not yet ridden in.
+* **Drain** — :meth:`close` finishes the queued and in-flight work
+  before shutting the worker down (``drain=False`` for the old abrupt
+  behaviour); readiness is exposed via :meth:`health_reply`.
 * **Serialization** — traversals mutate the session's re-entrant engine,
   so they all run on one worker thread; concurrency lives in the asyncio
   front end, not in the traversal.
 * **Metrics** — queue depth, batch sizes, per-query wall latency, served
-  and rejected counts, exported through
-  :class:`~repro.observability.metrics.MetricsRegistry`.
+  and rejected counts, fault retries/failures, deadline expiries,
+  exported through :class:`~repro.observability.metrics.MetricsRegistry`.
 
 Two clients are provided: :class:`QueryClient` calls the service
 in-process (the loadgen's default), and :class:`TcpQueryClient` speaks
@@ -30,10 +45,10 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.bfs.msbfs import MAX_BATCH
-from repro.errors import ReproError
+from repro.errors import FaultError, ReproError
 from repro.observability.metrics import MetricsRegistry
 from repro.server.protocol import ProtocolError, Query, QueryReply, decode_request
 from repro.session import BfsSession
@@ -60,6 +75,12 @@ class ServerMetrics:
     batches: int = 0
     batched_queries: int = 0
     max_queue_depth: int = 0
+    #: traversal re-runs after a FaultError (one per retried attempt)
+    fault_retries: int = 0
+    #: queries failed with the structured "fault" error payload
+    fault_failures: int = 0
+    #: queries expired by their deadline before a traversal answered them
+    deadline_exceeded: int = 0
     #: per-query wall latency (seconds, submit -> reply)
     wall_latencies: list[float] = field(default_factory=list)
     #: simulated seconds per traversal
@@ -91,6 +112,9 @@ class ServerMetrics:
             "batches": self.batches,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "max_queue_depth": self.max_queue_depth,
+            "fault_retries": self.fault_retries,
+            "fault_failures": self.fault_failures,
+            "deadline_exceeded": self.deadline_exceeded,
             "wall_p50_ms": round(_percentile(self.wall_latencies, 0.50) * 1e3, 3),
             "wall_p99_ms": round(_percentile(self.wall_latencies, 0.99) * 1e3, 3),
             "simulated_seconds": self.simulated_seconds,
@@ -105,6 +129,9 @@ class ServerMetrics:
         reg.record("server_batches_total", self.batches)
         reg.record("server_batch_size_mean", self.mean_batch_size)
         reg.record("server_queue_depth_max", self.max_queue_depth)
+        reg.record("server_fault_retries_total", self.fault_retries)
+        reg.record("server_fault_failures_total", self.fault_failures)
+        reg.record("server_deadline_exceeded_total", self.deadline_exceeded)
         reg.record(
             "server_latency_seconds", _percentile(self.wall_latencies, 0.50), q="0.50"
         )
@@ -120,6 +147,8 @@ class _Pending:
     query: Query
     future: asyncio.Future
     enqueued_at: float
+    #: armed deadline timer (None when the query has no deadline)
+    deadline_handle: asyncio.TimerHandle | None = None
 
 
 class BfsService:
@@ -128,7 +157,12 @@ class BfsService:
     ``max_batch`` caps sources per traversal (at most 64); ``max_queue``
     is the admission bound; ``batching=False`` pins every traversal to a
     single source (the sequential-dispatch mode the load generator
-    compares against).
+    compares against).  Fault schedules compose with batching — MS-BFS
+    checkpoints and replays faulted levels — so a faulted session serves
+    at full batch width.  ``default_deadline`` (seconds) bounds every
+    query that does not carry its own ``deadline_ms``; ``fault_retries``
+    and ``retry_backoff`` govern the re-run policy when a traversal
+    exhausts its replay budget.
     """
 
     def __init__(
@@ -138,18 +172,22 @@ class BfsService:
         max_batch: int = MAX_BATCH,
         max_queue: int = 1024,
         batching: bool = True,
+        default_deadline: float | None = None,
+        fault_retries: int = 2,
+        retry_backoff: float = 0.02,
     ) -> None:
         if not (1 <= max_batch <= MAX_BATCH):
             raise ReproError(
                 f"max_batch must be in [1, {MAX_BATCH}], got {max_batch}"
             )
-        if session.system.faults is not None and batching:
-            # MS-BFS cannot replay lost chunks; serve faulted systems
-            # one query at a time
-            batching = False
+        if fault_retries < 0:
+            raise ReproError(f"fault_retries must be >= 0, got {fault_retries}")
         self.session = session
         self.max_batch = max_batch if batching else 1
         self.max_queue = max_queue
+        self.default_deadline = default_deadline
+        self.fault_retries = fault_retries
+        self.retry_backoff = retry_backoff
         self.metrics = ServerMetrics()
         self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
         self._executor = ThreadPoolExecutor(
@@ -157,18 +195,43 @@ class BfsService:
         )
         self._batcher: asyncio.Task | None = None
         self._closed = False
+        self._draining = False
+        self._in_flight = 0
+        #: monotone reseed counter shared by all fault retries (each retry
+        #: must draw a fresh loss pattern; see BfsSession._new_comm)
+        self._retry_seq = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """``"ok"``, ``"draining"``, or ``"closed"``."""
+        if self._closed:
+            return "closed"
+        if self._draining:
+            return "draining"
+        return "ok"
+
     async def start(self) -> "BfsService":
         """Start the batch loop; idempotent."""
         if self._batcher is None:
             self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
         return self
 
-    async def close(self) -> None:
-        """Drain nothing further; cancel the loop and release the worker."""
+    async def close(self, drain: bool = True) -> None:
+        """Shut the service down.
+
+        With ``drain=True`` (the default) new queries are refused but
+        everything already admitted — queued *and* in-flight — completes
+        and is answered before the worker stops.  ``drain=False`` is the
+        abrupt path: queued queries are failed with ``"server closed"``.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        if drain and self._batcher is not None:
+            await self._queue.join()
         self._closed = True
         if self._batcher is not None:
             self._batcher.cancel()
@@ -177,12 +240,17 @@ class BfsService:
             except asyncio.CancelledError:
                 pass
             self._batcher = None
-        while not self._queue.empty():  # pragma: no cover - close-race drain
+        while not self._queue.empty():
             pending = self._queue.get_nowait()
-            if not pending.future.done():
-                pending.future.set_result(
-                    QueryReply(ok=False, id=pending.query.id, error="server closed")
-                )
+            self._queue.task_done()
+            self._resolve(
+                pending,
+                QueryReply(
+                    ok=False, id=pending.query.id,
+                    error="server closed", error_code="closed",
+                ),
+                None,
+            )
         self._executor.shutdown(wait=True)
 
     async def __aenter__(self) -> "BfsService":
@@ -198,10 +266,17 @@ class BfsService:
         """Admit ``query`` and await its reply.
 
         Rejects immediately (``"overloaded"``) when ``max_queue`` queries
-        are already waiting — the backlog never grows without bound.
+        are already waiting — the backlog never grows without bound —
+        and refuses outright while draining or closed.
         """
         if self._closed:
-            return QueryReply(ok=False, id=query.id, error="server closed")
+            return QueryReply(
+                ok=False, id=query.id, error="server closed", error_code="closed"
+            )
+        if self._draining:
+            return QueryReply(
+                ok=False, id=query.id, error="server draining", error_code="closed"
+            )
         n = self.session.graph.n
         for label, vertex in (("source", query.source), ("target", query.target)):
             if vertex is not None and not (0 <= vertex < n):
@@ -210,21 +285,62 @@ class BfsService:
                 return QueryReply(
                     ok=False, id=query.id,
                     error=f"{label} {vertex} out of range [0, {n})",
+                    error_code="bad_request",
                 )
         if self._queue.qsize() >= self.max_queue:
             self.metrics.rejected += 1
-            return QueryReply(ok=False, id=query.id, error="overloaded")
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
+            return QueryReply(
+                ok=False, id=query.id, error="overloaded", error_code="overloaded"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
         pending = _Pending(query, future, time.perf_counter())
+        deadline = (
+            query.deadline_ms / 1e3
+            if query.deadline_ms is not None
+            else self.default_deadline
+        )
+        if deadline is not None:
+            pending.deadline_handle = loop.call_later(
+                deadline, self._expire, pending
+            )
         self._queue.put_nowait(pending)
         self.metrics.observe_queue_depth(self._queue.qsize())
         if self._batcher is None:
             await self.start()
         return await future
 
+    def _expire(self, pending: _Pending) -> None:
+        """Deadline timer body: fail the waiter if nothing answered yet."""
+        pending.deadline_handle = None
+        if not pending.future.done():
+            self.metrics.deadline_exceeded += 1
+            pending.future.set_result(
+                QueryReply(
+                    ok=False, id=pending.query.id,
+                    error="deadline exceeded", error_code="deadline",
+                )
+            )
+
     def stats_reply(self) -> QueryReply:
         """Reply payload for the ``stats`` op."""
         return QueryReply(ok=True, extra={"stats": self.metrics.snapshot()})
+
+    def health_reply(self) -> QueryReply:
+        """Reply payload for the ``health`` op (readiness probe)."""
+        return QueryReply(
+            ok=True,
+            extra={
+                "health": {
+                    "state": self.state,
+                    "ready": self.state == "ok",
+                    "queue_depth": self._queue.qsize(),
+                    "in_flight": self._in_flight,
+                    "max_batch": self.max_batch,
+                    "faulted": self.session.system.faults is not None,
+                }
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # the batch loop
@@ -235,38 +351,92 @@ class BfsService:
             batch = [await self._queue.get()]
             while len(batch) < self.max_batch and not self._queue.empty():
                 batch.append(self._queue.get_nowait())
+            # deadline-expired (or otherwise answered) queries must not
+            # ride in the traversal they no longer await
+            live = [p for p in batch if not p.future.done()]
             try:
-                await loop.run_in_executor(self._executor, self._run_batch, batch)
+                if live:
+                    self._in_flight = len(live)
+                    await loop.run_in_executor(self._executor, self._run_batch, live)
             except Exception as exc:  # pragma: no cover - worker-crash guard
-                for pending in batch:
+                for pending in live:
                     if not pending.future.done():
                         pending.future.set_result(
                             QueryReply(
-                                ok=False, id=pending.query.id, error=str(exc)
+                                ok=False, id=pending.query.id,
+                                error=str(exc), error_code="internal",
                             )
                         )
+            finally:
+                self._in_flight = 0
+                for _ in batch:
+                    self._queue.task_done()
 
     def _run_batch(self, batch: list[_Pending]) -> None:
-        """Worker-thread body: one traversal, one reply per query."""
+        """Worker-thread body: one traversal (with fault retries), one
+        reply per query."""
         loop = batch[0].future.get_loop()
         sources = [p.query.source for p in batch]
         targets = [p.query.target for p in batch]
-        try:
-            if len(batch) == 1:
-                result = self.session.bfs(sources[0], target=targets[0])
-                views = [result.query_view()]
-                simulated = result.elapsed
-            else:
-                ms = self.session.bfs_many(sources, targets=targets)
-                views = [ms.query_view(i) for i in range(len(batch))]
-                simulated = ms.elapsed
-        except ReproError as exc:
+        spec = self.session.system.faults
+        attempts = 1 + (self.fault_retries if spec is not None else 0)
+        last_fault: FaultError | None = None
+        for attempt in range(attempts):
+            if all(p.future.done() for p in batch):
+                return  # every rider expired while we were retrying
+            fault_seed = None
+            if attempt > 0:
+                # fresh seed per retry: the spec's own seed would replay
+                # the identical loss pattern and fail the same way
+                self._retry_seq += 1
+                fault_seed = spec.seed + 7919 * self._retry_seq
+                self.metrics.fault_retries += 1
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            try:
+                if len(batch) == 1:
+                    result = self.session.bfs(
+                        sources[0], target=targets[0], fault_seed=fault_seed
+                    )
+                    views = [result.query_view()]
+                    simulated = result.elapsed
+                else:
+                    ms = self.session.bfs_many(
+                        sources, targets=targets, fault_seed=fault_seed
+                    )
+                    views = [ms.query_view(i) for i in range(len(batch))]
+                    simulated = ms.elapsed
+                break
+            except FaultError as exc:
+                last_fault = exc
+                continue
+            except ReproError as exc:
+                self.metrics.failed += len(batch)
+                for pending in batch:
+                    loop.call_soon_threadsafe(
+                        self._resolve,
+                        pending,
+                        QueryReply(
+                            ok=False, id=pending.query.id,
+                            error=str(exc), error_code="internal",
+                        ),
+                        None,
+                    )
+                return
+        else:
+            # retries exhausted: structured fault payload, not an opaque
+            # string — clients see what the fault layer observed
             self.metrics.failed += len(batch)
+            self.metrics.fault_failures += len(batch)
+            counters = _fault_payload(last_fault)
             for pending in batch:
                 loop.call_soon_threadsafe(
                     self._resolve,
                     pending,
-                    QueryReply(ok=False, id=pending.query.id, error=str(exc)),
+                    QueryReply(
+                        ok=False, id=pending.query.id,
+                        error=str(last_fault), error_code="fault",
+                        extra={"fault": counters} if counters else {},
+                    ),
                     None,
                 )
             return
@@ -281,10 +451,24 @@ class BfsService:
     def _resolve(
         self, pending: _Pending, reply: QueryReply, wall: float | None
     ) -> None:
+        if pending.deadline_handle is not None:
+            pending.deadline_handle.cancel()
+            pending.deadline_handle = None
+        if pending.future.done():
+            return  # the deadline answered first; drop the late reply
         if wall is not None:
             self.metrics.observe_reply(wall)
-        if not pending.future.done():
-            pending.future.set_result(reply)
+        pending.future.set_result(reply)
+
+
+def _fault_payload(exc: FaultError | None) -> dict:
+    """The fault-report counters of ``exc`` as a JSON-safe dict."""
+    if exc is None or getattr(exc, "report", None) is None:
+        return {}
+    payload = asdict(exc.report)
+    if payload.get("link_down") is not None:
+        payload["link_down"] = list(payload["link_down"])
+    return payload
 
 
 class QueryClient:
@@ -294,11 +478,19 @@ class QueryClient:
         self.service = service
         self._next_id = 0
 
-    async def query(self, source: int, target: int | None = None) -> QueryReply:
+    async def query(
+        self,
+        source: int,
+        target: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> QueryReply:
         """Submit one query and await its reply."""
         self._next_id += 1
         return await self.service.submit(
-            Query(source=source, target=target, id=self._next_id)
+            Query(
+                source=source, target=target, id=self._next_id,
+                deadline_ms=deadline_ms,
+            )
         )
 
     async def query_many(
@@ -320,33 +512,59 @@ class QueryClient:
 async def _handle_connection(
     service: BfsService, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
 ) -> None:
+    """One client connection: decode lines, dispatch, reply.
+
+    Hardened against hostile or broken clients: malformed JSON and
+    unknown ops get error replies; an oversized line (beyond the stream
+    reader's buffer limit) gets an error reply and the connection is
+    dropped; a mid-query disconnect just ends the handler — none of
+    these can take the server down.
+    """
     try:
         while True:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # the line overran the StreamReader limit; the rest of
+                # the buffer is unframed garbage, so answer and hang up
+                reply = QueryReply(
+                    ok=False, error="request line too long", error_code="protocol"
+                )
+                writer.write((reply.to_json() + "\n").encode("utf-8"))
+                await writer.drain()
+                break
+            except (ConnectionError, OSError):  # pragma: no cover - abrupt reset
+                break
             if not line:
                 break
-            text = line.decode("utf-8").strip()
+            text = line.decode("utf-8", errors="replace").strip()
             if not text:
                 continue
             try:
                 request = decode_request(text)
             except ProtocolError as exc:
-                reply = QueryReply(ok=False, error=str(exc))
+                reply = QueryReply(ok=False, error=str(exc), error_code="protocol")
             else:
                 if request["op"] == "ping":
                     reply = QueryReply(ok=True, extra={"pong": True})
                 elif request["op"] == "stats":
                     reply = service.stats_reply()
+                elif request["op"] == "health":
+                    reply = service.health_reply()
                 else:
                     reply = await service.submit(
                         Query(
                             source=request["source"],
                             target=request.get("target"),
                             id=request.get("id"),
+                            deadline_ms=request.get("deadline_ms"),
                         )
                     )
-            writer.write((reply.to_json() + "\n").encode("utf-8"))
-            await writer.drain()
+            try:
+                writer.write((reply.to_json() + "\n").encode("utf-8"))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                break  # client went away mid-reply; nothing left to do
     finally:
         writer.close()
         try:
@@ -418,11 +636,19 @@ class TcpQueryClient:
             raise ReproError("server closed the connection")
         return QueryReply.from_json(raw.decode("utf-8"))
 
-    async def query(self, source: int, target: int | None = None) -> QueryReply:
+    async def query(
+        self,
+        source: int,
+        target: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> QueryReply:
         """Submit one query over the socket and await its reply."""
         self._next_id += 1
         return await self._round_trip(
-            Query(source=source, target=target, id=self._next_id).to_json()
+            Query(
+                source=source, target=target, id=self._next_id,
+                deadline_ms=deadline_ms,
+            ).to_json()
         )
 
     async def ping(self) -> QueryReply:
@@ -432,3 +658,7 @@ class TcpQueryClient:
     async def stats(self) -> QueryReply:
         """Fetch the server's metrics snapshot."""
         return await self._round_trip('{"op": "stats"}')
+
+    async def health(self) -> QueryReply:
+        """Fetch the server's readiness state."""
+        return await self._round_trip('{"op": "health"}')

@@ -171,15 +171,20 @@ class BfsSession:
         self._engine.rebind(comm)
         return self._engine
 
-    def _new_comm(self):
+    def _new_comm(self, fault_seed: int | None = None):
         """A fresh communicator over the cached mapping/model/network.
 
         O(1) in graph and mesh size: only the per-query clocks, statistics,
         and (when faults are configured) a fresh seeded fault schedule are
         allocated; the torus, task mapping, and routed link tables are the
-        session's cached instances.
+        session's cached instances.  ``fault_seed`` reseeds the schedule
+        for this query only — retrying a :class:`FaultError` under the
+        spec's own seed replays the identical loss pattern, so callers
+        that retry (the server) must vary the seed to draw fresh faults.
         """
         faults = self.system.faults
+        if faults is not None and fault_seed is not None:
+            faults = replace(faults, seed=int(fault_seed))
         schedule = (
             FaultSchedule(faults, self.grid.size) if faults is not None else None
         )
@@ -201,10 +206,16 @@ class BfsSession:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
-    def bfs(self, source: int, target: int | None = None) -> BfsResult:
+    def bfs(
+        self,
+        source: int,
+        target: int | None = None,
+        *,
+        fault_seed: int | None = None,
+    ) -> BfsResult:
         """Full or early-terminating BFS from ``source``."""
         result = run_bfs(
-            self._new_engine(self._new_comm()),
+            self._new_engine(self._new_comm(fault_seed)),
             self._to_internal(source),
             target=self._to_internal(target),
         )
@@ -219,6 +230,8 @@ class BfsSession:
         self,
         sources: list[int],
         targets: list[int | None] | None = None,
+        *,
+        fault_seed: int | None = None,
     ) -> MsBfsResult:
         """Batched multi-source traversal (MS-BFS, bit-parallel frontiers).
 
@@ -227,10 +240,16 @@ class BfsSession:
         and returns an :class:`~repro.bfs.msbfs.MsBfsResult` whose
         per-source level rows are byte-identical to sequential
         :meth:`bfs` runs.  Batches are limited to 64 sources (one mask
-        bit each); fault injection is not supported on the batched path.
+        bit each).  Fault schedules compose with batching: batch levels
+        checkpoint the per-source frontier masks and retirement state at
+        level boundaries and replay on wire drops or rank crashes, so
+        faulted batches still return fault-free levels (or raise
+        :class:`~repro.errors.FaultError` once the replay budget is
+        spent).  ``fault_seed`` reseeds the schedule for this call (see
+        :meth:`_new_comm`).
         """
         result = run_ms_bfs(
-            self._new_engine(self._new_comm()),
+            self._new_engine(self._new_comm(fault_seed)),
             [self._to_internal(s) for s in sources],
             targets=(
                 [self._to_internal(t) for t in targets]

@@ -8,13 +8,12 @@ layouts, wire codecs, seeds, and target-terminated queries.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 import pytest
 
 from repro.bfs import MAX_BATCH, run_bfs, run_ms_bfs
-from repro.errors import ConfigurationError, SearchError
+from repro.errors import ConfigurationError, FaultError, SearchError
+from repro.faults import FaultSpec
 from repro.graph.generators import poisson_random_graph
 from repro.observability.digest import levels_digest
 from repro.session import BfsSession
@@ -174,12 +173,22 @@ class TestValidation:
         with pytest.raises(SearchError):
             session.bfs_many([0, 1], targets=[None])
 
-    def test_faulted_comm_rejected(self, small_graph):
+    def test_unchecked_faulted_batch_raises_structured(self, small_graph):
+        # checkpointing disabled by hand: an unrecovered loss cannot be
+        # replayed, so the batch must die loudly with a report attached
+        from repro.bfs.options import BfsOptions
+
         session = BfsSession(
-            small_graph, (2, 2), system=SystemSpec(layout="2d", faults="mild")
+            small_graph, (2, 2),
+            opts=BfsOptions(checkpoint=False),
+            system=SystemSpec(
+                layout="2d",
+                faults=FaultSpec(seed=0, drop_rate=0.9, max_retries=0),
+            ),
         )
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(FaultError) as excinfo:
             session.bfs_many([0, 1])
+        assert excinfo.value.report is not None
 
     def test_observed_batches_run(self, small_graph):
         session = BfsSession(

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import FaultError, ReproError
+from repro.faults import FaultSpec
 from repro.server import (
     BfsService,
     ProtocolError,
@@ -18,7 +20,7 @@ from repro.server import (
     serve_tcp,
 )
 from repro.server.protocol import decode_request
-from repro.server.service import _percentile
+from repro.server.service import _Pending, _percentile
 from repro.session import BfsSession
 from repro.types import SystemSpec
 
@@ -47,6 +49,19 @@ class TestProtocol:
         assert QueryReply(ok=False, error="overloaded").overloaded
         assert not QueryReply(ok=False, error="boom").overloaded
 
+    def test_deadline_round_trip(self):
+        payload = decode_request(Query(source=3, deadline_ms=250).to_json())
+        assert payload["deadline_ms"] == 250.0
+
+    def test_health_op_decodes(self):
+        assert decode_request('{"op": "health"}')["op"] == "health"
+
+    def test_error_code_round_trip(self):
+        reply = QueryReply(ok=False, error="deadline exceeded", error_code="deadline")
+        parsed = QueryReply.from_json(reply.to_json())
+        assert parsed.error_code == "deadline"
+        assert parsed.extra == {}
+
     @pytest.mark.parametrize(
         "line",
         [
@@ -55,6 +70,9 @@ class TestProtocol:
             '{"op": "launch"}',
             '{"op": "query"}',
             '{"op": "query", "source": "abc"}',
+            '{"op": "query", "source": 1, "deadline_ms": "soon"}',
+            '{"op": "query", "source": 1, "deadline_ms": -5}',
+            '{"op": "query", "source": 1, "deadline_ms": 0}',
         ],
     )
     def test_bad_requests_rejected(self, line):
@@ -143,20 +161,28 @@ class TestService:
         assert replies[0].ok and replies[2].ok
         assert not replies[1].ok and "out of range" in replies[1].error
 
-    def test_faulted_session_disables_batching(self, small_graph):
+    def test_faulted_session_batches_and_recovers(self, small_graph):
+        # fault schedules no longer force sequential serving: MS-BFS
+        # checkpoints and replays, so the faulted batch must produce the
+        # exact fault-free digests at full batch width
+        faultfree = BfsSession(small_graph, (2, 2))
+        sources = [0, 1, 5, 17, 113, 399]
+        expected = {s: faultfree.bfs(s).query_view().levels_digest for s in sources}
         session = BfsSession(
             small_graph, (2, 2), system=SystemSpec(layout="2d", faults="mild")
         )
         service = BfsService(session)
-        assert service.max_batch == 1
+        assert service.max_batch > 1
 
         async def scenario():
             async with service:
-                return await QueryClient(service).query_many([0, 1])
+                return await QueryClient(service).query_many(sources)
 
         replies = asyncio.run(scenario())
         assert all(r.ok for r in replies)
-        assert all(r.result["batch_size"] == 1 for r in replies)
+        assert any(r.result["batch_size"] > 1 for r in replies)
+        for s, r in zip(sources, replies):
+            assert r.result["levels_digest"] == expected[s]
 
     def test_bad_max_batch_rejected(self, small_graph):
         session = BfsSession(small_graph, (2, 2))
@@ -199,6 +225,149 @@ class TestService:
         assert _percentile([1.0], 0.99) == 1.0
 
 
+class TestHardening:
+    def test_deadline_expires_waiting_query(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+
+        async def scenario():
+            service = BfsService(session)
+            # pin the worker so the second query is still queued when
+            # its (much shorter) deadline fires
+            orig = service._run_batch
+
+            def slow(batch):
+                time.sleep(0.3)
+                orig(batch)
+
+            service._run_batch = slow
+            async with service:
+                client = QueryClient(service)
+                first = asyncio.create_task(client.query(0))
+                await asyncio.sleep(0.05)  # let the worker pick it up
+                second = await client.query(1, deadline_ms=10)
+                return await first, second, service.metrics
+
+        first, second, metrics = asyncio.run(scenario())
+        assert first.ok
+        assert not second.ok and second.error_code == "deadline"
+        assert metrics.deadline_exceeded == 1
+
+    def test_generous_deadline_answers_normally(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+
+        async def scenario():
+            async with BfsService(session, default_deadline=30.0) as service:
+                return await QueryClient(service).query(0, deadline_ms=30_000)
+
+        reply = asyncio.run(scenario())
+        assert reply.ok
+
+    def test_drain_completes_queued_queries(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+
+        async def scenario():
+            service = BfsService(session)
+            await service.start()
+            client = QueryClient(service)
+            tasks = [asyncio.create_task(client.query(s)) for s in range(6)]
+            await asyncio.sleep(0)  # let every submit enqueue
+            await service.close()  # drain=True: finish the backlog first
+            replies = await asyncio.gather(*tasks)
+            late = await service.submit(Query(source=0))
+            return replies, late
+
+        replies, late = asyncio.run(scenario())
+        assert all(r.ok for r in replies)
+        assert not late.ok and late.error_code == "closed"
+
+    def test_abrupt_close_fails_queued(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+
+        async def scenario():
+            service = BfsService(session)
+            loop = asyncio.get_running_loop()
+            fut = loop.create_future()
+            service._queue.put_nowait(
+                _Pending(Query(source=0, id=9), fut, time.perf_counter())
+            )
+            await service.close(drain=False)
+            return await fut
+
+        reply = asyncio.run(scenario())
+        assert not reply.ok and reply.error_code == "closed"
+        assert reply.error == "server closed"
+
+    def test_health_tracks_lifecycle(self, small_graph):
+        session = BfsSession(small_graph, (2, 2))
+
+        async def scenario():
+            service = BfsService(session)
+            await service.start()
+            open_health = service.health_reply()
+            await service.close()
+            closed_health = service.health_reply()
+            return open_health, closed_health
+
+        open_health, closed_health = asyncio.run(scenario())
+        assert open_health.extra["health"]["state"] == "ok"
+        assert open_health.extra["health"]["ready"] is True
+        assert closed_health.extra["health"]["state"] == "closed"
+        assert closed_health.extra["health"]["ready"] is False
+
+    def test_fault_error_carries_structured_payload(self, small_graph):
+        # a schedule hostile enough that retries cannot save it: almost
+        # every chunk is lost for good and the replay budget is 1
+        doomed = FaultSpec(
+            seed=0, drop_rate=0.9, max_retries=0, max_level_retries=1
+        )
+        session = BfsSession(
+            small_graph, (2, 2), system=SystemSpec(layout="2d", faults=doomed)
+        )
+
+        async def scenario():
+            async with BfsService(session, fault_retries=1) as service:
+                replies = await QueryClient(service).query_many([0, 1, 2])
+                return replies, service.metrics
+
+        replies, metrics = asyncio.run(scenario())
+        assert all(not r.ok for r in replies)
+        assert all(r.error_code == "fault" for r in replies)
+        # the structured payload exposes the fault-report counters
+        assert all(r.extra["fault"]["unrecovered"] > 0 for r in replies)
+        assert metrics.fault_failures == 3
+        assert metrics.fault_retries >= 1
+        snap = metrics.snapshot()
+        assert snap["fault_failures"] == 3
+        reg = metrics.registry()
+        assert reg.value("server_fault_failures_total") == 3
+
+    def test_fault_retry_reseeds_schedule(self, small_graph):
+        session = BfsSession(
+            small_graph, (2, 2), system=SystemSpec(layout="2d", faults="mild")
+        )
+        seen: list[int | None] = []
+        orig = session.bfs_many
+
+        def spy(sources, targets=None, *, fault_seed=None):
+            seen.append(fault_seed)
+            if len(seen) == 1:
+                raise FaultError("synthetic loss")
+            return orig(sources, targets=targets, fault_seed=fault_seed)
+
+        session.bfs_many = spy
+
+        async def scenario():
+            async with BfsService(session) as service:
+                replies = await QueryClient(service).query_many([0, 1])
+                return replies, service.metrics
+
+        replies, metrics = asyncio.run(scenario())
+        assert all(r.ok for r in replies)
+        # first attempt under the spec's own seed, the retry reseeded
+        assert seen[0] is None and seen[1] is not None
+        assert metrics.fault_retries == 1
+
+
 class TestTcp:
     def test_tcp_round_trip(self, small_graph):
         session = BfsSession(small_graph, (2, 2))
@@ -213,18 +382,20 @@ class TestTcp:
                     pong = await client.ping()
                     reply = await client.query(0)
                     stats = await client.stats()
+                    health = await client.health()
                     bad = await client._round_trip('{"op": "nope"}')
-                return pong, reply, stats, bad
+                return pong, reply, stats, health, bad
             finally:
                 server.close()
                 await server.wait_closed()
                 await service.close()
 
-        pong, reply, stats, bad = asyncio.run(scenario())
+        pong, reply, stats, health, bad = asyncio.run(scenario())
         assert pong.ok and pong.extra["pong"] is True
         assert reply.ok and reply.result["levels_digest"] == expected
         assert stats.ok and stats.extra["stats"]["served"] == 1
-        assert not bad.ok and "unknown op" in bad.error
+        assert health.ok and health.extra["health"]["ready"] is True
+        assert not bad.ok and "unknown op" in bad.error and bad.error_code == "protocol"
 
     def test_tcp_concurrent_connections_batch(self, small_graph):
         session = BfsSession(small_graph, (2, 2))

@@ -1,0 +1,186 @@
+"""Protocol robustness: hostile clients must never take `serve_tcp` down.
+
+Malformed JSON, unknown ops, oversized lines, truncated frames, and
+mid-query disconnects all hit a live TCP server here; after each abuse
+the server must still answer a well-formed query on a fresh connection.
+A hypothesis fuzz pass hammers :func:`decode_request` directly — the only
+exception it may ever raise is :class:`ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server import BfsService, TcpQueryClient, serve_tcp
+from repro.server.protocol import ProtocolError, decode_request
+from repro.session import BfsSession
+
+
+async def _raw_exchange(port: int, payload: bytes, *, read_reply: bool = True):
+    """Open a socket, ship raw bytes, optionally read one reply line."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(payload)
+        await writer.drain()
+        if read_reply:
+            return await asyncio.wait_for(reader.readline(), timeout=10)
+        return b""
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _serve(small_graph, scenario):
+    """Boot a service + TCP server, run ``scenario(port)``, tear down."""
+
+    async def runner():
+        session = BfsSession(small_graph, (2, 2))
+        service = BfsService(session)
+        server = await serve_tcp(service, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await scenario(port)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.close()
+
+    return asyncio.run(runner())
+
+
+async def _server_still_answers(port: int) -> None:
+    async with TcpQueryClient("127.0.0.1", port) as client:
+        reply = await client.query(0)
+        assert reply.ok, f"server broken after abuse: {reply}"
+
+
+class TestTcpRobustness:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json at all\n",
+            b"[1, 2, 3]\n",
+            b'{"op": "detonate"}\n',
+            b'{"op": "query"}\n',
+            b'{"op": "query", "source": "NaN"}\n',
+            b'\xff\xfe garbage bytes \x00\n',
+        ],
+    )
+    def test_malformed_lines_get_error_replies(self, small_graph, line):
+        async def scenario(port):
+            raw = await _raw_exchange(port, line)
+            reply = json.loads(raw)
+            assert reply["ok"] is False
+            await _server_still_answers(port)
+
+        _serve(small_graph, scenario)
+
+    def test_oversized_line_is_refused_not_fatal(self, small_graph):
+        # beyond the StreamReader's 64 KiB default limit: the server
+        # answers with a protocol error and hangs up, then keeps serving
+        async def scenario(port):
+            blob = b'{"op": "query", "source": ' + b"1" * 100_000 + b"}\n"
+            raw = await _raw_exchange(port, blob)
+            reply = json.loads(raw)
+            assert reply["ok"] is False
+            assert reply["error_code"] == "protocol"
+            await _server_still_answers(port)
+
+        _serve(small_graph, scenario)
+
+    def test_truncated_frame_then_disconnect(self, small_graph):
+        async def scenario(port):
+            # no trailing newline: the line never completes, the client
+            # vanishes, and the handler must just clean up
+            await _raw_exchange(
+                port, b'{"op": "query", "sour', read_reply=False
+            )
+            await _server_still_answers(port)
+
+        _serve(small_graph, scenario)
+
+    def test_disconnect_with_query_in_flight(self, small_graph):
+        async def scenario(port):
+            # ship a valid query and slam the connection before the
+            # reply: the write path must swallow the broken pipe
+            await _raw_exchange(
+                port, b'{"op": "query", "source": 0}\n', read_reply=False
+            )
+            await asyncio.sleep(0.2)  # let the traversal finish and reply fail
+            await _server_still_answers(port)
+
+        _serve(small_graph, scenario)
+
+    def test_many_bad_lines_one_connection(self, small_graph):
+        async def scenario(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                for _ in range(20):
+                    writer.write(b"junk\n")
+                await writer.drain()
+                for _ in range(20):
+                    reply = json.loads(await reader.readline())
+                    assert reply["ok"] is False
+                writer.write(b'{"op": "ping"}\n')
+                await writer.drain()
+                assert json.loads(await reader.readline())["ok"] is True
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            await _server_still_answers(port)
+
+        _serve(small_graph, scenario)
+
+
+class TestDecodeRequestFuzz:
+    """decode_request must raise ProtocolError or return — never crash."""
+
+    def _probe(self, line: str) -> None:
+        try:
+            payload = decode_request(line)
+        except ProtocolError:
+            return
+        assert isinstance(payload, dict)
+        assert payload["op"] in ("query", "stats", "ping", "health")
+        if payload["op"] == "query":
+            assert isinstance(payload["source"], int)
+
+    def test_fuzz_arbitrary_text(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import strategies as st
+
+        @hypothesis.given(st.text(max_size=200))
+        @hypothesis.settings(max_examples=300, deadline=None)
+        def run(line):
+            self._probe(line)
+
+        run()
+
+    def test_fuzz_json_objects(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import strategies as st
+
+        scalars = st.one_of(
+            st.none(), st.booleans(), st.integers(), st.floats(),
+            st.text(max_size=30),
+        )
+        objects = st.dictionaries(
+            st.sampled_from(
+                ["op", "source", "target", "id", "deadline_ms", "x"]
+            ),
+            st.one_of(scalars, st.lists(scalars, max_size=3)),
+            max_size=6,
+        )
+
+        @hypothesis.given(objects)
+        @hypothesis.settings(max_examples=300, deadline=None)
+        def run(obj):
+            self._probe(json.dumps(obj))
+
+        run()

@@ -20,10 +20,10 @@ from repro.analysis.bounds import (
 )
 from repro.api import build_engine, distributed_bfs
 from repro.backends.spmd import spmd_bfs
-from repro.bfs.level_sync import run_bfs
 from repro.bfs.options import BfsOptions
 from repro.bfs.sieve import PooledSieve
 from repro.errors import CommunicationError, ConfigurationError
+from repro.faults import FaultSpec
 from repro.graph.generators import build_graph
 from repro.machine.bluegene import BLUEGENE_L
 from repro.observability.digest import stats_digest
@@ -120,21 +120,67 @@ class TestBackendParity:
         assert np.array_equal(sim.levels, levels)
 
 
-class TestRejections:
-    def test_faults_rejected_by_simulator(self, graph):
-        engine = build_engine(
-            graph, (2, 2), system=SystemSpec(sieve=True, faults="mild")
+class TestFaultComposition:
+    """Sieve × faults: shadows checkpoint/roll back with everything else."""
+
+    #: heavy enough to force rollbacks, recoverable enough to converge
+    HEAVY = FaultSpec(seed=0, drop_rate=0.3, max_retries=3)
+
+    @pytest.mark.parametrize(
+        "grid,layout", [((4, 4), "2d"), ((1, 8), "1d")]
+    )
+    @pytest.mark.parametrize("faults", [HEAVY, "crash-spare", "crash-harsh"])
+    def test_faulted_sieved_levels_match_fault_free(
+        self, graph, grid, layout, faults
+    ):
+        clean = distributed_bfs(
+            graph, grid, 0, system=SystemSpec(layout=layout, sieve=True)
         )
-        with pytest.raises(ConfigurationError, match="fault"):
-            run_bfs(engine, 0)
+        faulted = distributed_bfs(
+            graph, grid, 0,
+            system=SystemSpec(layout=layout, sieve=True, faults=faults),
+        )
+        assert np.array_equal(clean.levels, faulted.levels)
+        assert faulted.stats.total_sieved > 0
 
-    def test_faults_rejected_by_spmd(self, graph):
-        with pytest.raises(CommunicationError, match="fault"):
-            spmd_bfs(
-                graph, (2, 2), 0, opts=BfsOptions(use_sieve=True),
-                faults="mild",
+    def test_rollbacks_fire_and_sieved_counts_deterministic(self, graph):
+        def run():
+            r = distributed_bfs(
+                graph, (4, 4), 0,
+                system=SystemSpec(layout="2d", sieve=True, faults=self.HEAVY),
             )
+            return r.stats.total_sieved, r.faults.rollbacks, r.levels.tobytes()
 
+        sieved, rollbacks, _ = run()
+        assert rollbacks > 0
+        # replayed attempts re-count their sieved candidates (run totals
+        # survive abort_level), so the faulted tally exceeds fault-free
+        clean = distributed_bfs(
+            graph, (4, 4), 0, system=SystemSpec(layout="2d", sieve=True)
+        )
+        assert sieved > clean.stats.total_sieved
+        assert run() == (sieved, rollbacks, clean.levels.tobytes())
+
+    def test_spmd_parity_under_faults(self, graph):
+        # expand filters change the droppable message set, so parity
+        # comparisons pin use_expand_filter=False (the SPMD convention)
+        opts = BfsOptions(use_sieve=True, use_expand_filter=False)
+        spec = FaultSpec(seed=0, drop_rate=0.18, max_retries=1)
+        sim = distributed_bfs(
+            graph, (2, 2), 0, opts=opts,
+            system=SystemSpec(sieve=True, faults=spec),
+        )
+        levels, report, sieved = spmd_bfs(
+            graph, (2, 2), 0, opts=opts, faults=spec,
+            return_report=True, return_sieved=True,
+        )
+        assert np.array_equal(sim.levels, levels)
+        assert sieved == sim.stats.total_sieved > 0
+        assert report.rollbacks == sim.faults.rollbacks > 0
+        assert report.injected == sim.faults.injected
+
+
+class TestRejections:
     @pytest.mark.parametrize("fold", ["ring", "two-phase"])
     def test_non_csr_fold_rejected(self, graph, fold):
         opts = BfsOptions(use_sieve=True, fold_collective=fold)

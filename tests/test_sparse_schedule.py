@@ -23,6 +23,7 @@ import pytest
 from repro.api import bidirectional_bfs, build_engine, distributed_bfs
 from repro.bfs.level_sync import run_bfs
 from repro.bfs.options import BfsOptions
+from repro.faults import FaultSpec
 from repro.graph.generators import build_graph
 from repro.observability.digest import result_digests
 from repro.types import GraphSpec, SystemSpec
@@ -66,7 +67,7 @@ def _run(
     *,
     layout: str = "2d",
     wire: str = "raw",
-    faults: str | None = None,
+    faults: str | FaultSpec | None = None,
     observe: str = "off",
     opts: BfsOptions | None = None,
     source: int = 0,
@@ -144,6 +145,23 @@ CONFIGS = {
     "poisson-2d-mild-faults": lambda: _run(POISSON, (4, 4), faults="mild"),
     "poisson-2d-crash-spare": lambda: _run(POISSON, (4, 4), faults="crash-spare"),
     "poisson-2d-crash-shrink": lambda: _run(POISSON, (4, 4), faults="crash-shrink"),
+    # sieve x faults: shadows roll back with the sent cache, summary
+    # broadcasts replay deterministically (rollback-heavy drops pinned)
+    "poisson-2d-sieve-mild-faults": lambda: _run(
+        POISSON, (4, 4), faults="mild", opts=BfsOptions(use_sieve=True)
+    ),
+    "poisson-2d-sieve-rollback-heavy": lambda: _run(
+        POISSON, (4, 4), faults=FaultSpec(seed=0, drop_rate=0.3, max_retries=3),
+        opts=BfsOptions(use_sieve=True),
+    ),
+    "poisson-1d-sieve-rollback-heavy": lambda: _run(
+        POISSON, (1, 8), layout="1d",
+        faults=FaultSpec(seed=0, drop_rate=0.3, max_retries=3),
+        opts=BfsOptions(use_sieve=True),
+    ),
+    "poisson-2d-sieve-crash-spare": lambda: _run(
+        POISSON, (4, 4), faults="crash-spare", opts=BfsOptions(use_sieve=True)
+    ),
     "reference-64x64": lambda: _run(REFERENCE, (64, 64)),
 }
 
